@@ -1,0 +1,21 @@
+//! Shared bench fixtures.
+
+use criterion::Criterion;
+use gasf_sources::{NamosBuoy, Trace};
+use std::time::Duration;
+
+/// Bench-sized NAMOS trace (2 000 tuples keeps `cargo bench` quick while
+/// still closing hundreds of regions).
+#[allow(dead_code)] // not every bench target uses the shared trace
+pub fn trace() -> Trace {
+    NamosBuoy::new().tuples(2_000).seed(1).generate()
+}
+
+/// Criterion tuned for a multi-target suite: fewer samples, shorter
+/// measurement windows.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}

@@ -1,0 +1,41 @@
+//! Figs. 4.3-4.5: CPU cost per tuple of RG/RG+C/PS/PS+C/SI on the three
+//! Table 4.1 groups.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_bench::runner::{run_variant, Variant};
+use gasf_bench::specs::table_4_1;
+use gasf_core::time::Micros;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = common::trace();
+    let groups = table_4_1(&trace);
+    let mut g = c.benchmark_group("cpu_per_tuple");
+    for group in &groups {
+        for v in Variant::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(&group.name, v.label()),
+                &v,
+                |b, &v| {
+                    b.iter(|| {
+                        black_box(run_variant(
+                            &trace,
+                            &group.specs,
+                            v,
+                            Micros::from_millis(125),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 4.10: the CPU overhead of enforcing timely cuts (RG vs RG+C at
+//! each deadline).
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_bench::runner::{run_variant, Variant};
+use gasf_bench::specs::dc_fluoro;
+use gasf_core::time::Micros;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = common::trace();
+    let group = dc_fluoro(&trace);
+    let mut g = c.benchmark_group("cuts_overhead");
+    g.bench_function("RG(no cuts)", |b| {
+        b.iter(|| black_box(run_variant(&trace, &group.specs, Variant::Rg, Micros::MAX)))
+    });
+    for deadline_ms in [125u64, 32, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("RG+C", format!("{deadline_ms}ms")),
+            &deadline_ms,
+            |b, &ms| {
+                b.iter(|| {
+                    black_box(run_variant(
+                        &trace,
+                        &group.specs,
+                        Variant::RgC,
+                        Micros::from_millis(ms),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

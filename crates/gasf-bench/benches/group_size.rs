@@ -1,0 +1,36 @@
+//! Fig. 4.18: CPU cost vs group size, group-aware vs self-interested.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_bench::runner::{run_variant, Variant};
+use gasf_bench::specs::random_group;
+use gasf_core::time::Micros;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = common::trace();
+    let s = trace.stats("tmpr4").unwrap().mean_abs_delta;
+    let mut g = c.benchmark_group("group_size");
+    for n in [3usize, 10, 20] {
+        let specs = random_group(&trace, "tmpr4", n, (1.0, 6.0), s * 0.5, n as u64);
+        for v in [Variant::Rg, Variant::Si] {
+            g.bench_with_input(
+                BenchmarkId::new(v.label(), n),
+                &v,
+                |b, &v| {
+                    b.iter(|| {
+                        black_box(run_variant(&trace, &specs, v, Micros::from_millis(125)))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

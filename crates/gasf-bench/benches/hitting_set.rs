@@ -1,0 +1,55 @@
+//! Microbenchmark of the greedy hitting-set solver (the per-region cost
+//! the run-time predictor of §3.3 models as linear in region size).
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_core::candidate::{CandidateTuple, CloseCause, ClosedSet, FilterId};
+use gasf_core::hitting_set::greedy_hitting_set;
+use gasf_core::quality::Prescription;
+use gasf_core::time::Micros;
+use std::hint::black_box;
+
+/// Builds a region-like instance: `filters` sets of `width` consecutive
+/// tuples with 50% overlap between neighbours.
+fn instance(filters: usize, width: u64) -> Vec<ClosedSet> {
+    (0..filters as u64)
+        .map(|f| {
+            let start = f * width / 2;
+            ClosedSet {
+                filter: FilterId::from_index(f as usize),
+                set_index: 0,
+                candidates: (start..start + width)
+                    .map(|s| CandidateTuple {
+                        seq: s,
+                        timestamp: Micros::from_millis(s * 10),
+                        key: s as f64,
+                    })
+                    .collect(),
+                pick_degree: 1,
+                prescription: Prescription::Any,
+                si_choice: vec![start],
+                cause: CloseCause::Natural,
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hitting_set");
+    for (filters, width) in [(3usize, 4u64), (10, 8), (20, 16), (50, 32)] {
+        let sets = instance(filters, width);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{filters}x{width}")),
+            &sets,
+            |b, sets| b.iter(|| black_box(greedy_hitting_set(sets))),
+        );
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

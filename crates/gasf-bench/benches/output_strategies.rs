@@ -1,0 +1,40 @@
+//! Fig. 4.14: CPU cost of the output strategies under the PS algorithm.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_bench::runner::run_engine;
+use gasf_bench::specs::dc_fluoro;
+use gasf_core::engine::{Algorithm, OutputStrategy};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = common::trace();
+    let group = dc_fluoro(&trace);
+    let mut g = c.benchmark_group("output_strategies");
+    let strategies = [
+        ("earliest", OutputStrategy::Earliest),
+        ("batched_100", OutputStrategy::Batched(100)),
+        ("per_candidate_set", OutputStrategy::PerCandidateSet),
+    ];
+    for (name, strategy) in strategies {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            b.iter(|| {
+                black_box(run_engine(
+                    &trace,
+                    &group.specs,
+                    Algorithm::PerCandidateSet,
+                    s,
+                    None,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

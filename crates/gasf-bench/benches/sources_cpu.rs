@@ -1,0 +1,41 @@
+//! Fig. 4.24: CPU cost of filtering with different data sources.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_bench::runner::{run_variant, Variant};
+use gasf_bench::specs::source_group;
+use gasf_core::time::Micros;
+use gasf_sources::SourceKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sources_cpu");
+    let kinds = [
+        ("cow", SourceKind::Cow),
+        ("volcano", SourceKind::Volcano),
+        ("fire", SourceKind::Fire),
+    ];
+    for (name, kind) in kinds {
+        let trace = kind.generate(2_000, 1);
+        let group = source_group(&trace, kind.primary_attr(), name, 42);
+        for v in [Variant::Rg, Variant::Ps, Variant::Si] {
+            g.bench_with_input(
+                BenchmarkId::new(name, v.label()),
+                &v,
+                |b, &v| {
+                    b.iter(|| {
+                        black_box(run_variant(&trace, &group.specs, v, Micros::from_millis(125)))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

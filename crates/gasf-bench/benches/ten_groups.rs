@@ -1,0 +1,36 @@
+//! Table 5.3 / Fig. 5.3: CPU cost per batch for the ten heterogeneous
+//! groups (DC1/DC2/DC3/SS mixes).
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_bench::runner::{run_variant, Variant};
+use gasf_bench::specs::ten_groups;
+use gasf_core::time::Micros;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = common::trace();
+    let groups = ten_groups(&trace);
+    let mut g = c.benchmark_group("ten_groups");
+    for group in &groups {
+        for v in [Variant::Ps, Variant::Si] {
+            g.bench_with_input(
+                BenchmarkId::new(&group.name, v.label()),
+                &v,
+                |b, &v| {
+                    b.iter(|| {
+                        black_box(run_variant(&trace, &group.specs, v, Micros::from_millis(125)))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

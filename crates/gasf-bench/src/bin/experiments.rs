@@ -1,0 +1,76 @@
+//! Experiment CLI: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--fast] [--json PATH] [all | <id>...]
+//! experiments --list
+//! ```
+
+use gasf_bench::experiments::{self, Params, ALL_IDS};
+use gasf_bench::report::Table;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = false;
+    let mut json_path: Option<String> = None;
+
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--fast") {
+        fast = true;
+        args.remove(i);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        if i + 1 >= args.len() {
+            eprintln!("--json needs a path");
+            return ExitCode::FAILURE;
+        }
+        json_path = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    if args.is_empty() {
+        eprintln!(
+            "usage: experiments [--fast] [--json PATH] [all | id...]\n       experiments --list"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let params = if fast { Params::fast() } else { Params::full() };
+    let mut tables: Vec<Table> = Vec::new();
+    for arg in &args {
+        if arg == "all" {
+            tables.extend(experiments::run_all(&params));
+        } else {
+            match experiments::run(arg, &params) {
+                Some(ts) => tables.extend(ts),
+                None => {
+                    eprintln!("unknown experiment `{arg}`; try --list");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    for t in &tables {
+        println!("{t}");
+    }
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&tables) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("serialisation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

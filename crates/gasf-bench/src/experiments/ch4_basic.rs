@@ -1,0 +1,149 @@
+//! Table 4.1 and the basic-results figures (Figs. 4.2–4.8).
+
+use super::Params;
+use crate::report::{boxplot, f3, f4, Table};
+use crate::runner::{
+    cpu_per_tuple_us, latency_samples_ms, run_variant, Variant,
+};
+use crate::specs::table_4_1;
+use gasf_core::metrics::BoxPlot;
+use gasf_core::time::Micros;
+
+/// The "large enough that few regions are cut" group constraint used for
+/// the +C variants of the basic experiments (paper: cuts had little O/I
+/// impact in Fig. 4.2 because the constraint was loose).
+pub const LOOSE_CUT: Micros = Micros::from_millis(125);
+
+/// Table 4.1 — specifications for the three groups of filters.
+pub fn tab4_1(params: &Params) -> Vec<Table> {
+    let trace = params.namos(0);
+    let mut t = Table::new(
+        "tab4_1",
+        "Table 4.1: specifications for groups of filters",
+        ["group", "filter"],
+    );
+    for g in table_4_1(&trace) {
+        for s in &g.specs {
+            t.row([g.name.clone(), s.to_string()]);
+        }
+    }
+    t.note("deltas derived from srcStatistics exactly as §4.3 prescribes");
+    vec![t]
+}
+
+/// Fig. 4.2 — O/I ratios for the three groups × five algorithm variants.
+pub fn fig4_2(params: &Params) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig4_2",
+        "Fig 4.2: O/I ratios for three groups of group-aware filters",
+        ["group", "RG", "RG+C", "PS", "PS+C", "SI"],
+    );
+    let trace = params.namos(0);
+    for g in table_4_1(&trace) {
+        let mut cells = vec![g.name.clone()];
+        for v in Variant::ALL {
+            let out = run_variant(&trace, &g.specs, v, LOOSE_CUT);
+            cells.push(f4(out.metrics.oi_ratio()));
+        }
+        t.row(cells);
+    }
+    t.note("paper: group-aware ~0.33-0.38 vs SI 0.46-0.51; all GA < SI");
+    vec![t]
+}
+
+/// Figs. 4.3–4.5 — CPU cost per tuple (box plots over `reps` runs) for the
+/// three groups.
+pub fn fig4_3(params: &Params) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig4_3",
+        "Figs 4.3-4.5: CPU cost per tuple (us), box over runs",
+        ["group", "variant", "min/q1/med/q3/max (outliers)"],
+    );
+    let names: Vec<String> = table_4_1(&params.namos(0))
+        .into_iter()
+        .map(|g| g.name)
+        .collect();
+    for (gi, gname) in names.iter().enumerate() {
+        for v in Variant::ALL {
+            let mut samples = Vec::new();
+            for rep in 0..params.reps {
+                let trace = params.namos(rep);
+                let group = &table_4_1(&trace)[gi];
+                let out = run_variant(&trace, &group.specs, v, LOOSE_CUT);
+                samples.push(cpu_per_tuple_us(&out));
+            }
+            let b = BoxPlot::from_samples(&samples).expect("non-empty samples");
+            t.row([gname.clone(), v.label().to_string(), boxplot(&b)]);
+        }
+    }
+    t.note("paper: group-aware >10x SI cost but ~1 ms/tuple on 2005 Java; ordering matters, not absolutes");
+    vec![t]
+}
+
+/// Figs. 4.6–4.8 — source-to-application latency per tuple.
+pub fn fig4_6(params: &Params) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig4_6",
+        "Figs 4.6-4.8: latency per tuple (ms, incl. multicast constant)",
+        ["group", "variant", "mean", "min/q1/med/q3/max (outliers)"],
+    );
+    let trace = params.namos(0);
+    for g in table_4_1(&trace) {
+        for v in Variant::ALL {
+            let out = run_variant(&trace, &g.specs, v, LOOSE_CUT);
+            let samples = latency_samples_ms(&out);
+            let b = BoxPlot::from_samples(&samples).expect("non-empty samples");
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            t.row([
+                g.name.clone(),
+                v.label().to_string(),
+                f3(mean),
+                boxplot(&b),
+            ]);
+        }
+    }
+    t.note("paper: SI ~12 ms (multicast only), group-aware ~70 ms dominated by waiting for region tuples");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Params {
+        Params {
+            tuples: 600,
+            reps: 2,
+        }
+    }
+
+    #[test]
+    fn fig4_2_shows_ga_beating_si() {
+        let t = &fig4_2(&p())[0];
+        for row in &t.rows {
+            let rg: f64 = row[1].parse().unwrap();
+            let si: f64 = row[5].parse().unwrap();
+            assert!(rg <= si + 1e-9, "{}: RG {rg} > SI {si}", row[0]);
+        }
+    }
+
+    #[test]
+    fn fig4_6_si_latency_is_multicast_only() {
+        let t = &fig4_6(&p())[0];
+        for row in t.rows.iter().filter(|r| r[1] == "SI") {
+            let mean: f64 = row[2].parse().unwrap();
+            assert!((mean - 12.0).abs() < 0.5, "SI latency {mean}");
+        }
+        // group-aware latency strictly higher than SI
+        for row in t.rows.iter().filter(|r| r[1] == "RG") {
+            let mean: f64 = row[2].parse().unwrap();
+            assert!(mean > 12.0, "RG latency {mean}");
+        }
+    }
+
+    #[test]
+    fn tab4_1_lists_ten_filters() {
+        let t = &tab4_1(&p())[0];
+        assert_eq!(t.rows.len(), 10); // 4 + 3 + 3
+    }
+}

@@ -1,0 +1,138 @@
+//! Effectiveness of timely cuts (Figs. 4.9–4.12).
+//!
+//! The paper linearly tightens the maximum region time from 125 ms
+//! (`RG+C(01)`) down 16-fold to 8 ms (`RG+C(05)`) on the `DC_Fluoro`
+//! group and reports latency, cut CPU cost, percent of regions cut and
+//! the O/I impact.
+
+use super::Params;
+use crate::report::{f3, f4, Table};
+use crate::runner::{cpu_per_tuple_us, mean_latency_ms, run_variant, Variant};
+use crate::specs::dc_fluoro;
+use gasf_core::time::Micros;
+
+/// The five deadlines of Figs. 4.9–4.12, milliseconds.
+pub const DEADLINES_MS: [u64; 5] = [125, 64, 32, 16, 8];
+
+/// Which quantity a sweep table reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutMetric {
+    /// Fig. 4.9: latency per tuple.
+    Latency,
+    /// Fig. 4.10: CPU cost per tuple.
+    Cpu,
+    /// Fig. 4.11: percent of regions cut.
+    RegionsCut,
+    /// Fig. 4.12: O/I ratio.
+    OiRatio,
+}
+
+impl CutMetric {
+    fn id(self) -> &'static str {
+        match self {
+            CutMetric::Latency => "fig4_9",
+            CutMetric::Cpu => "fig4_10",
+            CutMetric::RegionsCut => "fig4_11",
+            CutMetric::OiRatio => "fig4_12",
+        }
+    }
+
+    fn title(self) -> &'static str {
+        match self {
+            CutMetric::Latency => "Fig 4.9: cuts affect latency for DC_Fluoro (ms/tuple)",
+            CutMetric::Cpu => "Fig 4.10: CPU cost of cuts for DC_Fluoro (us/tuple)",
+            CutMetric::RegionsCut => "Fig 4.11: percent of regions cut for DC_Fluoro",
+            CutMetric::OiRatio => "Fig 4.12: cuts affect O/I ratios in DC_Fluoro",
+        }
+    }
+}
+
+/// Runs the deadline sweep and reports `metric` per deadline.
+pub fn sweep_table(params: &Params, metric: CutMetric) -> Vec<Table> {
+    let trace = params.namos(0);
+    let group = dc_fluoro(&trace);
+    let mut t = Table::new(
+        metric.id(),
+        metric.title(),
+        ["variant", "deadline(ms)", "value"],
+    );
+    for (i, ms) in DEADLINES_MS.iter().enumerate() {
+        let out = run_variant(
+            &trace,
+            &group.specs,
+            Variant::RgC,
+            Micros::from_millis(*ms),
+        );
+        let value = match metric {
+            CutMetric::Latency => f3(mean_latency_ms(&out)),
+            CutMetric::Cpu => f3(cpu_per_tuple_us(&out)),
+            CutMetric::RegionsCut => format!("{:.1}%", out.metrics.cut_fraction() * 100.0),
+            CutMetric::OiRatio => f4(out.metrics.oi_ratio()),
+        };
+        t.row([format!("RG+C(0{})", i + 1), ms.to_string(), value]);
+    }
+    match metric {
+        CutMetric::Latency => {
+            t.note("paper: latency drops from ~70 ms to ~20 ms as the deadline tightens");
+        }
+        CutMetric::Cpu => {
+            t.note("paper: cut enforcement costs < 0.5 ms per tuple");
+        }
+        CutMetric::RegionsCut => {
+            t.note("paper: % regions cut increases consistently as the deadline shrinks");
+        }
+        CutMetric::OiRatio => {
+            t.note("paper: O/I only slightly affected; never worse than SI");
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Params {
+        Params {
+            tuples: 800,
+            reps: 1,
+        }
+    }
+
+    fn col(metric: CutMetric) -> Vec<f64> {
+        sweep_table(&p(), metric)[0]
+            .rows
+            .iter()
+            .map(|r| r[2].trim_end_matches('%').parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn latency_falls_with_tighter_deadlines() {
+        let lats = col(CutMetric::Latency);
+        assert!(
+            lats.first().unwrap() > lats.last().unwrap(),
+            "latency must fall: {lats:?}"
+        );
+    }
+
+    #[test]
+    fn cut_fraction_rises_with_tighter_deadlines() {
+        let cuts = col(CutMetric::RegionsCut);
+        assert!(
+            cuts.last().unwrap() >= cuts.first().unwrap(),
+            "cut % must rise: {cuts:?}"
+        );
+        assert!(*cuts.last().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn oi_stays_bounded() {
+        let ois = col(CutMetric::OiRatio);
+        for oi in &ois {
+            assert!(*oi > 0.0 && *oi <= 1.0, "{ois:?}");
+        }
+        // tighter deadlines should not *improve* O/I
+        assert!(*ois.last().unwrap() >= ois.first().unwrap() - 0.05);
+    }
+}

@@ -1,0 +1,181 @@
+//! Factors that affect performance (Figs. 4.15–4.18): slack, delta and
+//! group size.
+
+use super::Params;
+use crate::report::{boxplot, f3, f4, Table};
+use crate::runner::{output_ratio, run_variant, Variant};
+use crate::specs::{random_group, DELTA_SCALE};
+use gasf_core::metrics::BoxPlot;
+use gasf_core::quality::FilterSpec;
+use gasf_core::time::Micros;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CUT: Micros = Micros::from_millis(125);
+
+/// Fig. 4.15 — slack's effect on the performance of DC filters.
+///
+/// `DC_Tmpr`-style group (deltas 1·/2·/1.5·srcStatistics on `tmpr4`),
+/// slack swept from 3 % to 50 % of the corresponding delta.
+pub fn fig4_15(params: &Params) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig4_15",
+        "Fig 4.15: slack's effect on DC-type filters (output ratio vs SI)",
+        ["slack (% of delta)", "output ratio"],
+    );
+    let trace = params.namos(0);
+    let s = trace.stats("tmpr4").expect("attr").mean_abs_delta * DELTA_SCALE;
+    for slack_pct in [3.0, 10.0, 20.0, 30.0, 40.0, 50.0] {
+        let frac = slack_pct / 100.0;
+        let specs: Vec<FilterSpec> = [1.0, 2.0, 1.5]
+            .iter()
+            .map(|m| FilterSpec::delta("tmpr4", s * m, s * m * frac))
+            .collect();
+        let ga = run_variant(&trace, &specs, Variant::Rg, CUT);
+        let si = run_variant(&trace, &specs, Variant::Si, CUT);
+        t.row([format!("{slack_pct:.0}%"), f4(output_ratio(&ga, &si))]);
+    }
+    t.note("paper: ratio falls from ~1.0 at tiny slack to ~0.74 at 50% slack");
+    vec![t]
+}
+
+/// Fig. 4.16 — delta's effect: two filters fixed at 2·/3·srcStatistics,
+/// the third swept across 1–2·srcStatistics; slack fixed at
+/// 0.5·srcStatistics.
+pub fn fig4_16(params: &Params) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig4_16",
+        "Fig 4.16: delta's effect on DC-type filters (output ratio vs SI)",
+        ["third delta (x srcStat)", "average", "median"],
+    );
+    let steps = 11usize;
+    for i in 0..steps {
+        let mult = 1.0 + i as f64 / (steps - 1) as f64;
+        let mut ratios = Vec::new();
+        for rep in 0..params.reps {
+            let trace = params.namos(rep);
+            let s = trace.stats("tmpr4").expect("attr").mean_abs_delta * DELTA_SCALE;
+            let slack = s * 0.5;
+            let specs = vec![
+                FilterSpec::delta("tmpr4", s * 2.0, slack.min(s)),
+                FilterSpec::delta("tmpr4", s * 3.0, slack.min(s * 1.5)),
+                FilterSpec::delta("tmpr4", s * mult, slack.min(s * mult / 2.0)),
+            ];
+            let ga = run_variant(&trace, &specs, Variant::Rg, CUT);
+            let si = run_variant(&trace, &specs, Variant::Si, CUT);
+            ratios.push(output_ratio(&ga, &si));
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let median = ratios[ratios.len() / 2];
+        t.row([format!("{mult:.2}"), f4(avg), f4(median)]);
+    }
+    t.note("paper: mostly level curve with occasional jumps where candidate-set overlap changes");
+    vec![t]
+}
+
+/// Fig. 4.17 — group size's effect on the output ratio (box plots over 10
+/// random groups per size).
+pub fn fig4_17(params: &Params) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig4_17",
+        "Fig 4.17: group size's effect on DC filters (output ratio vs SI)",
+        ["group size", "median", "min/q1/med/q3/max (outliers)"],
+    );
+    let trace = params.namos(0);
+    let s = trace.stats("tmpr4").expect("attr").mean_abs_delta;
+    let sizes: &[usize] = &[3, 5, 7, 9, 11, 13, 15, 17, 20];
+    for &n in sizes {
+        let mut ratios = Vec::new();
+        for rep in 0..params.reps {
+            let specs = random_group(&trace, "tmpr4", n, (DELTA_SCALE, 6.0 * DELTA_SCALE), s, rep * 100 + n as u64);
+            let ga = run_variant(&trace, &specs, Variant::Rg, CUT);
+            let si = run_variant(&trace, &specs, Variant::Si, CUT);
+            ratios.push(output_ratio(&ga, &si));
+        }
+        let b = BoxPlot::from_samples(&ratios).expect("non-empty");
+        t.row([n.to_string(), f4(b.median), boxplot(&b)]);
+    }
+    t.note("paper: downward trend in the median output ratio as the group grows");
+    vec![t]
+}
+
+/// Fig. 4.18 — group size's effect on CPU cost (per batch of 100 tuples),
+/// group-aware vs self-interested.
+pub fn fig4_18(params: &Params) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig4_18",
+        "Fig 4.18: group size's effect on CPU cost (ms per 100-tuple batch)",
+        ["group size", "group-aware", "self-interested"],
+    );
+    let trace = params.namos(0);
+    let s = trace.stats("tmpr4").expect("attr").mean_abs_delta;
+    let mut rng = StdRng::seed_from_u64(418);
+    for n in (3..=20).step_by(2) {
+        let specs = random_group(&trace, "tmpr4", n, (DELTA_SCALE, 6.0 * DELTA_SCALE), s, rng.gen());
+        let ga = run_variant(&trace, &specs, Variant::Rg, CUT);
+        let si = run_variant(&trace, &specs, Variant::Si, CUT);
+        let per_batch = |out: &crate::runner::RunOutcome| {
+            out.metrics.cpu.as_secs_f64() * 1e3 / (out.metrics.input_tuples as f64 / 100.0)
+        };
+        t.row([n.to_string(), f3(per_batch(&ga)), f3(per_batch(&si))]);
+    }
+    t.note("paper: roughly linear growth; group-aware ~2x the SI cost");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Params {
+        Params {
+            tuples: 800,
+            reps: 2,
+        }
+    }
+
+    #[test]
+    fn slack_monotonically_helps() {
+        let t = &fig4_15(&p())[0];
+        let first: f64 = t.rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(
+            last <= first,
+            "more slack must not hurt: 3% -> {first}, 50% -> {last}"
+        );
+        assert!(first > 0.9, "tiny slack leaves little sharing: {first}");
+    }
+
+    #[test]
+    fn ratios_bounded_by_one() {
+        for table in [fig4_16(&p()), fig4_17(&p())] {
+            for row in &table[0].rows {
+                let v: f64 = row[1].parse().unwrap();
+                assert!(v > 0.0 && v <= 1.0 + 1e-9, "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_grows_with_group_size() {
+        // Wall-clock measurements wobble under parallel test load, so only
+        // assert the robust aggregate trends.
+        let t = &fig4_18(&p())[0];
+        let ga: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let si: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let half = ga.len() / 2;
+        let small: f64 = ga[..half].iter().sum();
+        let large: f64 = ga[half..].iter().sum();
+        assert!(
+            large > small,
+            "bigger groups should cost more overall: {ga:?}"
+        );
+        let ga_total: f64 = ga.iter().sum();
+        let si_total: f64 = si.iter().sum();
+        assert!(
+            ga_total >= si_total * 0.7,
+            "group coordination cannot be much cheaper than SI: GA {ga_total} vs SI {si_total}"
+        );
+    }
+}

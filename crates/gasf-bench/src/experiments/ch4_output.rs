@@ -1,0 +1,110 @@
+//! Effect of output strategies (Figs. 4.13–4.14).
+//!
+//! §4.6 compares the per-candidate-set algorithm under the default
+//! (earliest/region) strategy, big batched windows — which backlog tuples —
+//! and the per-candidate-set output pattern, which trades ordering for
+//! latency.
+
+use super::Params;
+use crate::report::{boxplot, f3, Table};
+use crate::runner::{cpu_per_tuple_us, latency_samples_ms, run_engine};
+use crate::specs::dc_fluoro;
+use gasf_core::engine::{Algorithm, OutputStrategy};
+use gasf_core::metrics::BoxPlot;
+
+fn strategies() -> Vec<(&'static str, Algorithm, OutputStrategy)> {
+    vec![
+        ("PS", Algorithm::PerCandidateSet, OutputStrategy::Earliest),
+        (
+            "PS(B)-50",
+            Algorithm::PerCandidateSet,
+            OutputStrategy::Batched(50),
+        ),
+        (
+            "PS(B)-200",
+            Algorithm::PerCandidateSet,
+            OutputStrategy::Batched(200),
+        ),
+        (
+            "PS(Pcs)",
+            Algorithm::PerCandidateSet,
+            OutputStrategy::PerCandidateSet,
+        ),
+        ("SI", Algorithm::SelfInterested, OutputStrategy::Earliest),
+    ]
+}
+
+/// Fig. 4.13 — output strategy vs. data timeliness.
+pub fn fig4_13(params: &Params) -> Vec<Table> {
+    let trace = params.namos(0);
+    let group = dc_fluoro(&trace);
+    let mut t = Table::new(
+        "fig4_13",
+        "Fig 4.13: output strategy affects data timeliness (ms/tuple)",
+        ["strategy", "mean", "min/q1/med/q3/max (outliers)"],
+    );
+    for (label, algo, strategy) in strategies() {
+        let out = run_engine(&trace, &group.specs, algo, strategy, None);
+        let samples = latency_samples_ms(&out);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let b = BoxPlot::from_samples(&samples).expect("non-empty");
+        t.row([label.to_string(), f3(mean), boxplot(&b)]);
+    }
+    t.note("paper: Pcs cuts ~70 ms to ~50 ms; big batches backlog dramatically; SI ~12 ms");
+    vec![t]
+}
+
+/// Fig. 4.14 — CPU cost of output strategies.
+pub fn fig4_14(params: &Params) -> Vec<Table> {
+    let trace = params.namos(0);
+    let group = dc_fluoro(&trace);
+    let mut t = Table::new(
+        "fig4_14",
+        "Fig 4.14: CPU cost of output strategies (us/tuple)",
+        ["strategy", "cpu/tuple"],
+    );
+    for (label, algo, strategy) in strategies() {
+        let out = run_engine(&trace, &group.specs, algo, strategy, None);
+        t.row([label.to_string(), f3(cpu_per_tuple_us(&out))]);
+    }
+    t.note("paper: batched output avoids region-closure checks, shaving ~1 ms of 1.3 ms");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Params {
+        Params {
+            tuples: 800,
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn pcs_is_not_slower_than_earliest() {
+        let t = &fig4_13(&p())[0];
+        let mean = |label: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == label)
+                .unwrap()[1]
+                .parse()
+                .unwrap()
+        };
+        assert!(mean("PS(Pcs)") <= mean("PS") + 1e-9);
+        assert!(mean("PS(B)-200") >= mean("PS"));
+        assert!(mean("SI") < mean("PS"));
+    }
+
+    #[test]
+    fn fig4_14_has_all_strategies() {
+        let t = &fig4_14(&p())[0];
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            let cpu: f64 = r[1].parse().unwrap();
+            assert!(cpu > 0.0);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Network-level experiments: the Fig. 1.3 bandwidth trade-off, the
+//! §4.1.2 overlay-multicast calibration and the §5.5.1 chlorine scenario.
+
+use super::Params;
+use crate::report::{f3, Table};
+use crate::specs::source_group;
+use gasf_core::engine::Algorithm;
+use gasf_core::quality::FilterSpec;
+use gasf_core::schema::Schema;
+use gasf_net::{NodeId, Overlay, Topology};
+use gasf_solar::{Middleware, MiddlewareConfig};
+use gasf_sources::{ChlorinePlume, NamosBuoy, SourceKind};
+
+fn deploy(
+    algorithm: Algorithm,
+    schema: Schema,
+    specs: &[FilterSpec],
+) -> (Middleware, gasf_solar::SourceId) {
+    let overlay = Overlay::new(Topology::ring(7).build());
+    let mut mw = Middleware::with_config(
+        overlay,
+        MiddlewareConfig {
+            algorithm,
+            ..Default::default()
+        },
+    );
+    let src = mw
+        .register_source("src", NodeId(0), schema)
+        .expect("source registers");
+    for (i, spec) in specs.iter().enumerate() {
+        mw.subscribe(
+            format!("app{i}"),
+            NodeId((2 + i as u32 * 2) % 7),
+            src,
+            spec.clone(),
+        )
+        .expect("subscription");
+    }
+    mw.deploy().expect("deploy");
+    (mw, src)
+}
+
+/// Fig. 1.3 — the bandwidth trade-off: no filtering, self-interested
+/// filtering + multicast, group-aware filtering + multicast.
+pub fn fig1_3(params: &Params) -> Vec<Table> {
+    let trace = NamosBuoy::new().tuples(params.tuples).seed(1).generate();
+    let stats = trace.stats("fluoro").expect("attr").mean_abs_delta;
+    let specs: Vec<FilterSpec> = [1.2, 2.0, 2.6]
+        .iter()
+        .map(|m| FilterSpec::delta("fluoro", stats * m, stats * m * 0.5))
+        .collect();
+
+    // (a) no filtering: every tuple multicast to every app.
+    let no_filter_bytes = {
+        let mut overlay = Overlay::new(Topology::ring(7).build());
+        let members: Vec<NodeId> = vec![NodeId(0), NodeId(2), NodeId(4), NodeId(6)];
+        let g = overlay.create_group("raw", &members).expect("group");
+        let size = trace.tuples()[0].wire_size();
+        for _ in trace.tuples() {
+            overlay
+                .multicast(g, NodeId(0), &members[1..], size)
+                .expect("multicast");
+        }
+        overlay.total_bytes()
+    };
+
+    // (b) self-interested filtering + multicast, (c) group-aware.
+    let run_mw = |algorithm: Algorithm| {
+        let (mut mw, src) = deploy(algorithm, trace.schema().clone(), &specs);
+        mw.run_trace(src, trace.tuples().to_vec())
+            .expect("middleware run")
+            .network_bytes
+    };
+    let si_bytes = run_mw(Algorithm::SelfInterested);
+    let ga_bytes = run_mw(Algorithm::RegionGreedy);
+
+    let mut t = Table::new(
+        "fig1_3",
+        "Fig 1.3: network bandwidth consumption per dissemination strategy",
+        ["strategy", "bytes on wire", "vs no-filtering"],
+    );
+    for (name, bytes) in [
+        ("no filtering + multicast", no_filter_bytes),
+        ("multicast w/ filtering (SI)", si_bytes),
+        ("multicast w/ group-aware filtering", ga_bytes),
+    ] {
+        t.row([
+            name.to_string(),
+            bytes.to_string(),
+            f3(bytes as f64 / no_filter_bytes as f64),
+        ]);
+    }
+    t.note("expected ordering: no-filtering > SI > group-aware (Fig 1.3's three bands)");
+    vec![t]
+}
+
+/// §4.1.2 — overlay multicast delay on the 7-node, 1 Mbps Emulab-style
+/// ring (paper measured ~130 ms).
+pub fn sec4_1_2(_params: &Params) -> Vec<Table> {
+    let mut overlay = Overlay::new(Topology::ring(7).bandwidth_bps(1_000_000).build());
+    let members: Vec<NodeId> = (0..7).map(NodeId).collect();
+    let g = overlay.create_group("cal", &members).expect("group");
+    let d = overlay
+        .multicast(g, NodeId(0), &members[1..], 88)
+        .expect("multicast");
+    let mut t = Table::new(
+        "sec4_1_2",
+        "overlay multicast delay calibration (7-node ring, 1 Mbps)",
+        ["metric", "value (ms)"],
+    );
+    t.row(["mean recipient latency", &f3(d.mean_latency().as_millis_f64())]);
+    t.row(["max recipient latency", &f3(d.max_latency().as_millis_f64())]);
+    t.note("paper measured ~130 ms for Solar's overlay multicasting on Emulab");
+    vec![t]
+}
+
+/// §5.5.1 — the chlorine train-derailment scenario: three
+/// command-and-control applications with different granularities; the
+/// paper reported ~15 % additional bandwidth saving over SI and <0.25 s
+/// per 60 tuples of filtering CPU.
+pub fn sec5_5_1(params: &Params) -> Vec<Table> {
+    let trace = ChlorinePlume::new().tuples(params.tuples).seed(7).generate();
+    let _ = SourceKind::Chlorine; // documented mapping
+    let g = source_group(&trace, "chlorine", "DC_chlorine", 551);
+
+    let run_mw = |algorithm: Algorithm| {
+        let (mut mw, src) = deploy(algorithm, trace.schema().clone(), &g.specs);
+        mw.run_trace(src, trace.tuples().to_vec()).expect("run")
+    };
+    let si = run_mw(Algorithm::SelfInterested);
+    let ga = run_mw(Algorithm::PerCandidateSet);
+
+    let saving = 1.0 - ga.network_bytes as f64 / si.network_bytes as f64;
+    let cpu_per_60_ms =
+        ga.engine.cpu.as_secs_f64() * 1e3 / (ga.engine.input_tuples as f64 / 60.0);
+    let mut t = Table::new(
+        "sec5_5_1",
+        "chlorine monitoring scenario (train-derailment exercise)",
+        ["metric", "value"],
+    );
+    t.row(["SI network bytes", &si.network_bytes.to_string()]);
+    t.row(["GA network bytes", &ga.network_bytes.to_string()]);
+    t.row([
+        "additional saving over SI",
+        &format!("{:.1}%", saving * 100.0),
+    ]);
+    t.row([
+        "GA filtering CPU per 60 tuples",
+        &format!("{cpu_per_60_ms:.3} ms"),
+    ]);
+    t.row([
+        "mean e2e latency",
+        &format!("{:.1} ms", ga.mean_e2e_latency().as_millis_f64()),
+    ]);
+    t.note("paper: ~15% further saving over SI; <250 ms per 60 tuples (PS algorithm)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Params {
+        Params {
+            tuples: 1_000,
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn fig1_3_ordering_holds() {
+        let t = &fig1_3(&p())[0];
+        let bytes: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(bytes[0] > bytes[1], "no-filtering > SI");
+        assert!(bytes[1] >= bytes[2], "SI >= group-aware");
+    }
+
+    #[test]
+    fn overlay_calibration_in_solar_ballpark() {
+        let t = &sec4_1_2(&p())[0];
+        let max_ms: f64 = t.rows[1][1].parse().unwrap();
+        assert!((30.0..400.0).contains(&max_ms), "{max_ms}");
+    }
+
+    #[test]
+    fn chlorine_scenario_saves_bandwidth() {
+        let t = &sec5_5_1(&p())[0];
+        let saving: f64 = t.rows[2][1].trim_end_matches('%').parse().unwrap();
+        assert!(saving >= 0.0, "GA must not cost more than SI: {saving}%");
+    }
+}

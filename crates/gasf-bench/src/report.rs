@@ -1,0 +1,149 @@
+//! Plain-text table rendering and JSON export for experiment results.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A rendered experiment artefact: one table or figure's data series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id (`fig4_2`, `tab5_3`, …).
+    pub id: String,
+    /// Paper artefact it reproduces.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row values (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (expected shape, paper numbers, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let cols = self.headers.len().max(
+            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        if !self.headers.is_empty() {
+            print_row(f, &self.headers)?;
+            writeln!(
+                f,
+                "{}",
+                widths
+                    .iter()
+                    .map(|w| "-".repeat(*w))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            )?;
+        }
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with four decimals.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a box plot as `min/q1/med/q3/max (k outliers)`.
+pub fn boxplot(b: &gasf_core::metrics::BoxPlot) -> String {
+    format!(
+        "{:.2}/{:.2}/{:.2}/{:.2}/{:.2} ({})",
+        b.min,
+        b.q1,
+        b.median,
+        b.q3,
+        b.max,
+        b.outliers.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("x1", "demo", ["algo", "O/I"]);
+        t.row(["RG", "0.36"]).row(["SI", "0.46"]).note("lower is better");
+        let out = t.to_string();
+        assert!(out.contains("== x1 — demo =="));
+        assert!(out.contains("algo"));
+        assert!(out.contains("note: lower is better"));
+        // rows aligned: each data line starts with padded algo column
+        assert!(out.lines().any(|l| l.starts_with("RG  ")));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut t = Table::new("x2", "demo", ["a"]);
+        t.row(["1"]);
+        let j = serde_json::to_string(&t).unwrap();
+        assert!(j.contains("\"id\":\"x2\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f4(0.00012), "0.0001");
+        let b = gasf_core::metrics::BoxPlot::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(boxplot(&b).contains("2.00"));
+    }
+}

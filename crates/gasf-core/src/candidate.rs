@@ -1,0 +1,329 @@
+//! Candidate sets and the filter↔engine event vocabulary.
+//!
+//! A **candidate set** (§2.2.3) contains all tuples that are equivalent in
+//! quality for one logical output of a filter; choosing any one of them
+//! satisfies the filter. The engines drive filters tuple-by-tuple and the
+//! filters answer with [`FilterAction`]s describing admissions, dismissals
+//! and closures; a closure hands the engine a finished [`ClosedSet`].
+
+use crate::quality::Prescription;
+use crate::time::Micros;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a filter within one group (dense, assigned by the engine
+/// builder in insertion order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FilterId(pub(crate) u32);
+
+impl FilterId {
+    /// Creates a filter id from a raw index. Exposed for substrates that
+    /// label recipients (e.g. multicast groups) outside an engine.
+    pub fn from_index(i: usize) -> Self {
+        FilterId(i as u32)
+    }
+
+    /// Dense index of the filter in the group.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FilterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// The `[min, max]` timestamp interval spanned by a candidate set or region
+/// (Definition 1 / Definition 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeCover {
+    /// Earliest timestamp in the set.
+    pub min: Micros,
+    /// Latest timestamp in the set.
+    pub max: Micros,
+}
+
+impl TimeCover {
+    /// Cover of a single point in time.
+    pub fn point(ts: Micros) -> Self {
+        TimeCover { min: ts, max: ts }
+    }
+
+    /// Whether two covers intersect (share at least one instant) —
+    /// Definition 2's "connected" test for candidate sets.
+    pub fn intersects(&self, other: &TimeCover) -> bool {
+        self.min.max(other.min) <= self.max.min(other.max)
+    }
+
+    /// Extends the cover to include `ts`.
+    pub fn extend(&mut self, ts: Micros) {
+        if ts < self.min {
+            self.min = ts;
+        }
+        if ts > self.max {
+            self.max = ts;
+        }
+    }
+
+    /// The union of two covers (smallest cover containing both).
+    pub fn union(&self, other: &TimeCover) -> TimeCover {
+        TimeCover {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Length of the cover.
+    pub fn span(&self) -> Micros {
+        self.max.saturating_sub(self.min)
+    }
+}
+
+/// A tuple recorded inside a candidate set: its identity plus the derived
+/// value the filter used (needed for top/bottom prescriptions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateTuple {
+    /// Stream sequence number.
+    pub seq: u64,
+    /// Source timestamp.
+    pub timestamp: Micros,
+    /// The filter's derived value for this tuple (attribute value, trend,
+    /// average, …).
+    pub key: f64,
+}
+
+/// Why a candidate set closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CloseCause {
+    /// The filter's own semantics closed the set (a non-admissible tuple
+    /// arrived, a window ended, …).
+    Natural,
+    /// A timely cut forced the closure (Ch. 3).
+    Cut,
+    /// The stream ended and the engine flushed open state.
+    EndOfStream,
+}
+
+/// A finished candidate set handed from a filter to the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedSet {
+    /// Owning filter.
+    pub filter: FilterId,
+    /// Per-filter set counter (0, 1, 2, … in stream order).
+    pub set_index: u64,
+    /// Candidates in arrival order. Never empty.
+    pub candidates: Vec<CandidateTuple>,
+    /// How many tuples must be chosen from this set (already resolved
+    /// against the set size; `1` for plain DC filters).
+    pub pick_degree: usize,
+    /// Eligibility rule for candidates.
+    pub prescription: Prescription,
+    /// What a *self-interested* filter would have output for this logical
+    /// output (the reference tuple for DC filters; an independent sample
+    /// for sampling filters). Used by the SI baseline and for compression-
+    /// ratio accounting.
+    pub si_choice: Vec<u64>,
+    /// Why the set closed.
+    pub cause: CloseCause,
+}
+
+impl ClosedSet {
+    /// The set's time cover.
+    ///
+    /// # Panics
+    /// Panics if the set is empty — filters must not emit empty sets.
+    pub fn cover(&self) -> TimeCover {
+        let first = self.candidates.first().expect("closed set is never empty");
+        let last = self.candidates.last().expect("closed set is never empty");
+        TimeCover {
+            min: first.timestamp,
+            max: last.timestamp,
+        }
+    }
+
+    /// Whether the set contains a tuple with this sequence number.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.candidates.iter().any(|c| c.seq == seq)
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the set is empty (never true for engine-visible sets).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Sequence numbers of the candidates eligible under the prescription,
+    /// grouped by *rank*. For [`Prescription::Any`] there is a single rank
+    /// containing everything. For `Top`/`Bottom` there are `pick_degree`
+    /// ranks ordered by the derived key; value ties share a rank (§5.3: "at
+    /// most one tuple for each of the k ranks").
+    pub fn eligible_ranks(&self) -> Vec<Vec<u64>> {
+        match self.prescription {
+            Prescription::Any => vec![self.candidates.iter().map(|c| c.seq).collect()],
+            Prescription::Top | Prescription::Bottom => {
+                let mut sorted: Vec<&CandidateTuple> = self.candidates.iter().collect();
+                sorted.sort_by(|a, b| {
+                    let ord = a.key.partial_cmp(&b.key).unwrap_or(std::cmp::Ordering::Equal);
+                    match self.prescription {
+                        Prescription::Top => ord.reverse(),
+                        _ => ord,
+                    }
+                });
+                let mut ranks: Vec<Vec<u64>> = Vec::new();
+                let mut last_key = f64::NAN;
+                for c in sorted {
+                    if ranks.len() >= self.pick_degree && c.key != last_key {
+                        break;
+                    }
+                    if c.key == last_key {
+                        ranks.last_mut().expect("rank exists").push(c.seq);
+                    } else {
+                        ranks.push(vec![c.seq]);
+                        last_key = c.key;
+                    }
+                }
+                ranks
+            }
+        }
+    }
+
+    /// All eligible sequence numbers (flattened ranks).
+    pub fn eligible(&self) -> Vec<u64> {
+        self.eligible_ranks().into_iter().flatten().collect()
+    }
+}
+
+/// What a filter did with one input tuple (first-stage events).
+///
+/// Event ordering the engine relies on: `closed` refers to the *previous*
+/// open set (closed by this tuple's arrival or content); `admitted` refers
+/// to this tuple joining the *new or still-open* set; `dismissed` lists
+/// tuples dropped from the open set when a reference arrived and tentative
+/// candidates turned out to be more than `slack` away (§2.3.3).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FilterAction {
+    /// The tuple was admitted to the filter's open candidate set.
+    pub admitted: bool,
+    /// The tuple was identified as a *reference* output (what the
+    /// self-interested filter would emit). Drives the SI baseline.
+    pub reference: bool,
+    /// Sequence numbers dismissed from the open set by this tuple.
+    pub dismissed: Vec<u64>,
+    /// A candidate set that closed during this step.
+    pub closed: Option<ClosedSet>,
+}
+
+impl FilterAction {
+    /// An action reporting nothing happened.
+    pub fn none() -> Self {
+        FilterAction::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ct(seq: u64, ms: u64, key: f64) -> CandidateTuple {
+        CandidateTuple {
+            seq,
+            timestamp: Micros::from_millis(ms),
+            key,
+        }
+    }
+
+    fn set(cands: Vec<CandidateTuple>, degree: usize, p: Prescription) -> ClosedSet {
+        ClosedSet {
+            filter: FilterId(0),
+            set_index: 0,
+            candidates: cands,
+            pick_degree: degree,
+            prescription: p,
+            si_choice: vec![],
+            cause: CloseCause::Natural,
+        }
+    }
+
+    #[test]
+    fn cover_intersection() {
+        let a = TimeCover {
+            min: Micros(0),
+            max: Micros(10),
+        };
+        let b = TimeCover {
+            min: Micros(10),
+            max: Micros(20),
+        };
+        let c = TimeCover {
+            min: Micros(11),
+            max: Micros(12),
+        };
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+        assert_eq!(a.union(&c).max, Micros(12));
+        assert_eq!(a.union(&c).span(), Micros(12));
+    }
+
+    #[test]
+    fn cover_extend() {
+        let mut c = TimeCover::point(Micros(5));
+        c.extend(Micros(2));
+        c.extend(Micros(9));
+        assert_eq!(c.min, Micros(2));
+        assert_eq!(c.max, Micros(9));
+    }
+
+    #[test]
+    fn closed_set_cover_and_contains() {
+        let s = set(vec![ct(3, 30, 45.0), ct(4, 40, 50.0), ct(5, 50, 59.0)], 1, Prescription::Any);
+        let cover = s.cover();
+        assert_eq!(cover.min, Micros::from_millis(30));
+        assert_eq!(cover.max, Micros::from_millis(50));
+        assert!(s.contains(4));
+        assert!(!s.contains(9));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn eligible_any_is_single_rank() {
+        let s = set(vec![ct(0, 0, 1.0), ct(1, 10, 2.0)], 1, Prescription::Any);
+        assert_eq!(s.eligible_ranks(), vec![vec![0, 1]]);
+        assert_eq!(s.eligible(), vec![0, 1]);
+    }
+
+    #[test]
+    fn eligible_top_orders_by_key() {
+        let s = set(
+            vec![ct(0, 0, 1.0), ct(1, 10, 5.0), ct(2, 20, 3.0), ct(3, 30, 5.0)],
+            2,
+            Prescription::Top,
+        );
+        // ranks: [5.0 -> {1,3}], [3.0 -> {2}]
+        assert_eq!(s.eligible_ranks(), vec![vec![1, 3], vec![2]]);
+    }
+
+    #[test]
+    fn eligible_bottom_orders_ascending() {
+        let s = set(
+            vec![ct(0, 0, 4.0), ct(1, 10, 1.0), ct(2, 20, 2.0)],
+            2,
+            Prescription::Bottom,
+        );
+        assert_eq!(s.eligible_ranks(), vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn filter_id_display_and_index() {
+        let f = FilterId::from_index(3);
+        assert_eq!(f.index(), 3);
+        assert_eq!(f.to_string(), "F3");
+    }
+}

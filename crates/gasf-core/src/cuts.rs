@@ -1,0 +1,200 @@
+//! Timely cuts: latency enforcement for group-aware filtering (Ch. 3).
+//!
+//! Long candidate sets delay output. Given a group time constraint (the
+//! maximum delay the filtering stage may add to a tuple), the engines
+//! *cut* — force-close all open candidate sets — when accumulating more
+//! data would violate the constraint. For the region-based algorithm the
+//! check is `regionSpan + predictedGreedyTime >= constraint` (Fig. 3.3);
+//! the greedy run-time is predicted by [`RuntimePredictor`], an online
+//! linear-regression model over the most recent regions' `(size, CPU
+//! time)` observations (§3.3), optionally overestimated by a safety margin.
+
+use crate::time::Micros;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Group time constraint driving timely cuts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeConstraint {
+    /// Maximum delay the filtering stage may add to any tuple.
+    pub max_delay: Micros,
+}
+
+impl TimeConstraint {
+    /// Creates a constraint with the given maximum per-tuple delay.
+    pub fn max_delay(d: Micros) -> Self {
+        TimeConstraint { max_delay: d }
+    }
+}
+
+/// Online linear-regression predictor for the greedy algorithm's run time
+/// as a function of region size.
+///
+/// Keeps a sliding window of recent `(region_size, cpu_micros)`
+/// observations; `predict` evaluates the fitted line `size * slope +
+/// intercept` plus a configurable overestimation constant. With fewer than
+/// two observations (or a degenerate fit) it falls back to the maximum
+/// observed cost, and to the overestimation constant alone when empty.
+#[derive(Debug, Clone)]
+pub struct RuntimePredictor {
+    window: VecDeque<(f64, f64)>,
+    capacity: usize,
+    overestimate_us: f64,
+}
+
+impl RuntimePredictor {
+    /// Window size used in the paper's prototype (ten most recent regions).
+    pub const DEFAULT_WINDOW: usize = 10;
+
+    /// Creates a predictor with the default window and no overestimation.
+    pub fn new() -> Self {
+        Self::with_window(Self::DEFAULT_WINDOW, 0.0)
+    }
+
+    /// Creates a predictor with a custom window size and an additive
+    /// overestimation constant (microseconds) for conservative cuts.
+    pub fn with_window(capacity: usize, overestimate_us: f64) -> Self {
+        RuntimePredictor {
+            window: VecDeque::with_capacity(capacity.max(2)),
+            capacity: capacity.max(2),
+            overestimate_us,
+        }
+    }
+
+    /// Records the observed greedy run time for a region of `size` tuples.
+    pub fn observe(&mut self, size: usize, cpu: Micros) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back((size as f64, cpu.as_micros() as f64));
+    }
+
+    /// Number of observations currently in the window.
+    pub fn observations(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Least-squares `(slope, intercept)` over the window, if the fit is
+    /// well-defined (≥ 2 observations with distinct sizes).
+    pub fn fit(&self) -> Option<(f64, f64)> {
+        let n = self.window.len() as f64;
+        if self.window.len() < 2 {
+            return None;
+        }
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for &(x, y) in &self.window {
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON {
+            return None;
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        Some((slope, intercept))
+    }
+
+    /// Predicted greedy run time (microseconds) for a region of `size`
+    /// tuples, including the overestimation margin. Never negative.
+    pub fn predict_us(&self, size: usize) -> f64 {
+        let base = match self.fit() {
+            Some((slope, intercept)) => slope * size as f64 + intercept,
+            None => self
+                .window
+                .iter()
+                .map(|&(_, y)| y)
+                .fold(0.0, f64::max),
+        };
+        (base + self.overestimate_us).max(0.0)
+    }
+
+    /// Predicted run time as [`Micros`].
+    pub fn predict(&self, size: usize) -> Micros {
+        Micros(self.predict_us(size).round() as u64)
+    }
+}
+
+impl Default for RuntimePredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_predictor_returns_margin() {
+        let p = RuntimePredictor::with_window(10, 25.0);
+        assert_eq!(p.predict_us(100), 25.0);
+        assert_eq!(p.observations(), 0);
+        assert!(p.fit().is_none());
+    }
+
+    #[test]
+    fn single_observation_uses_max() {
+        let mut p = RuntimePredictor::new();
+        p.observe(5, Micros(50));
+        assert_eq!(p.predict_us(100), 50.0);
+    }
+
+    #[test]
+    fn fits_a_perfect_line() {
+        let mut p = RuntimePredictor::new();
+        // cost = 10 * size + 5
+        for s in [1usize, 2, 3, 4] {
+            p.observe(s, Micros(10 * s as u64 + 5));
+        }
+        let (slope, intercept) = p.fit().unwrap();
+        assert!((slope - 10.0).abs() < 1e-9, "slope {slope}");
+        assert!((intercept - 5.0).abs() < 1e-9, "intercept {intercept}");
+        assert_eq!(p.predict(10), Micros(105));
+    }
+
+    #[test]
+    fn degenerate_sizes_fall_back_to_max() {
+        let mut p = RuntimePredictor::new();
+        p.observe(3, Micros(10));
+        p.observe(3, Micros(30));
+        assert!(p.fit().is_none());
+        assert_eq!(p.predict_us(99), 30.0);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut p = RuntimePredictor::with_window(3, 0.0);
+        for i in 0..10u64 {
+            p.observe(i as usize + 1, Micros(i));
+        }
+        assert_eq!(p.observations(), 3);
+    }
+
+    #[test]
+    fn prediction_never_negative() {
+        let mut p = RuntimePredictor::new();
+        // negative slope line
+        p.observe(1, Micros(100));
+        p.observe(2, Micros(50));
+        p.observe(3, Micros(0));
+        assert!(p.predict_us(1000) >= 0.0);
+    }
+
+    #[test]
+    fn overestimation_is_added() {
+        let mut p = RuntimePredictor::with_window(10, 7.0);
+        p.observe(1, Micros(10));
+        p.observe(2, Micros(20));
+        // fit: slope 10, intercept 0 -> predict(3) = 30 + 7
+        assert_eq!(p.predict(3), Micros(37));
+    }
+
+    #[test]
+    fn time_constraint_constructor() {
+        let c = TimeConstraint::max_delay(Micros::from_millis(125));
+        assert_eq!(c.max_delay, Micros::from_millis(125));
+    }
+}

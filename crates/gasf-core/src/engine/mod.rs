@@ -1,0 +1,688 @@
+//! The group-aware filtering engines (two-stage process, Fig. 2.4).
+//!
+//! [`GroupEngine`] hosts a group of filters sharing one source. Tuples are
+//! pushed in stream order; the engine drives the filters through the first
+//! stage (candidate admission), maintains the shared global state (group
+//! utilities, regions, decided outputs), runs the configured second-stage
+//! algorithm, enforces timely cuts, and emits [`Emission`]s — tuples
+//! labelled with the recipient filters, ready for tuple-level multicast
+//! (Fig. 1.2).
+
+mod decide;
+#[cfg(test)]
+mod tests;
+
+use crate::candidate::{CloseCause, FilterAction, FilterId, TimeCover};
+use crate::cuts::{RuntimePredictor, TimeConstraint};
+use crate::error::Error;
+use crate::filter::{build_filter, ForceCloseOutcome, GroupFilter};
+use crate::hitting_set::greedy_hitting_set;
+use crate::metrics::{EngineMetrics, FilterMetrics};
+use crate::quality::FilterSpec;
+use crate::region::{Region, RegionTracker};
+use crate::schema::Schema;
+use crate::time::Micros;
+use crate::tuple::Tuple;
+use crate::utility::GroupUtility;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::time::Instant;
+
+/// Second-stage algorithm selecting outputs from candidate sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Region-based greedy (Fig. 2.6): accumulate connected candidate sets
+    /// into regions and solve a greedy hitting set per closed region.
+    /// Best bandwidth, highest latency.
+    RegionGreedy,
+    /// Per-candidate-set greedy (Fig. 2.10): each filter decides as soon as
+    /// its set closes, preferring tuples already chosen by others. The only
+    /// algorithm valid for stateful filters.
+    PerCandidateSet,
+    /// The baseline: every filter independently emits its reference tuples
+    /// (no slack exploitation); the union is multicast.
+    SelfInterested,
+}
+
+/// When decided outputs are handed to the multicaster (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputStrategy {
+    /// Emit at region completion — the earliest time that cannot hurt the
+    /// solution's optimality (the default).
+    Earliest,
+    /// Emit as soon as a decision is made (lower latency, may reorder
+    /// output relative to region order).
+    PerCandidateSet,
+    /// Emit every `n` input tuples.
+    Batched(u32),
+}
+
+/// A decided tuple labelled with the filters that should receive it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emission {
+    /// The tuple to multicast.
+    pub tuple: Tuple,
+    /// Recipient filters (sorted, deduplicated).
+    pub recipients: Vec<FilterId>,
+    /// Stream time at which the engine released the tuple.
+    pub emitted_at: Micros,
+}
+
+impl Emission {
+    /// Filtering-stage latency of this emission (release − source stamp).
+    pub fn latency(&self) -> Micros {
+        self.emitted_at.saturating_sub(self.tuple.timestamp())
+    }
+}
+
+/// Builder for [`GroupEngine`] (see [`GroupEngine::builder`]).
+#[derive(Debug)]
+pub struct GroupEngineBuilder {
+    schema: Schema,
+    specs: Vec<FilterSpec>,
+    algorithm: Algorithm,
+    strategy: OutputStrategy,
+    constraint: Option<TimeConstraint>,
+    predictor_window: usize,
+    overestimate_us: f64,
+}
+
+impl GroupEngineBuilder {
+    /// Adds a filter specification to the group.
+    pub fn filter(mut self, spec: FilterSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Adds several filter specifications.
+    pub fn filters<I: IntoIterator<Item = FilterSpec>>(mut self, specs: I) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Selects the second-stage algorithm (default
+    /// [`Algorithm::RegionGreedy`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the output strategy (default [`OutputStrategy::Earliest`]).
+    pub fn output_strategy(mut self, strategy: OutputStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets an explicit group time constraint, enabling timely cuts. When
+    /// absent, the minimum of the filters' latency tolerances (if any) is
+    /// used.
+    pub fn time_constraint(mut self, constraint: TimeConstraint) -> Self {
+        self.constraint = Some(constraint);
+        self
+    }
+
+    /// Configures the greedy run-time predictor (window size and additive
+    /// overestimation in microseconds, §3.3).
+    pub fn predictor(mut self, window: usize, overestimate_us: f64) -> Self {
+        self.predictor_window = window;
+        self.overestimate_us = overestimate_us;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    /// * [`Error::InvalidConfig`] if the group is empty, or stateful
+    ///   filters are combined with the region-based algorithm.
+    /// * [`Error::InvalidSpec`] / [`Error::UnknownAttribute`] from filter
+    ///   instantiation.
+    pub fn build(self) -> Result<GroupEngine, Error> {
+        if self.specs.is_empty() {
+            return Err(Error::InvalidConfig {
+                reason: "a group needs at least one filter".into(),
+            });
+        }
+        let mut filters: Vec<Box<dyn GroupFilter>> = Vec::with_capacity(self.specs.len());
+        for (i, spec) in self.specs.iter().enumerate() {
+            if spec.is_stateful() && self.algorithm == Algorithm::RegionGreedy {
+                return Err(Error::InvalidConfig {
+                    reason: format!(
+                        "filter #{i} is stateful; stateful candidate sets require \
+                         Algorithm::PerCandidateSet"
+                    ),
+                });
+            }
+            // Under the self-interested baseline the chosen output *is* the
+            // reference, so stateful and stateless bases coincide: build a
+            // stateless twin.
+            let effective = if spec.is_stateful() && self.algorithm == Algorithm::SelfInterested {
+                let mut s = spec.clone();
+                if let crate::quality::FilterKind::Delta { dependency, .. } = &mut s.kind {
+                    *dependency = crate::quality::Dependency::Stateless;
+                }
+                s
+            } else {
+                spec.clone()
+            };
+            filters.push(build_filter(&effective, FilterId::from_index(i), &self.schema)?);
+        }
+        let constraint = self.constraint.or_else(|| {
+            self.specs
+                .iter()
+                .filter_map(|s| s.latency_tolerance)
+                .min()
+                .map(TimeConstraint::max_delay)
+        });
+        let n = filters.len();
+        Ok(GroupEngine {
+            schema: self.schema,
+            specs: self.specs,
+            filters,
+            algorithm: self.algorithm,
+            strategy: self.strategy,
+            constraint,
+            predictor: RuntimePredictor::with_window(self.predictor_window, self.overestimate_us),
+            utility: GroupUtility::new(),
+            tracker: RegionTracker::new(),
+            window: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            releasable: BTreeSet::new(),
+            recently_decided: HashSet::new(),
+            emitted_seqs: HashSet::new(),
+            batch_counter: 0,
+            watermark: Micros::ZERO,
+            max_emitted_seq: None,
+            last_ts: None,
+            last_seq: None,
+            finished: false,
+            metrics: EngineMetrics {
+                per_filter: vec![FilterMetrics::default(); n],
+                ..Default::default()
+            },
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingEntry {
+    recipients: Vec<FilterId>,
+}
+
+/// A group-aware stream-filtering engine for one source shared by a group
+/// of filters.
+///
+/// See the [crate-level documentation](crate) for a usage example.
+#[derive(Debug)]
+pub struct GroupEngine {
+    schema: Schema,
+    specs: Vec<FilterSpec>,
+    filters: Vec<Box<dyn GroupFilter>>,
+    algorithm: Algorithm,
+    strategy: OutputStrategy,
+    constraint: Option<TimeConstraint>,
+    predictor: RuntimePredictor,
+    utility: GroupUtility,
+    tracker: RegionTracker,
+    /// Tuples that may still be chosen/emitted, keyed by seq.
+    window: BTreeMap<u64, Tuple>,
+    /// Decided but not yet emitted outputs.
+    pending: BTreeMap<u64, PendingEntry>,
+    /// Pending seqs whose region has completed (eligible under `Earliest`).
+    releasable: BTreeSet<u64>,
+    /// Seqs chosen in still-incomplete regions (PS heuristic 1).
+    recently_decided: HashSet<u64>,
+    /// Seqs ever emitted (distinct-output accounting).
+    emitted_seqs: HashSet<u64>,
+    batch_counter: u32,
+    /// Stream time up to which every region is complete (the punctuation
+    /// value of §3.4).
+    watermark: Micros,
+    /// Highest sequence number emitted so far (disorder detection).
+    max_emitted_seq: Option<u64>,
+    last_ts: Option<Micros>,
+    last_seq: Option<u64>,
+    finished: bool,
+    metrics: EngineMetrics,
+}
+
+impl GroupEngine {
+    /// Starts building an engine over `schema`.
+    pub fn builder(schema: Schema) -> GroupEngineBuilder {
+        GroupEngineBuilder {
+            schema,
+            specs: Vec::new(),
+            algorithm: Algorithm::RegionGreedy,
+            strategy: OutputStrategy::Earliest,
+            constraint: None,
+            predictor_window: RuntimePredictor::DEFAULT_WINDOW,
+            overestimate_us: 0.0,
+        }
+    }
+
+    /// The stream schema this engine was built for.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The filter specifications of the group, in [`FilterId`] order.
+    pub fn specs(&self) -> &[FilterSpec] {
+        &self.specs
+    }
+
+    /// The configured second-stage algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The effective group time constraint, if cuts are enabled.
+    pub fn time_constraint(&self) -> Option<TimeConstraint> {
+        self.constraint
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Number of tuples currently buffered by the engine (window +
+    /// pending outputs). For well-formed streams this stays bounded by the
+    /// current region's extent regardless of stream length — the region
+    /// cleanup is what makes the engine usable on unbounded streams.
+    pub fn buffered_tuples(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The output watermark: the stream time up to which every region has
+    /// been decided. Under the per-candidate-set output strategy emissions
+    /// may arrive out of order (§3.4); this is the "punctuation" a
+    /// downstream operator can use to know when reordering is safe —
+    /// every output with a timestamp at or before the watermark has been
+    /// released.
+    pub fn watermark(&self) -> Micros {
+        self.watermark
+    }
+
+    /// Consumes the engine, returning the final metrics.
+    pub fn into_metrics(self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// Feeds the next stream tuple; returns the emissions released by this
+    /// step (possibly empty).
+    ///
+    /// # Errors
+    /// * [`Error::Finished`] after [`finish`](Self::finish),
+    /// * [`Error::OutOfOrder`] / [`Error::NonContiguousSeq`] for ordering
+    ///   violations,
+    /// * [`Error::MissingValue`] when the tuple lacks an attribute a filter
+    ///   needs.
+    pub fn push(&mut self, tuple: Tuple) -> Result<Vec<Emission>, Error> {
+        let start = Instant::now();
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        if let Some(last) = self.last_ts {
+            if tuple.timestamp() <= last {
+                return Err(Error::OutOfOrder {
+                    last_us: last.as_micros(),
+                    got_us: tuple.timestamp().as_micros(),
+                });
+            }
+        }
+        if let Some(last) = self.last_seq {
+            if tuple.seq() != last + 1 {
+                return Err(Error::NonContiguousSeq {
+                    expected: last + 1,
+                    got: tuple.seq(),
+                });
+            }
+        }
+        let now = tuple.timestamp();
+        let seq = tuple.seq();
+        self.last_ts = Some(now);
+        self.last_seq = Some(seq);
+        self.metrics.input_tuples += 1;
+        self.window.insert(seq, tuple.clone());
+
+        // Per-filter timely cuts (PS+C) are checked *before* admitting the
+        // new tuple: "admitting a new tuple will likely violate the time
+        // constraint" (§3.3, Fig. 3.5).
+        if self.algorithm == Algorithm::PerCandidateSet {
+            self.per_filter_cuts(now);
+        }
+
+        // First stage: candidate admission.
+        for i in 0..self.filters.len() {
+            let action = self.filters[i].process(&tuple)?;
+            self.apply_action(i, seq, now, action);
+        }
+
+        // Group timely cut (RG+C) is checked after the admission loop
+        // (Fig. 3.3): if the region span plus the predicted greedy run time
+        // would exceed the constraint, force-close everything now.
+        if self.algorithm == Algorithm::RegionGreedy {
+            if let Some(c) = self.constraint {
+                if let Some(oldest) = self.oldest_pending_candidate() {
+                    let predicted = self.predictor.predict(self.pending_candidates() + 1);
+                    let span = now.saturating_sub(oldest);
+                    if span.checked_add(predicted).is_none_or(|t| t >= c.max_delay) {
+                        self.cut_all(now);
+                    }
+                }
+            }
+        }
+
+        // Second stage: solve/complete any regions that became ready.
+        self.drain_regions(now);
+
+        let emissions = self.flush_for_push(now);
+        self.maybe_drop(seq);
+        self.metrics.cpu += start.elapsed();
+        Ok(emissions)
+    }
+
+    /// Ends the stream: force-closes all open candidate sets, completes the
+    /// remaining regions and releases everything still pending.
+    ///
+    /// # Errors
+    /// Returns [`Error::Finished`] if called twice.
+    pub fn finish(&mut self) -> Result<Vec<Emission>, Error> {
+        let start = Instant::now();
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        self.finished = true;
+        let now = self.last_ts.unwrap_or(Micros::ZERO);
+        for i in 0..self.filters.len() {
+            let outcome = self.filters[i].force_close(CloseCause::EndOfStream);
+            self.handle_force_outcome(i, now, outcome);
+        }
+        for region in self.tracker.drain_all() {
+            self.complete_region(region, now);
+        }
+        let emissions = self.release(now, None);
+        self.metrics.cpu += start.elapsed();
+        Ok(emissions)
+    }
+
+    /// Runs an entire stream through the engine, returning all emissions.
+    ///
+    /// # Errors
+    /// Propagates any [`push`](Self::push)/[`finish`](Self::finish) error.
+    pub fn run<I: IntoIterator<Item = Tuple>>(
+        &mut self,
+        stream: I,
+    ) -> Result<Vec<Emission>, Error> {
+        let mut out = Vec::new();
+        for t in stream {
+            out.extend(self.push(t)?);
+        }
+        out.extend(self.finish()?);
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn per_filter_cuts(&mut self, now: Micros) {
+        for i in 0..self.filters.len() {
+            let budget = self.specs[i]
+                .latency_tolerance
+                .or(self.constraint.map(|c| c.max_delay));
+            let (Some(budget), Some(cover)) = (budget, self.filters[i].open_cover()) else {
+                continue;
+            };
+            if now.saturating_sub(cover.min) >= budget {
+                let outcome = self.filters[i].force_close(CloseCause::Cut);
+                self.handle_force_outcome(i, now, outcome);
+            }
+        }
+    }
+
+    fn cut_all(&mut self, now: Micros) {
+        for i in 0..self.filters.len() {
+            let outcome = self.filters[i].force_close(CloseCause::Cut);
+            self.handle_force_outcome(i, now, outcome);
+        }
+    }
+
+    fn handle_force_outcome(&mut self, i: usize, now: Micros, outcome: ForceCloseOutcome) {
+        for seq in outcome.dismissed {
+            self.metrics.per_filter[i].dismissed += 1;
+            self.utility.decrement(seq);
+            self.maybe_drop(seq);
+        }
+        if let Some(set) = outcome.closed {
+            self.handle_closed_set(i, now, set);
+        }
+    }
+
+    fn apply_action(&mut self, i: usize, seq: u64, now: Micros, action: FilterAction) {
+        if action.reference {
+            self.metrics.per_filter[i].references += 1;
+            if self.algorithm == Algorithm::SelfInterested
+                && self.filters[i].si_emits_at_reference()
+            {
+                self.enqueue(seq, FilterId::from_index(i));
+                self.metrics.per_filter[i].chosen += 1;
+            }
+        }
+        for d in action.dismissed {
+            self.metrics.per_filter[i].dismissed += 1;
+            self.utility.decrement(d);
+            self.maybe_drop(d);
+        }
+        if action.admitted {
+            self.metrics.per_filter[i].admitted += 1;
+            self.utility.increment(seq);
+        }
+        if let Some(set) = action.closed {
+            self.handle_closed_set(i, now, set);
+        }
+    }
+
+    fn handle_closed_set(&mut self, i: usize, now: Micros, set: crate::candidate::ClosedSet) {
+        self.metrics.per_filter[i].sets_closed += 1;
+        if set.cause == CloseCause::Cut {
+            self.metrics.per_filter[i].sets_cut += 1;
+        }
+        match self.algorithm {
+            Algorithm::SelfInterested => {
+                if !self.filters[i].si_emits_at_reference() {
+                    for &s in &set.si_choice {
+                        self.enqueue(s, FilterId::from_index(i));
+                        self.metrics.per_filter[i].chosen += 1;
+                    }
+                }
+                for c in &set.candidates {
+                    self.utility.decrement(c.seq);
+                }
+                let seqs: Vec<u64> = set.candidates.iter().map(|c| c.seq).collect();
+                for s in seqs {
+                    self.maybe_drop(s);
+                }
+            }
+            Algorithm::PerCandidateSet => {
+                let chosen = decide::decide_outputs(&set, &self.utility, &self.recently_decided);
+                self.metrics.per_filter[i].chosen += chosen.len() as u64;
+                if self.filters[i].is_stateful() {
+                    if let Some(&s0) = chosen.first() {
+                        let key = set
+                            .candidates
+                            .iter()
+                            .find(|c| c.seq == s0)
+                            .map(|c| c.key)
+                            .unwrap_or_default();
+                        self.filters[i].output_chosen(s0, key);
+                    }
+                }
+                for &s in &chosen {
+                    self.enqueue(s, set.filter);
+                    self.recently_decided.insert(s);
+                }
+                for c in &set.candidates {
+                    self.utility.decrement(c.seq);
+                }
+                let _ = now;
+                self.tracker.add(set);
+            }
+            Algorithm::RegionGreedy => {
+                self.tracker.add(set);
+            }
+        }
+    }
+
+    fn drain_regions(&mut self, now: Micros) {
+        let open_covers: Vec<TimeCover> =
+            self.filters.iter().filter_map(|f| f.open_cover()).collect();
+        for region in self.tracker.drain_ready(&open_covers, now) {
+            self.complete_region(region, now);
+        }
+    }
+
+    fn complete_region(&mut self, region: Region, _now: Micros) {
+        self.watermark = self.watermark.max(region.cover().max);
+        self.metrics.regions += 1;
+        self.metrics.region_sizes.push(region.size());
+        if region.was_cut() {
+            self.metrics.regions_cut += 1;
+        }
+        if self.algorithm == Algorithm::RegionGreedy {
+            let t0 = Instant::now();
+            let choices = greedy_hitting_set(region.sets());
+            let elapsed = t0.elapsed();
+            self.metrics.greedy_cpu += elapsed;
+            self.predictor
+                .observe(region.size(), Micros(elapsed.as_micros() as u64));
+            for choice in choices {
+                for &si in &choice.covers {
+                    let fid = region.sets()[si].filter;
+                    self.enqueue(choice.seq, fid);
+                    self.metrics.per_filter[fid.index()].chosen += 1;
+                }
+            }
+        }
+        // Cleanup: tuples of a completed region can never appear in a
+        // future candidate set (their covers would intersect the region's).
+        let mut seqs: Vec<u64> = region
+            .into_sets()
+            .iter()
+            .flat_map(|s| s.candidates.iter().map(|c| c.seq))
+            .collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        for s in seqs {
+            self.utility.remove(s);
+            self.recently_decided.remove(&s);
+            if self.pending.contains_key(&s) {
+                self.releasable.insert(s);
+            } else {
+                self.window.remove(&s);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, seq: u64, recipient: FilterId) {
+        self.pending
+            .entry(seq)
+            .or_insert_with(|| PendingEntry {
+                recipients: Vec::new(),
+            })
+            .recipients
+            .push(recipient);
+    }
+
+    /// Drops a tuple from the window once nothing can reference it again.
+    fn maybe_drop(&mut self, seq: u64) {
+        if self.utility.get(seq) == 0
+            && !self.pending.contains_key(&seq)
+            && !self.recently_decided.contains(&seq)
+        {
+            self.window.remove(&seq);
+        }
+    }
+
+    fn flush_for_push(&mut self, now: Micros) -> Vec<Emission> {
+        match (self.algorithm, self.strategy) {
+            (Algorithm::SelfInterested, _) => self.release(now, None),
+            (_, OutputStrategy::PerCandidateSet) => self.release(now, None),
+            (_, OutputStrategy::Batched(n)) => {
+                self.batch_counter += 1;
+                if self.batch_counter >= n {
+                    self.batch_counter = 0;
+                    self.release(now, None)
+                } else {
+                    Vec::new()
+                }
+            }
+            (_, OutputStrategy::Earliest) => {
+                let ready: Vec<u64> = self.releasable.iter().copied().collect();
+                self.release(now, Some(ready))
+            }
+        }
+    }
+
+    /// Releases pending outputs. `only` restricts the release to specific
+    /// sequence numbers; `None` releases everything pending.
+    fn release(&mut self, now: Micros, only: Option<Vec<u64>>) -> Vec<Emission> {
+        let seqs: Vec<u64> = match only {
+            Some(s) => s,
+            None => self.pending.keys().copied().collect(),
+        };
+        let mut emissions = Vec::with_capacity(seqs.len());
+        for seq in seqs {
+            let Some(entry) = self.pending.remove(&seq) else {
+                continue;
+            };
+            self.releasable.remove(&seq);
+            let Some(tuple) = self.window.get(&seq).cloned() else {
+                debug_assert!(false, "pending tuple {seq} missing from window");
+                continue;
+            };
+            let mut recipients = entry.recipients;
+            recipients.sort_unstable();
+            recipients.dedup();
+            self.metrics.emissions += 1;
+            self.metrics.recipient_labels += recipients.len() as u64;
+            if self.max_emitted_seq.is_some_and(|m| seq < m) {
+                self.metrics.disordered_emissions += 1;
+            }
+            self.max_emitted_seq = Some(self.max_emitted_seq.map_or(seq, |m| m.max(seq)));
+            if self.emitted_seqs.insert(seq) {
+                self.metrics.output_tuples += 1;
+            }
+            self.metrics
+                .latencies_us
+                .push(now.saturating_sub(tuple.timestamp()).as_micros());
+            // The tuple may still be re-chosen while its region is
+            // incomplete (per-candidate-set strategy); region completion
+            // removes it from the window for good.
+            if self.utility.get(seq) == 0 && !self.recently_decided.contains(&seq) {
+                self.window.remove(&seq);
+            }
+            emissions.push(Emission {
+                tuple,
+                recipients,
+                emitted_at: now,
+            });
+        }
+        emissions
+    }
+
+    fn oldest_pending_candidate(&self) -> Option<Micros> {
+        let open_min = self
+            .filters
+            .iter()
+            .filter_map(|f| f.open_cover())
+            .map(|c| c.min)
+            .min();
+        match (self.tracker.earliest_pending(), open_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn pending_candidates(&self) -> usize {
+        self.tracker.pending_candidates() + self.filters.iter().map(|f| f.open_len()).sum::<usize>()
+    }
+}

@@ -1,0 +1,312 @@
+//! Greedy hitting-set solvers.
+//!
+//! Group-aware filtering reduces to the minimum hitting-set problem
+//! (Theorem 1): given the candidate sets of a region, pick one tuple from
+//! each so that the union is minimal. The classical greedy algorithm gives
+//! a `H(max |C|)` approximation; [`greedy_hitting_set`] implements it with
+//! the paper's tie-break (freshest timestamp). [`ClosedSet::pick_degree`]
+//! generalises to the **multi-degree hitting set** (Definition 6 /
+//! Axiom 3) needed by sampling filters, with at most one tuple per rank
+//! for top/bottom prescriptions (§5.3).
+
+use crate::candidate::ClosedSet;
+use std::collections::HashMap;
+
+/// One tuple chosen by the solver and the sets it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Choice {
+    /// Sequence number of the chosen tuple.
+    pub seq: u64,
+    /// Indices (into the input slice) of the sets this choice counts
+    /// toward.
+    pub covers: Vec<usize>,
+}
+
+/// Solves the (multi-degree) hitting-set instance formed by `sets` with the
+/// greedy heuristic: repeatedly choose the tuple useful to the most
+/// still-unsatisfied sets, preferring the freshest timestamp on ties
+/// (Fig. 2.7).
+///
+/// Each returned [`Choice`] lists the sets it was counted for; every set
+/// ends up covered by exactly `min(pick_degree, #ranks)` choices.
+///
+/// Sets with `pick_degree == 1` and
+/// [`Prescription::Any`](crate::quality::Prescription::Any) reproduce the
+/// classical greedy hitting set exactly.
+pub fn greedy_hitting_set(sets: &[ClosedSet]) -> Vec<Choice> {
+    // Per-tuple info: timestamp + the (set, rank) slots it can fill.
+    struct Info {
+        ts: u64,
+        slots: Vec<(usize, Option<usize>)>,
+    }
+    let mut pool: HashMap<u64, Info> = HashMap::new();
+    let mut needed: Vec<usize> = Vec::with_capacity(sets.len());
+    // For ranked sets: which ranks are already used.
+    let mut rank_used: Vec<Vec<bool>> = Vec::with_capacity(sets.len());
+
+    for (si, set) in sets.iter().enumerate() {
+        let ranks = set.eligible_ranks();
+        let ranked = ranks.len() > 1 || set.prescription != crate::quality::Prescription::Any;
+        let effective = if ranked {
+            set.pick_degree.min(ranks.len())
+        } else {
+            set.pick_degree.min(set.len())
+        };
+        needed.push(effective);
+        rank_used.push(vec![false; ranks.len()]);
+        for (ri, rank) in ranks.iter().enumerate() {
+            for &seq in rank {
+                let ts = set
+                    .candidates
+                    .iter()
+                    .find(|c| c.seq == seq)
+                    .map(|c| c.timestamp.as_micros())
+                    .unwrap_or(0);
+                pool.entry(seq)
+                    .or_insert_with(|| Info {
+                        ts,
+                        slots: Vec::new(),
+                    })
+                    .slots
+                    .push((si, if ranked { Some(ri) } else { None }));
+            }
+        }
+    }
+
+    let usefulness = |info: &Info, needed: &[usize], rank_used: &[Vec<bool>]| -> u32 {
+        info.slots
+            .iter()
+            .filter(|(si, rank)| {
+                needed[*si] > 0 && rank.is_none_or(|r| !rank_used[*si][r])
+            })
+            .count() as u32
+    };
+
+    let mut result = Vec::new();
+    while needed.iter().any(|&n| n > 0) {
+        // Pick the tuple with max utility; ties -> freshest timestamp,
+        // then highest seq (deterministic).
+        let mut best: Option<(u32, u64, u64)> = None; // (utility, ts, seq)
+        for (&seq, info) in pool.iter() {
+            let u = usefulness(info, &needed, &rank_used);
+            if u == 0 {
+                continue;
+            }
+            let key = (u, info.ts, seq);
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, seq)) = best else {
+            // No tuple can satisfy the remaining demand (can only happen
+            // for ranked sets with fewer usable ranks than degree, which
+            // `effective` already prevents) — defensive break.
+            debug_assert!(false, "greedy hitting set ran out of useful tuples");
+            break;
+        };
+        let info = pool.remove(&seq).expect("best tuple is in the pool");
+        let mut covers = Vec::new();
+        for (si, rank) in &info.slots {
+            if needed[*si] > 0 && rank.is_none_or(|r| !rank_used[*si][r]) {
+                needed[*si] -= 1;
+                if let Some(r) = rank {
+                    rank_used[*si][*r] = true;
+                }
+                covers.push(*si);
+            }
+        }
+        debug_assert!(!covers.is_empty());
+        result.push(Choice { seq, covers });
+    }
+    result
+}
+
+/// Exhaustive minimum hitting set for tiny instances (≤ ~20 candidate
+/// tuples). Only 1-degree, unranked sets are supported. Used to validate
+/// the greedy heuristic in tests and to measure approximation quality.
+///
+/// Returns the chosen sequence numbers, or `None` if the instance has more
+/// than `max_universe` distinct tuples.
+pub fn brute_force_minimum(sets: &[ClosedSet], max_universe: usize) -> Option<Vec<u64>> {
+    let mut universe: Vec<u64> = sets
+        .iter()
+        .flat_map(|s| s.candidates.iter().map(|c| c.seq))
+        .collect();
+    universe.sort_unstable();
+    universe.dedup();
+    if universe.len() > max_universe || universe.len() > 25 {
+        return None;
+    }
+    let n = universe.len();
+    let mut best: Option<Vec<u64>> = None;
+    for mask in 0u32..(1u32 << n) {
+        let chosen: Vec<u64> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| universe[i])
+            .collect();
+        if let Some(b) = &best {
+            if chosen.len() >= b.len() {
+                continue;
+            }
+        }
+        let hits_all = sets
+            .iter()
+            .all(|s| s.candidates.iter().any(|c| chosen.contains(&c.seq)));
+        if hits_all {
+            best = Some(chosen);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{CandidateTuple, CloseCause, FilterId};
+    use crate::quality::Prescription;
+    use crate::time::Micros;
+
+    fn set(filter: usize, seqs: &[u64]) -> ClosedSet {
+        set_with(filter, seqs, 1, Prescription::Any)
+    }
+
+    fn set_with(filter: usize, seqs: &[u64], degree: usize, p: Prescription) -> ClosedSet {
+        ClosedSet {
+            filter: FilterId::from_index(filter),
+            set_index: 0,
+            candidates: seqs
+                .iter()
+                .map(|&s| CandidateTuple {
+                    seq: s,
+                    timestamp: Micros::from_millis(s * 10),
+                    key: s as f64,
+                })
+                .collect(),
+            pick_degree: degree,
+            prescription: p,
+            si_choice: vec![],
+            cause: CloseCause::Natural,
+        }
+    }
+
+    fn chosen_seqs(sets: &[ClosedSet]) -> Vec<u64> {
+        let mut v: Vec<u64> = greedy_hitting_set(sets).into_iter().map(|c| c.seq).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn paper_region_2_example() {
+        // Fig. 2.8 region 2: cands1-2 {45,50,59} = seqs {3,4,5},
+        // cands2-2 {45,50} = {3,4}, cands3-2 {59,80,97,100} = {5,6,7,8},
+        // cands1-3 {97,100} = {7,8}, cands2-3 {97,100} = {7,8}.
+        let sets = vec![
+            set(0, &[3, 4, 5]),
+            set(1, &[3, 4]),
+            set(2, &[5, 6, 7, 8]),
+            set(0, &[7, 8]),
+            set(1, &[7, 8]),
+        ];
+        let result = greedy_hitting_set(&sets);
+        // Utilities: 7 and 8 have 3; freshest wins -> 8 (=tuple 100) first,
+        // covering sets 2,3,4. Then 3,4 have utility 2 each; freshest -> 4
+        // (=tuple 50), covering sets 0,1.
+        assert_eq!(result[0].seq, 8);
+        assert_eq!(result[0].covers, vec![2, 3, 4]);
+        assert_eq!(result[1].seq, 4);
+        assert_eq!(result[1].covers, vec![0, 1]);
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn every_set_is_hit() {
+        let sets = vec![set(0, &[1, 2]), set(1, &[3]), set(2, &[2, 3])];
+        let result = greedy_hitting_set(&sets);
+        for (si, s) in sets.iter().enumerate() {
+            let hit = result
+                .iter()
+                .any(|c| c.covers.contains(&si) && s.contains(c.seq));
+            assert!(hit, "set {si} not hit");
+        }
+    }
+
+    #[test]
+    fn singleton_sets_force_choices() {
+        let sets = vec![set(0, &[1]), set(1, &[2])];
+        assert_eq!(chosen_seqs(&sets), vec![1, 2]);
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_on_small_instances() {
+        let sets = vec![
+            set(0, &[1, 2, 3]),
+            set(1, &[2, 4]),
+            set(2, &[3, 4]),
+            set(3, &[4]),
+        ];
+        let greedy = chosen_seqs(&sets);
+        let best = brute_force_minimum(&sets, 20).unwrap();
+        // 4 hits sets 1,2,3; one of {1,2,3} hits set 0 -> optimum 2.
+        assert_eq!(best.len(), 2);
+        assert_eq!(greedy.len(), 2);
+    }
+
+    #[test]
+    fn multi_degree_set_gets_k_distinct_tuples() {
+        let sets = vec![set_with(0, &[1, 2, 3, 4], 2, Prescription::Any), set(1, &[2])];
+        let result = greedy_hitting_set(&sets);
+        let covering: Vec<&Choice> =
+            result.iter().filter(|c| c.covers.contains(&0)).collect();
+        assert_eq!(covering.len(), 2, "degree-2 set covered twice");
+        let seqs: Vec<u64> = covering.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs.len(), seqs.iter().collect::<std::collections::HashSet<_>>().len());
+        // 2 should be shared with the singleton set.
+        assert!(result.iter().any(|c| c.seq == 2 && c.covers.len() == 2));
+    }
+
+    #[test]
+    fn ranked_set_uses_one_tuple_per_rank() {
+        // Top-2 of {1:10.0, 2:10.0, 3:5.0}: rank0 = {1,2} (tied), rank1 = {3}.
+        let mut s = set_with(0, &[1, 2, 3], 2, Prescription::Top);
+        s.candidates[0].key = 10.0;
+        s.candidates[1].key = 10.0;
+        s.candidates[2].key = 5.0;
+        let result = greedy_hitting_set(&[s]);
+        assert_eq!(result.len(), 2);
+        let seqs: Vec<u64> = result.iter().map(|c| c.seq).collect();
+        // must include 3 (only rank-1 tuple) and exactly one of {1,2}
+        assert!(seqs.contains(&3));
+        assert_eq!(seqs.iter().filter(|&&s| s == 1 || s == 2).count(), 1);
+    }
+
+    #[test]
+    fn ranked_set_with_fewer_ranks_than_degree_is_satisfiable() {
+        // All keys equal -> a single rank; degree 3 clamps to 1 choice.
+        let mut s = set_with(0, &[1, 2, 3], 3, Prescription::Top);
+        for c in &mut s.candidates {
+            c.key = 1.0;
+        }
+        let result = greedy_hitting_set(&[s]);
+        assert_eq!(result.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(greedy_hitting_set(&[]).is_empty());
+    }
+
+    #[test]
+    fn brute_force_gives_up_on_large_universe() {
+        let sets = vec![set(0, &(0..30).collect::<Vec<u64>>())];
+        assert!(brute_force_minimum(&sets, 20).is_none());
+    }
+
+    #[test]
+    fn tie_break_prefers_freshest() {
+        // Both 1 and 9 hit both sets; 9 is fresher.
+        let sets = vec![set(0, &[1, 9]), set(1, &[1, 9])];
+        let result = greedy_hitting_set(&sets);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].seq, 9);
+    }
+}

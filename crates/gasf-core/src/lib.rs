@@ -1,0 +1,79 @@
+//! # gasf-core — Group-Aware Stream Filtering
+//!
+//! A Rust implementation of the *group-aware stream filtering* approach of
+//! Ming Li's ICDCS 2007 paper / Dartmouth dissertation TR2008-621.
+//!
+//! Many monitoring applications subscribe to the same high-rate data source
+//! over a bandwidth-constrained network. Each application installs a
+//! *data-selection filter* at the source node and the multiplexed filter
+//! outputs are disseminated with tuple-level multicast. Because applications
+//! tolerate *slack* in their data-granularity requirements, each filter has —
+//! for every logical output — a **candidate set** of quality-equivalent
+//! tuples. Group-aware filtering picks one tuple (or `k` tuples) from every
+//! candidate set such that the union over the whole group is as small as
+//! possible, maximising multicast sharing. That selection problem is the
+//! NP-hard minimum hitting-set problem; this crate implements the paper's
+//! heuristics:
+//!
+//! * [`engine::GroupEngine`] with [`engine::Algorithm::RegionGreedy`] — the
+//!   region-based greedy algorithm (Fig. 2.6), solving a greedy hitting set
+//!   per closed *region* of connected candidate sets,
+//! * [`engine::Algorithm::PerCandidateSet`] — the per-candidate-set greedy
+//!   algorithm (Fig. 2.10), deciding each filter's output as soon as its
+//!   candidate set closes (required for *stateful* candidate sets),
+//! * [`engine::Algorithm::SelfInterested`] — the baseline where every filter
+//!   emits exactly its reference tuples,
+//! * **timely cuts** ([`cuts`]) that force-close candidate sets when a
+//!   latency constraint would otherwise be violated (Ch. 3), and
+//! * pluggable **output strategies** ([`engine::OutputStrategy`]).
+//!
+//! The filter taxonomy of Ch. 5 is covered by [`filter::DeltaCompression`]
+//! (DC1), [`filter::TrendDelta`] (DC2), [`filter::MultiAttrDelta`] (DC3) and
+//! [`filter::StratifiedSampler`] (SS), all implementing [`filter::GroupFilter`]
+//! so downstream users can add their own.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use gasf_core::prelude::*;
+//!
+//! # fn main() -> Result<(), gasf_core::Error> {
+//! let schema = Schema::new(["temperature"]);
+//! let mut engine = GroupEngine::builder(schema.clone())
+//!     .algorithm(Algorithm::RegionGreedy)
+//!     .filter(FilterSpec::delta("temperature", 50.0, 10.0))
+//!     .filter(FilterSpec::delta("temperature", 40.0, 5.0))
+//!     .build()?;
+//!
+//! let mut stream = TupleBuilder::new(&schema);
+//! for (i, v) in [0.0, 35.0, 29.0, 45.0, 50.0, 59.0].iter().enumerate() {
+//!     let tuple = stream.at_millis(i as u64 * 10).set("temperature", *v).build()?;
+//!     for emission in engine.push(tuple)? {
+//!         println!("send {:?} to {:?}", emission.tuple.seq(), emission.recipients);
+//!     }
+//! }
+//! engine.finish()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod candidate;
+pub mod cuts;
+pub mod engine;
+pub mod error;
+pub mod filter;
+pub mod hitting_set;
+pub mod metrics;
+pub mod monitor;
+pub mod prelude;
+pub mod quality;
+pub mod region;
+pub mod schema;
+pub mod time;
+pub mod tuple;
+pub mod utility;
+
+pub use error::Error;

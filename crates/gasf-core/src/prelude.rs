@@ -1,0 +1,22 @@
+//! Convenience re-exports for typical gasf-core usage.
+//!
+//! ```rust
+//! use gasf_core::prelude::*;
+//! ```
+
+pub use crate::candidate::{CandidateTuple, CloseCause, ClosedSet, FilterId, TimeCover};
+pub use crate::cuts::{RuntimePredictor, TimeConstraint};
+pub use crate::engine::{Algorithm, Emission, GroupEngine, GroupEngineBuilder, OutputStrategy};
+pub use crate::error::Error;
+pub use crate::filter::{
+    build_filter, DeltaCompression, GroupFilter, MultiAttrDelta, ReservoirSampler,
+    StratifiedSampler, TrendDelta,
+};
+pub use crate::metrics::{BoxPlot, EngineMetrics};
+pub use crate::monitor::{BenefitMonitor, BenefitReport, Recommendation};
+pub use crate::quality::{Dependency, FilterKind, FilterSpec, PickDegree, PickSpec, Prescription};
+pub use crate::region::{Region, RegionTracker};
+pub use crate::schema::{AttrId, Schema};
+pub use crate::time::Micros;
+pub use crate::tuple::{series, Tuple, TupleBuilder};
+pub use crate::utility::GroupUtility;

@@ -1,0 +1,270 @@
+//! Region-based segmentation of the candidate-set stream.
+//!
+//! A **region** is a maximal family of candidate sets connected through
+//! intersecting time covers (Definitions 2–4). Regions never intersect
+//! (Axiom 2), and solving the hitting set per region preserves both the
+//! optimum (Theorem 2) and the greedy approximation ratio (Theorem 3) —
+//! which is what makes group-aware filtering possible on unbounded streams.
+
+use crate::candidate::{ClosedSet, TimeCover};
+use crate::time::Micros;
+
+/// A family of connected candidate sets awaiting (or ready for) a group
+/// decision.
+#[derive(Debug, Clone)]
+pub struct Region {
+    sets: Vec<ClosedSet>,
+    cover: TimeCover,
+}
+
+impl Region {
+    fn from_set(set: ClosedSet) -> Self {
+        let cover = set.cover();
+        Region {
+            sets: vec![set],
+            cover,
+        }
+    }
+
+    /// Candidate sets of the region, in closure order.
+    pub fn sets(&self) -> &[ClosedSet] {
+        &self.sets
+    }
+
+    /// Consumes the region, yielding its sets.
+    pub fn into_sets(self) -> Vec<ClosedSet> {
+        self.sets
+    }
+
+    /// The union of the member sets' time covers (Definition 5).
+    pub fn cover(&self) -> TimeCover {
+        self.cover
+    }
+
+    /// Total number of candidate tuples across the member sets (with
+    /// multiplicity) — the paper's "region size" for run-time prediction.
+    pub fn size(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of *distinct* tuples in the region.
+    pub fn distinct_tuples(&self) -> usize {
+        let mut seqs: Vec<u64> = self
+            .sets
+            .iter()
+            .flat_map(|s| s.candidates.iter().map(|c| c.seq))
+            .collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        seqs.len()
+    }
+
+    /// Whether any member set was closed by a timely cut.
+    pub fn was_cut(&self) -> bool {
+        self.sets
+            .iter()
+            .any(|s| s.cause == crate::candidate::CloseCause::Cut)
+    }
+
+    fn absorb(&mut self, mut other: Region) {
+        self.cover = self.cover.union(&other.cover);
+        self.sets.append(&mut other.sets);
+    }
+}
+
+/// Accumulates closed candidate sets into regions and releases regions once
+/// they can no longer grow.
+///
+/// A pending region is *ready* when every candidate set that could connect
+/// to it is already in it: all member sets are closed by construction, so
+/// the only threats are (a) a filter's currently open set whose cover
+/// intersects the region's, and (b) future sets — which is impossible once
+/// the stream clock has passed the region's cover, because candidates are
+/// admitted in arrival order.
+#[derive(Debug, Default)]
+pub struct RegionTracker {
+    pending: Vec<Region>,
+}
+
+impl RegionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        RegionTracker::default()
+    }
+
+    /// Adds a freshly closed candidate set, merging any pending regions it
+    /// connects (directly or transitively — Definition 3).
+    pub fn add(&mut self, set: ClosedSet) {
+        let mut merged = Region::from_set(set);
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].cover.intersects(&merged.cover) {
+                let other = self.pending.swap_remove(i);
+                merged.absorb(other);
+                // restart: the enlarged cover may now reach more regions
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        self.pending.push(merged);
+    }
+
+    /// Removes and returns the regions that are ready, given the time
+    /// covers of all currently open candidate sets and the current stream
+    /// time. Ready regions are returned oldest-first.
+    pub fn drain_ready(&mut self, open_covers: &[TimeCover], now: Micros) -> Vec<Region> {
+        let mut ready = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            let region = &self.pending[i];
+            let blocked = open_covers.iter().any(|oc| oc.intersects(&region.cover))
+                || now < region.cover.max;
+            if blocked {
+                i += 1;
+            } else {
+                ready.push(self.pending.swap_remove(i));
+            }
+        }
+        ready.sort_by_key(|r| r.cover().min);
+        ready
+    }
+
+    /// Drains every pending region unconditionally (end of stream).
+    pub fn drain_all(&mut self) -> Vec<Region> {
+        let mut all = std::mem::take(&mut self.pending);
+        all.sort_by_key(|r| r.cover().min);
+        all
+    }
+
+    /// Earliest timestamp across pending regions (used for cut accounting).
+    pub fn earliest_pending(&self) -> Option<Micros> {
+        self.pending.iter().map(|r| r.cover.min).min()
+    }
+
+    /// Number of regions currently pending.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total candidate tuples (with multiplicity) across pending regions —
+    /// the input-size estimate for the greedy run-time predictor.
+    pub fn pending_candidates(&self) -> usize {
+        self.pending.iter().map(|r| r.size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{CandidateTuple, CloseCause, FilterId};
+    use crate::quality::Prescription;
+
+    fn set(filter: usize, ms: &[u64]) -> ClosedSet {
+        ClosedSet {
+            filter: FilterId::from_index(filter),
+            set_index: 0,
+            candidates: ms
+                .iter()
+                .map(|&m| CandidateTuple {
+                    seq: m / 10,
+                    timestamp: Micros::from_millis(m),
+                    key: 0.0,
+                })
+                .collect(),
+            pick_degree: 1,
+            prescription: Prescription::Any,
+            si_choice: vec![],
+            cause: CloseCause::Natural,
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_make_disjoint_regions() {
+        let mut t = RegionTracker::new();
+        t.add(set(0, &[0, 10]));
+        t.add(set(1, &[30, 40]));
+        assert_eq!(t.pending_len(), 2);
+        let ready = t.drain_ready(&[], Micros::from_millis(100));
+        assert_eq!(ready.len(), 2);
+        assert!(ready[0].cover().min <= ready[1].cover().min);
+    }
+
+    #[test]
+    fn intersecting_sets_merge() {
+        let mut t = RegionTracker::new();
+        t.add(set(0, &[0, 20]));
+        t.add(set(1, &[20, 40]));
+        assert_eq!(t.pending_len(), 1);
+        let r = &t.drain_all()[0];
+        assert_eq!(r.sets().len(), 2);
+        assert_eq!(r.cover().min, Micros::ZERO);
+        assert_eq!(r.cover().max, Micros::from_millis(40));
+    }
+
+    #[test]
+    fn transitive_connection_merges_through_bridge() {
+        let mut t = RegionTracker::new();
+        t.add(set(0, &[0, 10]));
+        t.add(set(1, &[40, 50]));
+        assert_eq!(t.pending_len(), 2);
+        // bridge connects both
+        t.add(set(2, &[10, 40]));
+        assert_eq!(t.pending_len(), 1);
+        assert_eq!(t.pending[0].sets().len(), 3);
+    }
+
+    #[test]
+    fn open_cover_blocks_readiness() {
+        let mut t = RegionTracker::new();
+        t.add(set(0, &[0, 20]));
+        let open = TimeCover {
+            min: Micros::from_millis(15),
+            max: Micros::from_millis(25),
+        };
+        assert!(t.drain_ready(&[open], Micros::from_millis(30)).is_empty());
+        // once the open set has moved past, the region is ready
+        let open2 = TimeCover {
+            min: Micros::from_millis(21),
+            max: Micros::from_millis(25),
+        };
+        assert_eq!(t.drain_ready(&[open2], Micros::from_millis(30)).len(), 1);
+    }
+
+    #[test]
+    fn now_before_cover_max_blocks_readiness() {
+        let mut t = RegionTracker::new();
+        t.add(set(0, &[0, 20]));
+        assert!(t.drain_ready(&[], Micros::from_millis(10)).is_empty());
+        assert_eq!(t.drain_ready(&[], Micros::from_millis(20)).len(), 1);
+    }
+
+    #[test]
+    fn region_size_and_distinct() {
+        let mut t = RegionTracker::new();
+        t.add(set(0, &[0, 10]));
+        t.add(set(1, &[10, 20]));
+        let r = &t.drain_all()[0];
+        assert_eq!(r.size(), 4);
+        assert_eq!(r.distinct_tuples(), 3);
+        assert!(!r.was_cut());
+    }
+
+    #[test]
+    fn earliest_pending_tracks_min() {
+        let mut t = RegionTracker::new();
+        assert!(t.earliest_pending().is_none());
+        t.add(set(0, &[50]));
+        t.add(set(1, &[10]));
+        assert_eq!(t.earliest_pending(), Some(Micros::from_millis(10)));
+    }
+
+    #[test]
+    fn was_cut_reports_cut_sets() {
+        let mut s = set(0, &[0]);
+        s.cause = CloseCause::Cut;
+        let mut t = RegionTracker::new();
+        t.add(s);
+        assert!(t.drain_all()[0].was_cut());
+    }
+}

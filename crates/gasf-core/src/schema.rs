@@ -1,0 +1,176 @@
+//! Stream schemas: interned attribute names.
+//!
+//! Sources are "time-ordered series with self-describing data types"
+//! (§2.2.1); a tuple is a collection of attribute–value pairs. We intern
+//! attribute names into dense [`AttrId`]s once, so that per-tuple processing
+//! never touches strings.
+
+use crate::error::Error;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of an attribute within a [`Schema`].
+///
+/// An `AttrId` is only meaningful together with the schema that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub(crate) u32);
+
+impl AttrId {
+    /// Index of the attribute in the schema (and in tuple value vectors).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Inner {
+    names: Vec<String>,
+}
+
+/// An ordered set of named attributes carried by every tuple of a stream.
+///
+/// Cloning a `Schema` is cheap (shared `Arc`).
+///
+/// ```rust
+/// use gasf_core::schema::Schema;
+/// let schema = Schema::new(["fluoro", "tmpr2", "tmpr4"]);
+/// let id = schema.attr("tmpr4").unwrap();
+/// assert_eq!(schema.name(id), "tmpr4");
+/// assert_eq!(schema.len(), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    inner: Arc<Inner>,
+}
+
+impl Schema {
+    /// Creates a schema from attribute names, in order.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name — a schema with duplicate
+    /// names could silently misroute filter subscriptions.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        for (i, n) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(n),
+                "duplicate attribute name `{n}` in schema"
+            );
+        }
+        Schema {
+            inner: Arc::new(Inner { names }),
+        }
+    }
+
+    /// Resolves an attribute name to its id.
+    ///
+    /// # Errors
+    /// Returns [`Error::UnknownAttribute`] if the name is not in the schema.
+    pub fn attr(&self, name: &str) -> Result<AttrId, Error> {
+        self.inner
+            .names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| AttrId(i as u32))
+            .ok_or_else(|| Error::UnknownAttribute { name: name.into() })
+    }
+
+    /// The name of an attribute id.
+    ///
+    /// # Panics
+    /// Panics if `id` came from a different, wider schema.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.inner.names[id.index()]
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.inner.names.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.names.is_empty()
+    }
+
+    /// Iterates over `(AttrId, name)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.inner
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttrId(i as u32), n.as_str()))
+    }
+
+    /// Whether two schema handles refer to the same interned attribute set.
+    pub fn same_as(&self, other: &Schema) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner.names == other.inner.names
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_as(other)
+    }
+}
+impl Eq for Schema {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_and_name() {
+        let s = Schema::new(["a", "b"]);
+        let b = s.attr("b").unwrap();
+        assert_eq!(b.index(), 1);
+        assert_eq!(s.name(b), "b");
+        assert!(matches!(
+            s.attr("zzz"),
+            Err(Error::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_panic() {
+        let _ = Schema::new(["x", "x"]);
+    }
+
+    #[test]
+    fn clone_is_shared() {
+        let s = Schema::new(["a"]);
+        let t = s.clone();
+        assert!(s.same_as(&t));
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn structural_equality_across_instances() {
+        let s = Schema::new(["a", "b"]);
+        let t = Schema::new(["a", "b"]);
+        assert_eq!(s, t);
+        let u = Schema::new(["b", "a"]);
+        assert_ne!(s, u);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let s = Schema::new(["a", "b", "c"]);
+        let names: Vec<&str> = s.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 3);
+    }
+}

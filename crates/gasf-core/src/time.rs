@@ -1,0 +1,155 @@
+//! Time units used throughout the crate.
+//!
+//! Streams are timestamped at the originating source (§2.2.1). All latency
+//! accounting, time covers and timely-cut deadlines are expressed in
+//! microseconds via the [`Micros`] newtype, which rules out unit confusion
+//! between e.g. milliseconds-based experiment parameters and the internal
+//! clock (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) simulated time, in microseconds.
+///
+/// `Micros` is used both as an absolute timestamp (microseconds since the
+/// stream epoch) and as a duration; the arithmetic operators keep either
+/// interpretation consistent.
+///
+/// ```rust
+/// use gasf_core::time::Micros;
+/// let t = Micros::from_millis(10);
+/// assert_eq!(t + Micros::from_millis(5), Micros::from_millis(15));
+/// assert_eq!((t - Micros::from_millis(4)).as_millis_f64(), 6.0);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Micros(pub u64);
+
+impl Micros {
+    /// Zero time — the stream epoch.
+    pub const ZERO: Micros = Micros(0);
+    /// The maximum representable time.
+    pub const MAX: Micros = Micros(u64::MAX);
+
+    /// Creates a timestamp from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Micros(ms * 1_000)
+    }
+
+    /// Creates a timestamp from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Micros(s * 1_000_000)
+    }
+
+    /// Creates a timestamp from fractional seconds, rounding to microseconds.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Micros((s * 1e6).round().max(0.0) as u64)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in milliseconds as a float (useful for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction; useful for computing non-negative delays.
+    pub fn saturating_sub(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Micros) -> Option<Micros> {
+        self.0.checked_add(rhs.0).map(Micros)
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    /// # Panics
+    /// Panics in debug builds if `rhs > self`; use
+    /// [`Micros::saturating_sub`] when underflow is possible.
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000) {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl From<u64> for Micros {
+    fn from(us: u64) -> Self {
+        Micros(us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Micros::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Micros::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(Micros::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(Micros::from_secs_f64(-1.0), Micros::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Micros(100);
+        let b = Micros(40);
+        assert_eq!(a + b, Micros(140));
+        assert_eq!(a - b, Micros(60));
+        assert_eq!(b.saturating_sub(a), Micros::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Micros(140));
+        assert_eq!(Micros::MAX.checked_add(Micros(1)), None);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Micros(1) < Micros(2));
+        assert_eq!(Micros::default(), Micros::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(Micros(500).to_string(), "500us");
+        assert_eq!(Micros::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Micros::from_secs(3).to_string(), "3.000s");
+    }
+}

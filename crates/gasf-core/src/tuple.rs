@@ -1,0 +1,305 @@
+//! Stream tuples.
+//!
+//! "A tuple consists of a collection of attribute-value pairs … all tuples
+//! are timestamped at the originating sources" (§2.2.1). Values are `f64`
+//! aligned to the stream's [`Schema`]; an absent value is `NaN` and filters
+//! reject tuples missing the attributes they need.
+
+use crate::error::Error;
+use crate::schema::{AttrId, Schema};
+use crate::time::Micros;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One item of a data stream.
+///
+/// Tuples are cheap to clone: the value payload is shared behind an `Arc`
+/// because the same tuple flows into every filter of a group and may sit in
+/// several buffers at once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    seq: u64,
+    timestamp: Micros,
+    values: Arc<[f64]>,
+}
+
+impl Tuple {
+    /// Creates a tuple directly from parts.
+    ///
+    /// Most callers should prefer [`TupleBuilder`], which checks names
+    /// against a schema. This constructor only checks the value count.
+    ///
+    /// # Errors
+    /// Returns [`Error::SchemaMismatch`] when `values.len() != schema.len()`.
+    pub fn new(
+        schema: &Schema,
+        seq: u64,
+        timestamp: Micros,
+        values: Vec<f64>,
+    ) -> Result<Self, Error> {
+        if values.len() != schema.len() {
+            return Err(Error::SchemaMismatch {
+                expected: schema.len(),
+                actual: values.len(),
+            });
+        }
+        Ok(Tuple {
+            seq,
+            timestamp,
+            values: values.into(),
+        })
+    }
+
+    /// Sequence number assigned by the source (strictly increasing).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Source timestamp.
+    pub fn timestamp(&self) -> Micros {
+        self.timestamp
+    }
+
+    /// Value of an attribute, or `None` if it was never set (NaN).
+    pub fn get(&self, attr: AttrId) -> Option<f64> {
+        let v = *self.values.get(attr.index())?;
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Value of an attribute, failing with a descriptive error when absent.
+    ///
+    /// # Errors
+    /// Returns [`Error::MissingValue`] when the attribute was never set.
+    pub fn require(&self, attr: AttrId) -> Result<f64, Error> {
+        self.get(attr).ok_or(Error::MissingValue {
+            attr: attr.index(),
+            seq: self.seq,
+        })
+    }
+
+    /// All values in schema order (absent values are NaN).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Approximate on-the-wire size in bytes (seq + timestamp + payload),
+    /// used by the network substrate for bandwidth accounting.
+    pub fn wire_size(&self) -> usize {
+        8 + 8 + self.values.len() * 8
+    }
+
+    /// Re-sequences the tuple (used when splicing streams together).
+    pub fn with_seq(&self, seq: u64) -> Tuple {
+        Tuple {
+            seq,
+            timestamp: self.timestamp,
+            values: Arc::clone(&self.values),
+        }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}@{}{:?}", self.seq, self.timestamp, &self.values[..])
+    }
+}
+
+/// Incremental builder producing schema-checked, auto-sequenced tuples.
+///
+/// ```rust
+/// use gasf_core::{schema::Schema, tuple::TupleBuilder};
+/// # fn main() -> Result<(), gasf_core::Error> {
+/// let schema = Schema::new(["t"]);
+/// let mut b = TupleBuilder::new(&schema);
+/// let t0 = b.at_millis(0).set("t", 1.0).build()?;
+/// let t1 = b.at_millis(10).set("t", 2.0).build()?;
+/// assert_eq!(t0.seq(), 0);
+/// assert_eq!(t1.seq(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TupleBuilder {
+    schema: Schema,
+    next_seq: u64,
+    pending_ts: Micros,
+    pending: Vec<f64>,
+    error: Option<Error>,
+}
+
+impl TupleBuilder {
+    /// Creates a builder for `schema`, starting at sequence number 0.
+    pub fn new(schema: &Schema) -> Self {
+        TupleBuilder {
+            schema: schema.clone(),
+            next_seq: 0,
+            pending_ts: Micros::ZERO,
+            pending: vec![f64::NAN; schema.len()],
+            error: None,
+        }
+    }
+
+    /// Sets the timestamp of the tuple under construction (microseconds).
+    pub fn at(&mut self, ts: Micros) -> &mut Self {
+        self.pending_ts = ts;
+        self
+    }
+
+    /// Sets the timestamp in milliseconds.
+    pub fn at_millis(&mut self, ms: u64) -> &mut Self {
+        self.at(Micros::from_millis(ms))
+    }
+
+    /// Sets one attribute by name.
+    ///
+    /// Unknown names are reported when [`build`](Self::build) is called, so
+    /// call chains stay ergonomic.
+    pub fn set(&mut self, name: &str, value: f64) -> &mut Self {
+        match self.schema.attr(name) {
+            Ok(id) => self.pending[id.index()] = value,
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Sets one attribute by id.
+    pub fn set_attr(&mut self, attr: AttrId, value: f64) -> &mut Self {
+        self.pending[attr.index()] = value;
+        self
+    }
+
+    /// Sets all values at once, in schema order.
+    pub fn set_all(&mut self, values: &[f64]) -> &mut Self {
+        if values.len() != self.schema.len() {
+            self.error = Some(Error::SchemaMismatch {
+                expected: self.schema.len(),
+                actual: values.len(),
+            });
+        } else {
+            self.pending.copy_from_slice(values);
+        }
+        self
+    }
+
+    /// Finalises the pending tuple, assigns the next sequence number and
+    /// resets the builder for the next tuple.
+    ///
+    /// # Errors
+    /// Returns any error recorded by `set`/`set_all` (unknown attribute,
+    /// schema mismatch).
+    pub fn build(&mut self) -> Result<Tuple, Error> {
+        if let Some(e) = self.error.take() {
+            self.pending.fill(f64::NAN);
+            return Err(e);
+        }
+        let values = std::mem::replace(&mut self.pending, vec![f64::NAN; self.schema.len()]);
+        let t = Tuple {
+            seq: self.next_seq,
+            timestamp: self.pending_ts,
+            values: values.into(),
+        };
+        self.next_seq += 1;
+        Ok(t)
+    }
+}
+
+/// Convenience: builds a single-attribute stream from `(millis, value)` pairs.
+///
+/// Used pervasively by tests and examples to transcribe the paper's worked
+/// examples, e.g. the nine-tuple temperature sequence of §2.1.1.
+///
+/// # Panics
+/// Panics if `schema` does not contain `attr` — this helper is meant for
+/// literal test fixtures where that is a programming error.
+pub fn series(schema: &Schema, attr: &str, points: &[(u64, f64)]) -> Vec<Tuple> {
+    let mut b = TupleBuilder::new(schema);
+    points
+        .iter()
+        .map(|(ms, v)| {
+            b.at_millis(*ms)
+                .set(attr, *v)
+                .build()
+                .expect("series fixture must match schema")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["a", "b"])
+    }
+
+    #[test]
+    fn builder_sequences_and_checks() {
+        let s = schema();
+        let mut b = TupleBuilder::new(&s);
+        let t = b.at_millis(5).set("a", 1.0).build().unwrap();
+        assert_eq!(t.seq(), 0);
+        assert_eq!(t.timestamp(), Micros::from_millis(5));
+        assert_eq!(t.get(s.attr("a").unwrap()), Some(1.0));
+        assert_eq!(t.get(s.attr("b").unwrap()), None);
+        assert!(t.require(s.attr("b").unwrap()).is_err());
+
+        let err = b.set("nope", 2.0).build().unwrap_err();
+        assert!(matches!(err, Error::UnknownAttribute { .. }));
+        // builder recovers after an error
+        let t2 = b.set("b", 3.0).build().unwrap();
+        assert_eq!(t2.seq(), 1);
+        assert_eq!(t2.get(s.attr("b").unwrap()), Some(3.0));
+        assert_eq!(t2.get(s.attr("a").unwrap()), None, "pending was reset");
+    }
+
+    #[test]
+    fn set_all_checks_width() {
+        let s = schema();
+        let mut b = TupleBuilder::new(&s);
+        assert!(matches!(
+            b.set_all(&[1.0]).build(),
+            Err(Error::SchemaMismatch { .. })
+        ));
+        let t = b.set_all(&[1.0, 2.0]).build().unwrap();
+        assert_eq!(t.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn direct_constructor_checks_width() {
+        let s = schema();
+        assert!(Tuple::new(&s, 0, Micros::ZERO, vec![0.0]).is_err());
+        let t = Tuple::new(&s, 7, Micros(3), vec![0.0, 1.0]).unwrap();
+        assert_eq!(t.seq(), 7);
+        assert_eq!(t.with_seq(9).seq(), 9);
+    }
+
+    #[test]
+    fn wire_size_counts_header_and_payload() {
+        let s = schema();
+        let t = Tuple::new(&s, 0, Micros::ZERO, vec![0.0, 1.0]).unwrap();
+        assert_eq!(t.wire_size(), 8 + 8 + 16);
+    }
+
+    #[test]
+    fn series_helper_builds_ordered_stream() {
+        let s = Schema::new(["t"]);
+        let ts = series(&s, "t", &[(0, 0.0), (10, 35.0), (20, 29.0)]);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[2].seq(), 2);
+        assert_eq!(ts[1].get(s.attr("t").unwrap()), Some(35.0));
+    }
+
+    #[test]
+    fn display_mentions_seq_and_time() {
+        let s = Schema::new(["t"]);
+        let t = Tuple::new(&s, 4, Micros::from_millis(2), vec![1.5]).unwrap();
+        let txt = t.to_string();
+        assert!(txt.contains("#4"));
+        assert!(txt.contains("1.5"));
+    }
+}

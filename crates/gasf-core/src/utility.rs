@@ -1,0 +1,120 @@
+//! Group-utility bookkeeping.
+//!
+//! The *group utility* of a tuple counts how many filters have included it
+//! in their (open or not-yet-decided) candidate sets (§2.3.3). The engines
+//! increment it on admission, decrement it on dismissal and when a set is
+//! decided, and consult it for the greedy choices.
+
+use std::collections::BTreeMap;
+
+/// Utility counters keyed by tuple sequence number.
+#[derive(Debug, Default, Clone)]
+pub struct GroupUtility {
+    counts: BTreeMap<u64, u32>,
+}
+
+impl GroupUtility {
+    /// Creates an empty utility table.
+    pub fn new() -> Self {
+        GroupUtility::default()
+    }
+
+    /// Increments the utility of `seq` (a filter admitted it).
+    pub fn increment(&mut self, seq: u64) {
+        *self.counts.entry(seq).or_insert(0) += 1;
+    }
+
+    /// Decrements the utility of `seq`, removing the entry at zero.
+    ///
+    /// Decrementing an absent entry is a no-op: dismissal events may arrive
+    /// for tuples whose sets were already cleaned up at region boundaries.
+    pub fn decrement(&mut self, seq: u64) {
+        if let Some(c) = self.counts.get_mut(&seq) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.counts.remove(&seq);
+            }
+        }
+    }
+
+    /// Current utility of a tuple.
+    pub fn get(&self, seq: u64) -> u32 {
+        self.counts.get(&seq).copied().unwrap_or(0)
+    }
+
+    /// Removes a tuple's entry entirely (region cleanup).
+    pub fn remove(&mut self, seq: u64) {
+        self.counts.remove(&seq);
+    }
+
+    /// Number of tuples with positive utility.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no tuple currently has positive utility.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Among `seqs`, returns the one with maximal utility, breaking ties by
+    /// preferring the *latest* sequence number (which, for time-ordered
+    /// streams, is the freshest timestamp — the paper's tie-break rule).
+    pub fn argmax<I: IntoIterator<Item = u64>>(&self, seqs: I) -> Option<u64> {
+        let mut best: Option<(u32, u64)> = None;
+        for s in seqs {
+            let u = self.get(s);
+            let cand = (u, s);
+            if best.is_none_or(|b| cand > b) {
+                best = Some(cand);
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_decrement_roundtrip() {
+        let mut u = GroupUtility::new();
+        u.increment(5);
+        u.increment(5);
+        u.increment(7);
+        assert_eq!(u.get(5), 2);
+        assert_eq!(u.get(7), 1);
+        assert_eq!(u.len(), 2);
+        u.decrement(5);
+        assert_eq!(u.get(5), 1);
+        u.decrement(5);
+        assert_eq!(u.get(5), 0);
+        assert_eq!(u.len(), 1);
+        u.decrement(5); // no-op
+        assert_eq!(u.get(5), 0);
+    }
+
+    #[test]
+    fn remove_clears_entry() {
+        let mut u = GroupUtility::new();
+        u.increment(1);
+        u.remove(1);
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn argmax_prefers_utility_then_freshness() {
+        let mut u = GroupUtility::new();
+        u.increment(1);
+        u.increment(1);
+        u.increment(2);
+        u.increment(3);
+        // 1 has utility 2 -> wins
+        assert_eq!(u.argmax([1, 2, 3]), Some(1));
+        u.increment(3);
+        // tie between 1 and 3 -> freshest (3)
+        assert_eq!(u.argmax([1, 2, 3]), Some(3));
+        assert_eq!(u.argmax(std::iter::empty()), None);
+    }
+}

@@ -1,0 +1,570 @@
+//! DHT overlay and Scribe-like tuple-level multicast.
+//!
+//! Solar multicasts events on top of a Pastry ring via Scribe (§4.1.1):
+//! every group has a rendezvous *root* (the node owning the group key);
+//! members join by routing toward the root, and the union of the reverse
+//! routes forms the dissemination tree. Our overlay uses successor routing
+//! on a hashed ring — the tree shapes and sharing behaviour match what the
+//! experiments need, while staying fully deterministic.
+//!
+//! `multicast` is **tuple-level** (§2.2.1): each message can address a
+//! different subset of the group, the tree is pruned to that subset, and
+//! the message crosses every link at most once — so the more recipients
+//! share a tuple, the fewer bytes per recipient.
+
+use crate::topology::{NodeId, Topology};
+use gasf_core::time::Micros;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Identifier of a multicast group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(u64);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{:08x}", self.0)
+    }
+}
+
+/// Overlay tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlayConfig {
+    /// Software cost of receiving + forwarding a message at one overlay
+    /// node (serialisation, group lookup, socket push). The paper measured
+    /// ~130 ms end-to-end for Solar's overlay multicast on a 7-node ring
+    /// and >50 ms for invoking application-level multicast at all — this
+    /// constant dominates the latency (§3.2, §4.1.2).
+    pub software_delay: Micros,
+    /// Per-message header overhead in bytes (overlay + transport headers).
+    pub header_bytes: usize,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            software_delay: Micros::from_millis(25),
+            header_bytes: 48,
+        }
+    }
+}
+
+/// Errors from overlay operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The group id was never created on this overlay.
+    UnknownGroup(GroupId),
+    /// A recipient is not a member of the group.
+    NotAMember(NodeId),
+    /// Two nodes have no connecting path.
+    Disconnected(NodeId, NodeId),
+    /// A node id is outside the topology.
+    UnknownNode(NodeId),
+    /// A group needs at least one member.
+    EmptyGroup,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownGroup(g) => write!(f, "unknown multicast group {g}"),
+            NetError::NotAMember(n) => write!(f, "node {n} is not a group member"),
+            NetError::Disconnected(a, b) => write!(f, "no path between {a} and {b}"),
+            NetError::UnknownNode(n) => write!(f, "node {n} is not in the topology"),
+            NetError::EmptyGroup => write!(f, "multicast group needs at least one member"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result of one multicast/unicast send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Arrival time (relative to the send) per recipient.
+    pub latencies: BTreeMap<NodeId, Micros>,
+    /// Total bytes that crossed underlay links for this send.
+    pub bytes_on_wire: u64,
+    /// Overlay hops taken (tree edges + source-to-root leg).
+    pub overlay_hops: usize,
+}
+
+impl Delivery {
+    /// The slowest recipient's latency.
+    pub fn max_latency(&self) -> Micros {
+        self.latencies.values().copied().max().unwrap_or(Micros::ZERO)
+    }
+
+    /// Mean recipient latency.
+    pub fn mean_latency(&self) -> Micros {
+        if self.latencies.is_empty() {
+            return Micros::ZERO;
+        }
+        Micros(
+            self.latencies.values().map(|l| l.as_micros()).sum::<u64>()
+                / self.latencies.len() as u64,
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Group {
+    root: NodeId,
+    members: Vec<NodeId>,
+    /// Tree edges: child → parent (root has no entry).
+    parent: HashMap<NodeId, NodeId>,
+}
+
+/// A DHT-ring overlay with Scribe-like multicast over a [`Topology`].
+#[derive(Debug)]
+pub struct Overlay {
+    topology: Topology,
+    config: OverlayConfig,
+    /// Ring order: node ids sorted by hashed position.
+    ring: Vec<NodeId>,
+    groups: HashMap<GroupId, Group>,
+    link_bytes: HashMap<(u32, u32), u64>,
+    messages: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+impl Overlay {
+    /// Builds an overlay over `topology` with default configuration.
+    pub fn new(topology: Topology) -> Self {
+        Self::with_config(topology, OverlayConfig::default())
+    }
+
+    /// Builds an overlay with explicit configuration.
+    ///
+    /// The ring order follows node ids: Pastry's proximity-aware routing
+    /// keeps overlay neighbours physically close, which we model by
+    /// aligning the DHT ring with the deployment order (nodes are
+    /// typically numbered along the mesh).
+    pub fn with_config(topology: Topology, config: OverlayConfig) -> Self {
+        let ring: Vec<NodeId> = topology.nodes().collect();
+        Overlay {
+            topology,
+            config,
+            ring,
+            groups: HashMap::new(),
+            link_bytes: HashMap::new(),
+            messages: 0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> OverlayConfig {
+        self.config
+    }
+
+    /// The node owning a key (the ring slot the key hashes into).
+    fn owner(&self, key: u64) -> NodeId {
+        self.ring[(key % self.ring.len() as u64) as usize]
+    }
+
+    /// Overlay route from `from` to `to`: clockwise successor walk on the
+    /// ring (Chord-style). Includes both endpoints.
+    fn overlay_route(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        let mut route = vec![from];
+        if from == to {
+            return route;
+        }
+        let start = self
+            .ring
+            .iter()
+            .position(|&n| n == from)
+            .expect("node on ring");
+        let mut i = start;
+        loop {
+            i = (i + 1) % self.ring.len();
+            route.push(self.ring[i]);
+            if self.ring[i] == to {
+                return route;
+            }
+        }
+    }
+
+    /// Creates a multicast group rooted at the owner of `hash(name)`,
+    /// with Scribe-style join routes from every member.
+    ///
+    /// # Errors
+    /// * [`NetError::EmptyGroup`] without members,
+    /// * [`NetError::UnknownNode`] for members outside the topology.
+    pub fn create_group(&mut self, name: &str, members: &[NodeId]) -> Result<GroupId, NetError> {
+        if members.is_empty() {
+            return Err(NetError::EmptyGroup);
+        }
+        for &m in members {
+            if m.index() >= self.topology.len() {
+                return Err(NetError::UnknownNode(m));
+            }
+        }
+        let id = GroupId(hash_str(name));
+        let root = self.owner(id.0);
+        let mut parent = HashMap::new();
+        for &m in members {
+            // join: walk toward the root; each hop's next node becomes the
+            // parent, stopping early when we meet the existing tree.
+            let route = self.overlay_route(m, root);
+            for pair in route.windows(2) {
+                if parent.contains_key(&pair[0]) || pair[0] == root {
+                    break;
+                }
+                parent.insert(pair[0], pair[1]);
+            }
+        }
+        self.groups.insert(
+            id,
+            Group {
+                root,
+                members: members.to_vec(),
+                parent,
+            },
+        );
+        Ok(id)
+    }
+
+    /// The rendezvous root of a group.
+    ///
+    /// # Errors
+    /// Returns [`NetError::UnknownGroup`] for unknown ids.
+    pub fn group_root(&self, group: GroupId) -> Result<NodeId, NetError> {
+        self.groups
+            .get(&group)
+            .map(|g| g.root)
+            .ok_or(NetError::UnknownGroup(group))
+    }
+
+    /// Sends one message of `payload_bytes` from `src` to a subset of the
+    /// group. The message travels src → root, then down the tree pruned to
+    /// the recipients; every link carries it at most once.
+    ///
+    /// # Errors
+    /// * [`NetError::UnknownGroup`] / [`NetError::NotAMember`],
+    /// * [`NetError::Disconnected`] if the underlay lacks a path.
+    pub fn multicast(
+        &mut self,
+        group: GroupId,
+        src: NodeId,
+        recipients: &[NodeId],
+        payload_bytes: usize,
+    ) -> Result<Delivery, NetError> {
+        let g = self.groups.get(&group).ok_or(NetError::UnknownGroup(group))?;
+        for r in recipients {
+            if !g.members.contains(r) {
+                return Err(NetError::NotAMember(*r));
+            }
+        }
+        let root = g.root;
+        // Paths from each recipient up to the root (child -> parent chain).
+        let mut needed_edges: HashSet<(NodeId, NodeId)> = HashSet::new(); // parent -> child
+        let mut up_paths: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &r in recipients {
+            let mut path = vec![r];
+            let mut cur = r;
+            while cur != root {
+                let p = *g
+                    .parent
+                    .get(&cur)
+                    .expect("tree connects every member to the root");
+                needed_edges.insert((p, cur));
+                path.push(p);
+                cur = p;
+            }
+            path.reverse(); // root .. recipient
+            up_paths.insert(r, path);
+        }
+        let msg_bytes = payload_bytes + self.config.header_bytes;
+
+        // Leg 1: src to root along the overlay (skipped when src == root).
+        let mut bytes_on_wire = 0u64;
+        let mut overlay_hops = 0usize;
+        let mut root_arrival = Micros::ZERO;
+        let src_route = self.overlay_route(src, root);
+        for pair in src_route.windows(2) {
+            let (lat, bytes) = self.transmit(pair[0], pair[1], msg_bytes)?;
+            root_arrival += lat;
+            bytes_on_wire += bytes;
+            overlay_hops += 1;
+        }
+
+        // Leg 2: down the pruned tree. Compute arrival per tree node by
+        // BFS from the root over the needed edges.
+        let mut arrival: HashMap<NodeId, Micros> = HashMap::new();
+        arrival.insert(root, root_arrival);
+        let mut queue = VecDeque::from([root]);
+        let mut edges_by_parent: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &(p, c) in &needed_edges {
+            edges_by_parent.entry(p).or_default().push(c);
+        }
+        for v in edges_by_parent.values_mut() {
+            v.sort_unstable(); // deterministic order
+        }
+        while let Some(u) = queue.pop_front() {
+            let base = arrival[&u];
+            if let Some(children) = edges_by_parent.get(&u).cloned() {
+                for c in children {
+                    let (lat, bytes) = self.transmit(u, c, msg_bytes)?;
+                    bytes_on_wire += bytes;
+                    overlay_hops += 1;
+                    arrival.insert(c, base + lat);
+                    queue.push_back(c);
+                }
+            }
+        }
+
+        let latencies: BTreeMap<NodeId, Micros> = recipients
+            .iter()
+            .map(|&r| (r, arrival[&r]))
+            .collect();
+        self.messages += 1;
+        Ok(Delivery {
+            latencies,
+            bytes_on_wire,
+            overlay_hops,
+        })
+    }
+
+    /// Sends one message point-to-point along the underlay shortest path
+    /// (the "no multicast" baseline).
+    ///
+    /// # Errors
+    /// Returns [`NetError::Disconnected`]/[`NetError::UnknownNode`] when no
+    /// path exists.
+    pub fn unicast(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload_bytes: usize,
+    ) -> Result<Delivery, NetError> {
+        let (lat, bytes) = self.transmit(from, to, payload_bytes + self.config.header_bytes)?;
+        self.messages += 1;
+        Ok(Delivery {
+            latencies: BTreeMap::from([(to, lat)]),
+            bytes_on_wire: bytes,
+            overlay_hops: 1,
+        })
+    }
+
+    /// One overlay hop: software delay + store-and-forward along the
+    /// underlay shortest path, accounting bytes per link.
+    fn transmit(&mut self, from: NodeId, to: NodeId, bytes: usize) -> Result<(Micros, u64), NetError> {
+        if from.index() >= self.topology.len() {
+            return Err(NetError::UnknownNode(from));
+        }
+        let path = self
+            .topology
+            .path(from, to)
+            .ok_or(NetError::Disconnected(from, to))?;
+        let mut latency = self.config.software_delay;
+        let mut total = 0u64;
+        for pair in path.windows(2) {
+            let link = self
+                .topology
+                .link(pair[0], pair[1])
+                .expect("BFS path follows links");
+            latency += link.transfer_time(bytes);
+            let key = if pair[0] <= pair[1] {
+                (pair[0].0, pair[1].0)
+            } else {
+                (pair[1].0, pair[0].0)
+            };
+            *self.link_bytes.entry(key).or_insert(0) += bytes as u64;
+            total += bytes as u64;
+        }
+        Ok((latency, total))
+    }
+
+    /// Total bytes transmitted across all links since construction (or the
+    /// last [`reset_stats`](Self::reset_stats)).
+    pub fn total_bytes(&self) -> u64 {
+        self.link_bytes.values().sum()
+    }
+
+    /// The most heavily loaded link's byte count — the bottleneck metric
+    /// for low-bandwidth meshes.
+    pub fn max_link_bytes(&self) -> u64 {
+        self.link_bytes.values().copied().max().unwrap_or(0)
+    }
+
+    /// Messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Clears the traffic counters (not the groups).
+    pub fn reset_stats(&mut self) {
+        self.link_bytes.clear();
+        self.messages = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring7() -> Overlay {
+        Overlay::new(Topology::ring(7).build())
+    }
+
+    fn all_nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn group_creation_and_root() {
+        let mut o = ring7();
+        let g = o.create_group("fluoro", &all_nodes(7)).unwrap();
+        let root = o.group_root(g).unwrap();
+        assert!(root.index() < 7);
+        assert!(o.group_root(GroupId(42)).is_err());
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        let mut o = ring7();
+        assert_eq!(o.create_group("x", &[]), Err(NetError::EmptyGroup));
+        assert_eq!(
+            o.create_group("x", &[NodeId(99)]),
+            Err(NetError::UnknownNode(NodeId(99)))
+        );
+    }
+
+    #[test]
+    fn multicast_reaches_all_recipients() {
+        let mut o = ring7();
+        let members = all_nodes(7);
+        let g = o.create_group("grp", &members).unwrap();
+        let d = o.multicast(g, NodeId(0), &members[1..], 100).unwrap();
+        assert_eq!(d.latencies.len(), 6);
+        for lat in d.latencies.values() {
+            assert!(*lat > Micros::ZERO);
+        }
+        assert!(d.max_latency() >= d.mean_latency());
+    }
+
+    #[test]
+    fn non_member_recipient_rejected() {
+        let mut o = ring7();
+        let g = o.create_group("grp", &[NodeId(0), NodeId(1)]).unwrap();
+        assert_eq!(
+            o.multicast(g, NodeId(0), &[NodeId(5)], 10),
+            Err(NetError::NotAMember(NodeId(5)))
+        );
+    }
+
+    #[test]
+    fn shared_recipients_cost_less_than_unicasts() {
+        // The whole point: one multicast to k recipients uses fewer bytes
+        // than k unicasts of the same payload.
+        let mut o = ring7();
+        let members = all_nodes(7);
+        let g = o.create_group("grp", &members).unwrap();
+        let d = o.multicast(g, NodeId(0), &members[1..], 200).unwrap();
+        let multicast_bytes = d.bytes_on_wire;
+
+        let mut o2 = ring7();
+        let mut unicast_bytes = 0;
+        for m in &members[1..] {
+            unicast_bytes += o2.unicast(NodeId(0), *m, 200).unwrap().bytes_on_wire;
+        }
+        assert!(
+            multicast_bytes < unicast_bytes,
+            "multicast {multicast_bytes} vs unicast {unicast_bytes}"
+        );
+    }
+
+    #[test]
+    fn subset_multicast_costs_less_than_full() {
+        let mut o = ring7();
+        let members = all_nodes(7);
+        let g = o.create_group("grp", &members).unwrap();
+        let full = o.multicast(g, NodeId(0), &members[1..], 200).unwrap();
+        let sub = o
+            .multicast(g, NodeId(0), &members[1..3], 200)
+            .unwrap();
+        assert!(sub.bytes_on_wire <= full.bytes_on_wire);
+        assert_eq!(sub.latencies.len(), 2);
+    }
+
+    #[test]
+    fn latency_dominated_by_software_delay() {
+        // §4.1.2: 130 ms overlay multicast on the 7-node 1 Mbps ring. With
+        // 25 ms per overlay hop and small tuples, recipients several hops
+        // deep see ~50-175 ms.
+        let mut o = ring7();
+        let members = all_nodes(7);
+        let g = o.create_group("grp", &members).unwrap();
+        let d = o.multicast(g, NodeId(0), &members[1..], 60).unwrap();
+        let max_ms = d.max_latency().as_millis_f64();
+        assert!(
+            (50.0..400.0).contains(&max_ms),
+            "overlay delay {max_ms} ms out of the Solar ballpark"
+        );
+    }
+
+    #[test]
+    fn byte_accounting_accumulates() {
+        let mut o = ring7();
+        let g = o.create_group("grp", &all_nodes(7)).unwrap();
+        assert_eq!(o.total_bytes(), 0);
+        o.multicast(g, NodeId(0), &[NodeId(3)], 100).unwrap();
+        let after_one = o.total_bytes();
+        assert!(after_one > 0);
+        o.multicast(g, NodeId(0), &[NodeId(3)], 100).unwrap();
+        assert_eq!(o.total_bytes(), after_one * 2);
+        assert!(o.max_link_bytes() <= o.total_bytes());
+        assert_eq!(o.messages(), 2);
+        o.reset_stats();
+        assert_eq!(o.total_bytes(), 0);
+        assert_eq!(o.messages(), 0);
+    }
+
+    #[test]
+    fn unicast_on_disconnected_fails() {
+        let topo = crate::topology::TopologyBuilder::with_nodes(2).build();
+        let mut o = Overlay::new(topo);
+        assert!(matches!(
+            o.unicast(NodeId(0), NodeId(1), 10),
+            Err(NetError::Disconnected(..))
+        ));
+    }
+
+    #[test]
+    fn deterministic_deliveries() {
+        let run = || {
+            let mut o = ring7();
+            let members = all_nodes(7);
+            let g = o.create_group("grp", &members).unwrap();
+            o.multicast(g, NodeId(0), &members[1..], 123).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NetError::NotAMember(NodeId(3));
+        assert!(e.to_string().contains("n3"));
+    }
+}

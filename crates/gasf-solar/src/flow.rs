@@ -1,0 +1,191 @@
+//! Input-buffer flow control.
+//!
+//! §4.8: "with a large group size, the overhead can cause congestion at
+//! the input buffer of the filter. The system needs to resort to other
+//! mechanisms to resolve it. For example, Solar installs flow-control
+//! filters in the buffer to alleviate congestion. The system may also
+//! employ more aggressive sampling to shed data load, or gracefully
+//! degrade the quality requirements of the filters."
+//!
+//! [`FlowMonitor`] implements that control loop: it compares the measured
+//! per-tuple processing cost against the stream's inter-arrival interval
+//! (an EWMA of both) and recommends one of the paper's remedies once the
+//! utilisation crosses its thresholds.
+
+use gasf_core::time::Micros;
+use std::time::Duration;
+
+/// The remedy recommended by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowDecision {
+    /// Utilisation is comfortably below capacity.
+    Ok,
+    /// Utilisation is near capacity: shed the given fraction of input
+    /// tuples (0, 1] via sampling to stay ahead of the stream.
+    Shed {
+        /// Fraction of input to drop.
+        drop_fraction: f64,
+    },
+    /// Even shedding will not help (utilisation ≥ 2): degrade quality —
+    /// regroup filters or disable group-awareness (§4.8, §6.2).
+    DegradeQuality,
+}
+
+/// EWMA-based congestion monitor for a filtering stage.
+#[derive(Debug, Clone)]
+pub struct FlowMonitor {
+    /// Smoothed per-tuple CPU cost (microseconds).
+    cpu_ewma_us: f64,
+    /// Smoothed inter-arrival interval (microseconds).
+    interval_ewma_us: f64,
+    last_arrival: Option<Micros>,
+    alpha: f64,
+    samples: u64,
+}
+
+impl FlowMonitor {
+    /// Creates a monitor with smoothing factor `alpha` in `(0, 1]`
+    /// (weight of the newest sample; 0.2 is a sensible default).
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        FlowMonitor {
+            cpu_ewma_us: 0.0,
+            interval_ewma_us: 0.0,
+            last_arrival: None,
+            alpha,
+            samples: 0,
+        }
+    }
+
+    /// Records one processed tuple: its arrival timestamp and the CPU time
+    /// the filtering stage spent on it.
+    pub fn observe(&mut self, arrival: Micros, cpu: Duration) {
+        let cpu_us = cpu.as_secs_f64() * 1e6;
+        if self.samples == 0 {
+            self.cpu_ewma_us = cpu_us;
+        } else {
+            self.cpu_ewma_us = self.alpha * cpu_us + (1.0 - self.alpha) * self.cpu_ewma_us;
+        }
+        if let Some(last) = self.last_arrival {
+            let gap = arrival.saturating_sub(last).as_micros() as f64;
+            if self.interval_ewma_us == 0.0 {
+                self.interval_ewma_us = gap;
+            } else {
+                self.interval_ewma_us =
+                    self.alpha * gap + (1.0 - self.alpha) * self.interval_ewma_us;
+            }
+        }
+        self.last_arrival = Some(arrival);
+        self.samples += 1;
+    }
+
+    /// Current utilisation: smoothed CPU cost over smoothed inter-arrival
+    /// time. `> 1.0` means the filter cannot keep up.
+    pub fn utilization(&self) -> f64 {
+        if self.interval_ewma_us <= 0.0 {
+            0.0
+        } else {
+            self.cpu_ewma_us / self.interval_ewma_us
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The recommended remedy at the current utilisation.
+    ///
+    /// * `< 0.8` → [`FlowDecision::Ok`]
+    /// * `0.8..2.0` → shed just enough load to get back to 0.8
+    /// * `>= 2.0` → [`FlowDecision::DegradeQuality`]
+    pub fn decision(&self) -> FlowDecision {
+        let u = self.utilization();
+        if u < 0.8 {
+            FlowDecision::Ok
+        } else if u < 2.0 {
+            FlowDecision::Shed {
+                drop_fraction: (1.0 - 0.8 / u).clamp(0.0, 1.0),
+            }
+        } else {
+            FlowDecision::DegradeQuality
+        }
+    }
+}
+
+impl Default for FlowMonitor {
+    fn default() -> Self {
+        Self::new(0.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(m: &mut FlowMonitor, interval_us: u64, cpu_us: u64, n: usize) {
+        for i in 0..n {
+            m.observe(
+                Micros(interval_us * (i as u64 + 1)),
+                Duration::from_micros(cpu_us),
+            );
+        }
+    }
+
+    #[test]
+    fn idle_filter_is_ok() {
+        let mut m = FlowMonitor::default();
+        feed(&mut m, 10_000, 1_000, 50); // 1 ms work per 10 ms tuple
+        assert!((m.utilization() - 0.1).abs() < 0.02, "{}", m.utilization());
+        assert_eq!(m.decision(), FlowDecision::Ok);
+        assert_eq!(m.samples(), 50);
+    }
+
+    #[test]
+    fn overloaded_filter_sheds() {
+        let mut m = FlowMonitor::default();
+        feed(&mut m, 10_000, 12_000, 50); // 12 ms work per 10 ms tuple
+        assert!(m.utilization() > 1.0);
+        match m.decision() {
+            FlowDecision::Shed { drop_fraction } => {
+                assert!(drop_fraction > 0.2 && drop_fraction < 0.5, "{drop_fraction}");
+            }
+            other => panic!("expected shedding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hopeless_overload_degrades_quality() {
+        let mut m = FlowMonitor::default();
+        feed(&mut m, 10_000, 25_000, 50);
+        assert_eq!(m.decision(), FlowDecision::DegradeQuality);
+    }
+
+    #[test]
+    fn no_samples_is_ok() {
+        let m = FlowMonitor::default();
+        assert_eq!(m.utilization(), 0.0);
+        assert_eq!(m.decision(), FlowDecision::Ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = FlowMonitor::new(0.0);
+    }
+
+    #[test]
+    fn ewma_adapts_to_change() {
+        let mut m = FlowMonitor::default();
+        feed(&mut m, 10_000, 1_000, 20);
+        let low = m.utilization();
+        // workload spikes
+        for i in 20..60 {
+            m.observe(Micros(10_000 * (i + 1)), Duration::from_micros(9_000));
+        }
+        assert!(m.utilization() > low * 3.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Operator graphs and quality-spec propagation.
+//!
+//! Data flows from sources through in-network operators to applications
+//! (Fig. 1.1/2.1). Each operator must know the data-quality requirements
+//! of all its downstream consumers (Fig. 2.2/3.1); when several remote
+//! downstreams share an operator with *different* requirements, the
+//! hosting node deploys a group-aware filter for them. This module models
+//! the DAG and the spec-propagation pass the paper assumes has happened
+//! before filtering starts.
+
+use gasf_core::quality::FilterSpec;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node in an [`OperatorGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperatorId(usize);
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Role of a graph node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// A root data source (leaf of the data-fusion tree).
+    Source,
+    /// An in-network operator (filter host, aggregator, …).
+    Operator,
+    /// An application sink with its quality requirement.
+    Application(FilterSpec),
+}
+
+#[derive(Debug)]
+struct OpNode {
+    name: String,
+    kind: OpKind,
+    downstream: Vec<OperatorId>,
+}
+
+/// A data-fusion DAG: sources → operators → applications.
+///
+/// ```rust
+/// use gasf_solar::{OperatorGraph, OpKind};
+/// use gasf_core::quality::FilterSpec;
+///
+/// let mut g = OperatorGraph::new();
+/// let src = g.add("buoy", OpKind::Source);
+/// let op = g.add("relay", OpKind::Operator);
+/// let app = g.add("ui", OpKind::Application(FilterSpec::delta("t", 1.0, 0.4)));
+/// g.connect(src, op).unwrap();
+/// g.connect(op, app).unwrap();
+/// let specs = g.propagate_quality();
+/// assert_eq!(specs[&src].len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct OperatorGraph {
+    nodes: Vec<OpNode>,
+}
+
+impl OperatorGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        OperatorGraph::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, kind: OpKind) -> OperatorId {
+        self.nodes.push(OpNode {
+            name: name.into(),
+            kind,
+            downstream: Vec::new(),
+        });
+        OperatorId(self.nodes.len() - 1)
+    }
+
+    /// Connects `from` to a downstream consumer `to`.
+    ///
+    /// # Errors
+    /// Returns a descriptive string if the edge would create a cycle or
+    /// references unknown nodes.
+    pub fn connect(&mut self, from: OperatorId, to: OperatorId) -> Result<(), String> {
+        if from.0 >= self.nodes.len() || to.0 >= self.nodes.len() {
+            return Err(format!("unknown operator in edge {from} -> {to}"));
+        }
+        if from == to || self.reaches(to, from) {
+            return Err(format!("edge {from} -> {to} would create a cycle"));
+        }
+        if !self.nodes[from.0].downstream.contains(&to) {
+            self.nodes[from.0].downstream.push(to);
+        }
+        Ok(())
+    }
+
+    fn reaches(&self, from: OperatorId, target: OperatorId) -> bool {
+        let mut stack = vec![from];
+        while let Some(u) = stack.pop() {
+            if u == target {
+                return true;
+            }
+            stack.extend(self.nodes[u.0].downstream.iter().copied());
+        }
+        false
+    }
+
+    /// Name of a node.
+    pub fn name(&self, id: OperatorId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Kind of a node.
+    pub fn kind(&self, id: OperatorId) -> &OpKind {
+        &self.nodes[id.0].kind
+    }
+
+    /// All node ids.
+    pub fn ids(&self) -> impl Iterator<Item = OperatorId> + '_ {
+        (0..self.nodes.len()).map(OperatorId)
+    }
+
+    /// Propagates application quality specs upstream: every source and
+    /// operator receives the list of specs of all applications reachable
+    /// downstream of it — the group its hosting node must serve
+    /// (Fig. 2.2). Sources/operators whose list has length > 1 are the
+    /// group-aware filtering opportunities.
+    pub fn propagate_quality(&self) -> HashMap<OperatorId, Vec<FilterSpec>> {
+        let mut result: HashMap<OperatorId, Vec<FilterSpec>> = HashMap::new();
+        for id in self.ids() {
+            let mut specs = Vec::new();
+            self.collect_downstream(id, &mut specs);
+            result.insert(id, specs);
+        }
+        result
+    }
+
+    fn collect_downstream(&self, id: OperatorId, out: &mut Vec<FilterSpec>) {
+        for &d in &self.nodes[id.0].downstream {
+            if let OpKind::Application(spec) = &self.nodes[d.0].kind {
+                if !out.contains(spec) {
+                    out.push(spec.clone());
+                }
+            }
+            self.collect_downstream(d, out);
+        }
+    }
+
+    /// Operators (and sources) serving more than one distinct downstream
+    /// requirement — the places to deploy group-aware filters.
+    pub fn group_filter_sites(&self) -> Vec<(OperatorId, Vec<FilterSpec>)> {
+        self.propagate_quality()
+            .into_iter()
+            .filter(|(id, specs)| {
+                specs.len() > 1 && !matches!(self.kind(*id), OpKind::Application(_))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gasf_core::quality::FilterSpec;
+
+    fn spec(d: f64) -> FilterSpec {
+        FilterSpec::delta("t", d, d / 4.0)
+    }
+
+    #[test]
+    fn propagation_reaches_sources_transitively() {
+        // source -> op1 -> app1
+        //              \-> op2 -> app2
+        let mut g = OperatorGraph::new();
+        let src = g.add("src", OpKind::Source);
+        let op1 = g.add("op1", OpKind::Operator);
+        let op2 = g.add("op2", OpKind::Operator);
+        let app1 = g.add("app1", OpKind::Application(spec(1.0)));
+        let app2 = g.add("app2", OpKind::Application(spec(2.0)));
+        g.connect(src, op1).unwrap();
+        g.connect(op1, app1).unwrap();
+        g.connect(op1, op2).unwrap();
+        g.connect(op2, app2).unwrap();
+        let q = g.propagate_quality();
+        assert_eq!(q[&src].len(), 2);
+        assert_eq!(q[&op1].len(), 2);
+        assert_eq!(q[&op2].len(), 1);
+        assert!(q[&app1].is_empty());
+    }
+
+    #[test]
+    fn duplicate_specs_counted_once() {
+        let mut g = OperatorGraph::new();
+        let src = g.add("src", OpKind::Source);
+        let a1 = g.add("a1", OpKind::Application(spec(1.0)));
+        let a2 = g.add("a2", OpKind::Application(spec(1.0)));
+        g.connect(src, a1).unwrap();
+        g.connect(src, a2).unwrap();
+        assert_eq!(g.propagate_quality()[&src].len(), 1);
+    }
+
+    #[test]
+    fn group_filter_sites_need_multiple_specs() {
+        let mut g = OperatorGraph::new();
+        let src = g.add("src", OpKind::Source);
+        let a1 = g.add("a1", OpKind::Application(spec(1.0)));
+        let a2 = g.add("a2", OpKind::Application(spec(2.0)));
+        g.connect(src, a1).unwrap();
+        g.connect(src, a2).unwrap();
+        let sites = g.group_filter_sites();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].0, src);
+        assert_eq!(sites[0].1.len(), 2);
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut g = OperatorGraph::new();
+        let a = g.add("a", OpKind::Operator);
+        let b = g.add("b", OpKind::Operator);
+        g.connect(a, b).unwrap();
+        assert!(g.connect(b, a).is_err());
+        assert!(g.connect(a, a).is_err());
+    }
+
+    #[test]
+    fn unknown_edges_rejected() {
+        let mut g = OperatorGraph::new();
+        let a = g.add("a", OpKind::Operator);
+        assert!(g.connect(a, OperatorId(99)).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let mut g = OperatorGraph::new();
+        let a = g.add("alpha", OpKind::Source);
+        assert_eq!(g.name(a), "alpha");
+        assert!(matches!(g.kind(a), OpKind::Source));
+        assert_eq!(g.ids().count(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # gasf-solar — stream-processing middleware substrate
+//!
+//! The paper's prototype packages group-aware filtering as a service of
+//! *Solar*, Dartmouth's content-based publish/subscribe data-dissemination
+//! system (§4.1.1): sources advertise via source proxies, applications
+//! subscribe with data-quality specifications, specs propagate through the
+//! operator graph toward the sources (Fig. 2.2/3.1), and a group-aware
+//! filtering service on each source node feeds an application-level
+//! multicast facility.
+//!
+//! This crate rebuilds that middleware over the [`gasf_net`] overlay:
+//!
+//! * [`Middleware`] — pub/sub registry + the group-aware filtering service
+//!   (one [`GroupEngine`](gasf_core::engine::GroupEngine) per source) +
+//!   multicast dissemination with end-to-end accounting,
+//! * [`OperatorGraph`] — quality-spec propagation from applications to
+//!   sources through in-network operators,
+//! * [`FlowMonitor`] — the input-buffer congestion/flow-control logic the
+//!   paper discusses in §4.8 (large groups can congest the filter's input
+//!   buffer; the system must shed load or degrade quality).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod flow;
+mod graph;
+mod middleware;
+mod regroup;
+
+pub use flow::{FlowDecision, FlowMonitor};
+pub use graph::{OpKind, OperatorGraph, OperatorId};
+pub use middleware::{
+    AppId, AppReport, Middleware, MiddlewareConfig, RunReport, SolarError, SourceId,
+};
+pub use regroup::{is_valid_partition, partition, GroupingStrategy, Partition};

@@ -1,0 +1,696 @@
+//! The Solar-like middleware: pub/sub + group-aware filtering service +
+//! multicast dissemination (Fig. 4.1's software architecture).
+//!
+//! * the **quality specification manager** is the [`FilterSpec`] registry
+//!   collected through [`Middleware::subscribe`],
+//! * the **group-aware filtering manager** instantiates one
+//!   [`GroupEngine`] per source at [`Middleware::deploy`] time,
+//! * the **global state manager** lives inside the engine,
+//! * the **output scheduler** is the engine's output strategy feeding the
+//!   overlay's tuple-level multicast.
+
+use crate::flow::{FlowDecision, FlowMonitor};
+use crate::graph::OperatorGraph;
+use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
+use gasf_core::cuts::TimeConstraint;
+use gasf_core::metrics::EngineMetrics;
+use gasf_core::quality::FilterSpec;
+use gasf_core::schema::Schema;
+use gasf_core::time::Micros;
+use gasf_core::tuple::Tuple;
+use gasf_net::{GroupId, NodeId, Overlay};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(usize);
+
+/// Identifier of a subscribed application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(usize);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Middleware errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SolarError {
+    /// A source name was registered twice.
+    DuplicateSource(String),
+    /// A referenced source/app id is unknown.
+    UnknownId(String),
+    /// A node id is outside the overlay's topology.
+    UnknownNode(NodeId),
+    /// Subscriptions changed after deployment; call `deploy` again.
+    NotDeployed,
+    /// A source has no subscribers, so it cannot be run.
+    NoSubscribers(String),
+    /// Error from the filtering engine.
+    Core(gasf_core::Error),
+    /// Error from the overlay network.
+    Net(gasf_net::multicast::NetError),
+}
+
+impl fmt::Display for SolarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolarError::DuplicateSource(n) => write!(f, "source `{n}` already registered"),
+            SolarError::UnknownId(what) => write!(f, "unknown id: {what}"),
+            SolarError::UnknownNode(n) => write!(f, "node {n} is not in the topology"),
+            SolarError::NotDeployed => write!(f, "middleware not deployed; call deploy()"),
+            SolarError::NoSubscribers(n) => write!(f, "source `{n}` has no subscribers"),
+            SolarError::Core(e) => write!(f, "filtering error: {e}"),
+            SolarError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolarError::Core(e) => Some(e),
+            SolarError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gasf_core::Error> for SolarError {
+    fn from(e: gasf_core::Error) -> Self {
+        SolarError::Core(e)
+    }
+}
+
+impl From<gasf_net::multicast::NetError> for SolarError {
+    fn from(e: gasf_net::multicast::NetError) -> Self {
+        SolarError::Net(e)
+    }
+}
+
+/// Filtering-service configuration applied to every source engine.
+#[derive(Debug, Clone, Copy)]
+pub struct MiddlewareConfig {
+    /// Second-stage algorithm.
+    pub algorithm: Algorithm,
+    /// Output strategy.
+    pub strategy: OutputStrategy,
+    /// Optional group time constraint (timely cuts).
+    pub constraint: Option<TimeConstraint>,
+}
+
+impl Default for MiddlewareConfig {
+    fn default() -> Self {
+        MiddlewareConfig {
+            algorithm: Algorithm::RegionGreedy,
+            strategy: OutputStrategy::Earliest,
+            constraint: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SourceEntry {
+    name: String,
+    node: NodeId,
+    schema: Schema,
+    subscribers: Vec<AppId>,
+    engine: Option<GroupEngine>,
+    group: Option<GroupId>,
+    flow: FlowMonitor,
+}
+
+#[derive(Debug)]
+struct AppEntry {
+    name: String,
+    node: NodeId,
+    /// Kept for introspection/debugging of multi-source deployments.
+    #[allow(dead_code)]
+    source: SourceId,
+    spec: FilterSpec,
+    tuples: u64,
+    e2e_latency_us: Vec<u64>,
+}
+
+/// Per-application run statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppReport {
+    /// The application.
+    pub app: AppId,
+    /// Its registered name.
+    pub name: String,
+    /// Tuples delivered to it.
+    pub tuples: u64,
+    /// Mean end-to-end latency (filtering + overlay multicast).
+    pub mean_e2e_latency: Micros,
+}
+
+/// Result of running one trace through a source.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Engine metrics (O/I ratio, CPU, filtering latency, regions, …).
+    pub engine: EngineMetrics,
+    /// Bytes that crossed overlay links during this run.
+    pub network_bytes: u64,
+    /// Multicast messages sent during this run.
+    pub messages: u64,
+    /// Per-application delivery statistics.
+    pub per_app: Vec<AppReport>,
+}
+
+impl RunReport {
+    /// Mean end-to-end latency across all applications.
+    pub fn mean_e2e_latency(&self) -> Micros {
+        let (sum, n) = self.per_app.iter().fold((0u64, 0u64), |(s, n), a| {
+            (s + a.mean_e2e_latency.as_micros() * a.tuples, n + a.tuples)
+        });
+        match sum.checked_div(n) {
+            Some(mean) => Micros(mean),
+            None => Micros::ZERO,
+        }
+    }
+}
+
+/// The data-dissemination middleware.
+///
+/// ```rust
+/// use gasf_solar::{Middleware, MiddlewareConfig};
+/// use gasf_net::{Overlay, Topology, NodeId};
+/// use gasf_core::prelude::*;
+///
+/// # fn main() -> Result<(), gasf_solar::SolarError> {
+/// let overlay = Overlay::new(Topology::ring(7).build());
+/// let mut mw = Middleware::new(overlay);
+/// let schema = Schema::new(["t"]);
+/// let src = mw.register_source("buoy", NodeId(0), schema.clone())?;
+/// mw.subscribe("ui", NodeId(3), src, FilterSpec::delta("t", 1.0, 0.4))?;
+/// mw.subscribe("log", NodeId(5), src, FilterSpec::delta("t", 2.0, 0.9))?;
+/// mw.deploy()?;
+/// let mut b = TupleBuilder::new(&schema);
+/// let tuples: Vec<Tuple> = (0..20)
+///     .map(|i| b.at_millis(10 * (i + 1)).set("t", i as f64).build().unwrap())
+///     .collect();
+/// let report = mw.run_trace(src, tuples)?;
+/// assert!(report.engine.oi_ratio() <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Middleware {
+    overlay: Overlay,
+    config: MiddlewareConfig,
+    sources: Vec<SourceEntry>,
+    apps: Vec<AppEntry>,
+    deployed: bool,
+}
+
+impl Middleware {
+    /// Creates a middleware over an overlay with default configuration.
+    pub fn new(overlay: Overlay) -> Self {
+        Self::with_config(overlay, MiddlewareConfig::default())
+    }
+
+    /// Creates a middleware with explicit filtering configuration.
+    pub fn with_config(overlay: Overlay, config: MiddlewareConfig) -> Self {
+        Middleware {
+            overlay,
+            config,
+            sources: Vec::new(),
+            apps: Vec::new(),
+            deployed: false,
+        }
+    }
+
+    /// The overlay (traffic counters, topology).
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// Registers (advertises) a source at a node.
+    ///
+    /// # Errors
+    /// [`SolarError::DuplicateSource`] / [`SolarError::UnknownNode`].
+    pub fn register_source(
+        &mut self,
+        name: impl Into<String>,
+        node: NodeId,
+        schema: Schema,
+    ) -> Result<SourceId, SolarError> {
+        let name = name.into();
+        if self.sources.iter().any(|s| s.name == name) {
+            return Err(SolarError::DuplicateSource(name));
+        }
+        if node.index() >= self.overlay.topology().len() {
+            return Err(SolarError::UnknownNode(node));
+        }
+        self.sources.push(SourceEntry {
+            name,
+            node,
+            schema,
+            subscribers: Vec::new(),
+            engine: None,
+            group: None,
+            flow: FlowMonitor::default(),
+        });
+        self.deployed = false;
+        Ok(SourceId(self.sources.len() - 1))
+    }
+
+    /// Subscribes an application (at `node`) to a source with its quality
+    /// requirement.
+    ///
+    /// # Errors
+    /// [`SolarError::UnknownId`] / [`SolarError::UnknownNode`].
+    pub fn subscribe(
+        &mut self,
+        app_name: impl Into<String>,
+        node: NodeId,
+        source: SourceId,
+        spec: FilterSpec,
+    ) -> Result<AppId, SolarError> {
+        if source.0 >= self.sources.len() {
+            return Err(SolarError::UnknownId(source.to_string()));
+        }
+        if node.index() >= self.overlay.topology().len() {
+            return Err(SolarError::UnknownNode(node));
+        }
+        let app = AppId(self.apps.len());
+        self.apps.push(AppEntry {
+            name: app_name.into(),
+            node,
+            source,
+            spec,
+            tuples: 0,
+            e2e_latency_us: Vec::new(),
+        });
+        self.sources[source.0].subscribers.push(app);
+        self.deployed = false;
+        Ok(app)
+    }
+
+    /// Builds the operator graph implied by the current subscriptions —
+    /// the structure Fig. 2.2 propagates quality specs over.
+    pub fn operator_graph(&self) -> OperatorGraph {
+        let mut g = OperatorGraph::new();
+        for s in &self.sources {
+            let sid = g.add(s.name.clone(), crate::graph::OpKind::Source);
+            for &app in &s.subscribers {
+                let a = &self.apps[app.0];
+                let aid = g.add(
+                    a.name.clone(),
+                    crate::graph::OpKind::Application(a.spec.clone()),
+                );
+                g.connect(sid, aid).expect("source->app edge is acyclic");
+            }
+        }
+        g
+    }
+
+    /// Instantiates the filtering engines and multicast groups.
+    ///
+    /// # Errors
+    /// Propagates engine-construction and group-creation failures.
+    pub fn deploy(&mut self) -> Result<(), SolarError> {
+        for (i, s) in self.sources.iter_mut().enumerate() {
+            if s.subscribers.is_empty() {
+                s.engine = None;
+                s.group = None;
+                continue;
+            }
+            let mut builder = GroupEngine::builder(s.schema.clone())
+                .algorithm(self.config.algorithm)
+                .output_strategy(self.config.strategy);
+            if let Some(c) = self.config.constraint {
+                builder = builder.time_constraint(c);
+            }
+            for &app in &s.subscribers {
+                builder = builder.filter(self.apps[app.0].spec.clone());
+            }
+            s.engine = Some(builder.build()?);
+            let mut members: BTreeSet<NodeId> = s
+                .subscribers
+                .iter()
+                .map(|a| self.apps[a.0].node)
+                .collect();
+            members.insert(s.node); // the source proxy is always a member
+            let members: Vec<NodeId> = members.into_iter().collect();
+            let group = self
+                .overlay
+                .create_group(&format!("src:{}:{}", i, s.name), &members)?;
+            s.group = Some(group);
+        }
+        self.deployed = true;
+        Ok(())
+    }
+
+    /// Pushes one tuple into a source's filtering service, disseminating
+    /// any released outputs.
+    ///
+    /// # Errors
+    /// [`SolarError::NotDeployed`], engine errors, network errors.
+    pub fn process(&mut self, source: SourceId, tuple: Tuple) -> Result<(), SolarError> {
+        if !self.deployed {
+            return Err(SolarError::NotDeployed);
+        }
+        let emissions = {
+            let s = self
+                .sources
+                .get_mut(source.0)
+                .ok_or_else(|| SolarError::UnknownId(source.to_string()))?;
+            let engine = s
+                .engine
+                .as_mut()
+                .ok_or_else(|| SolarError::NoSubscribers(s.name.clone()))?;
+            let arrival = tuple.timestamp();
+            let cpu_before = engine.metrics().cpu;
+            let emissions = engine.push(tuple)?;
+            let cpu_spent = engine.metrics().cpu.saturating_sub(cpu_before);
+            s.flow.observe(arrival, cpu_spent);
+            emissions
+        };
+        self.disseminate(source, &emissions)
+    }
+
+    /// Ends a source's stream and disseminates the tail.
+    ///
+    /// # Errors
+    /// Same as [`process`](Self::process).
+    pub fn finish(&mut self, source: SourceId) -> Result<(), SolarError> {
+        if !self.deployed {
+            return Err(SolarError::NotDeployed);
+        }
+        let emissions = {
+            let s = self
+                .sources
+                .get_mut(source.0)
+                .ok_or_else(|| SolarError::UnknownId(source.to_string()))?;
+            let engine = s
+                .engine
+                .as_mut()
+                .ok_or_else(|| SolarError::NoSubscribers(s.name.clone()))?;
+            engine.finish()?
+        };
+        self.disseminate(source, &emissions)
+    }
+
+    /// The flow-control monitor's current advice for a source (§4.8:
+    /// congested input buffers call for shedding or quality degradation).
+    ///
+    /// # Errors
+    /// Returns [`SolarError::UnknownId`] for unknown sources.
+    pub fn flow_decision(&self, source: SourceId) -> Result<FlowDecision, SolarError> {
+        self.sources
+            .get(source.0)
+            .map(|s| s.flow.decision())
+            .ok_or_else(|| SolarError::UnknownId(source.to_string()))
+    }
+
+    fn disseminate(&mut self, source: SourceId, emissions: &[Emission]) -> Result<(), SolarError> {
+        if emissions.is_empty() {
+            return Ok(());
+        }
+        let (src_node, group, subscribers) = {
+            let s = &self.sources[source.0];
+            (
+                s.node,
+                s.group.expect("deployed source has a group"),
+                s.subscribers.clone(),
+            )
+        };
+        for e in emissions {
+            // Map recipient filter ids (positional) to application nodes.
+            let recipient_apps: Vec<AppId> = e
+                .recipients
+                .iter()
+                .map(|f| subscribers[f.index()])
+                .collect();
+            let nodes: BTreeSet<NodeId> =
+                recipient_apps.iter().map(|a| self.apps[a.0].node).collect();
+            let nodes: Vec<NodeId> = nodes.into_iter().collect();
+            let delivery =
+                self.overlay
+                    .multicast(group, src_node, &nodes, e.tuple.wire_size())?;
+            for &app in &recipient_apps {
+                let entry = &mut self.apps[app.0];
+                let net = delivery
+                    .latencies
+                    .get(&entry.node)
+                    .copied()
+                    .unwrap_or(Micros::ZERO);
+                entry.tuples += 1;
+                entry
+                    .e2e_latency_us
+                    .push((e.latency() + net).as_micros());
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a full trace through a source and reports the outcome. Resets
+    /// per-app statistics and traffic counters first, so reports from
+    /// consecutive runs are independent.
+    ///
+    /// # Errors
+    /// Propagates any `process`/`finish` error.
+    pub fn run_trace<I: IntoIterator<Item = Tuple>>(
+        &mut self,
+        source: SourceId,
+        tuples: I,
+    ) -> Result<RunReport, SolarError> {
+        if !self.deployed {
+            return Err(SolarError::NotDeployed);
+        }
+        // reset stats
+        self.overlay.reset_stats();
+        for app in &mut self.apps {
+            app.tuples = 0;
+            app.e2e_latency_us.clear();
+        }
+        for t in tuples {
+            self.process(source, t)?;
+        }
+        self.finish(source)?;
+        let s = &self.sources[source.0];
+        let engine = s
+            .engine
+            .as_ref()
+            .ok_or_else(|| SolarError::NoSubscribers(s.name.clone()))?;
+        let per_app = s
+            .subscribers
+            .iter()
+            .map(|&a| {
+                let app = &self.apps[a.0];
+                let mean = if app.e2e_latency_us.is_empty() {
+                    Micros::ZERO
+                } else {
+                    Micros(app.e2e_latency_us.iter().sum::<u64>() / app.e2e_latency_us.len() as u64)
+                };
+                AppReport {
+                    app: a,
+                    name: app.name.clone(),
+                    tuples: app.tuples,
+                    mean_e2e_latency: mean,
+                }
+            })
+            .collect();
+        Ok(RunReport {
+            engine: engine.metrics().clone(),
+            network_bytes: self.overlay.total_bytes(),
+            messages: self.overlay.messages(),
+            per_app,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gasf_core::tuple::TupleBuilder;
+    use gasf_net::Topology;
+
+    fn stream(schema: &Schema, n: usize) -> Vec<Tuple> {
+        let mut b = TupleBuilder::new(schema);
+        (0..n)
+            .map(|i| {
+                let v = (i as f64 * 0.7).sin() * 10.0 + i as f64 * 0.05;
+                b.at_millis(10 * (i as u64 + 1)).set("t", v).build().unwrap()
+            })
+            .collect()
+    }
+
+    fn setup(config: MiddlewareConfig) -> (Middleware, SourceId, Schema) {
+        let overlay = Overlay::new(Topology::ring(7).build());
+        let mut mw = Middleware::with_config(overlay, config);
+        let schema = Schema::new(["t"]);
+        let src = mw.register_source("s", NodeId(0), schema.clone()).unwrap();
+        mw.subscribe("a1", NodeId(2), src, FilterSpec::delta("t", 2.0, 0.9))
+            .unwrap();
+        mw.subscribe("a2", NodeId(4), src, FilterSpec::delta("t", 3.0, 1.4))
+            .unwrap();
+        mw.subscribe("a3", NodeId(6), src, FilterSpec::delta("t", 2.5, 1.2))
+            .unwrap();
+        mw.deploy().unwrap();
+        (mw, src, schema)
+    }
+
+    #[test]
+    fn end_to_end_delivery() {
+        let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+        let report = mw.run_trace(src, stream(&schema, 300)).unwrap();
+        assert_eq!(report.engine.input_tuples, 300);
+        assert!(report.engine.output_tuples > 0);
+        assert!(report.network_bytes > 0);
+        assert_eq!(report.per_app.len(), 3);
+        for app in &report.per_app {
+            assert!(app.tuples > 0, "{} received nothing", app.name);
+            assert!(app.mean_e2e_latency > Micros::ZERO);
+        }
+        // network latency beyond filtering latency
+        assert!(report.mean_e2e_latency() > report.engine.mean_latency());
+    }
+
+    #[test]
+    fn group_aware_uses_less_bandwidth_than_si() {
+        let ga = {
+            let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+            mw.run_trace(src, stream(&schema, 500)).unwrap()
+        };
+        let si = {
+            let (mut mw, src, schema) = setup(MiddlewareConfig {
+                algorithm: Algorithm::SelfInterested,
+                ..Default::default()
+            });
+            mw.run_trace(src, stream(&schema, 500)).unwrap()
+        };
+        assert!(
+            ga.engine.output_tuples <= si.engine.output_tuples,
+            "group-aware {} vs SI {}",
+            ga.engine.output_tuples,
+            si.engine.output_tuples
+        );
+        assert!(
+            ga.network_bytes <= si.network_bytes,
+            "group-aware bytes {} vs SI {}",
+            ga.network_bytes,
+            si.network_bytes
+        );
+    }
+
+    #[test]
+    fn requires_deploy() {
+        let overlay = Overlay::new(Topology::ring(3).build());
+        let mut mw = Middleware::new(overlay);
+        let schema = Schema::new(["t"]);
+        let src = mw.register_source("s", NodeId(0), schema.clone()).unwrap();
+        mw.subscribe("a", NodeId(1), src, FilterSpec::delta("t", 1.0, 0.4))
+            .unwrap();
+        let mut b = TupleBuilder::new(&schema);
+        let t = b.at_millis(10).set("t", 0.0).build().unwrap();
+        assert!(matches!(
+            mw.process(src, t),
+            Err(SolarError::NotDeployed)
+        ));
+    }
+
+    #[test]
+    fn subscription_after_deploy_undeploys() {
+        let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+        mw.subscribe("late", NodeId(1), src, FilterSpec::delta("t", 1.0, 0.4))
+            .unwrap();
+        let mut b = TupleBuilder::new(&schema);
+        let t = b.at_millis(10).set("t", 0.0).build().unwrap();
+        assert!(matches!(mw.process(src, t), Err(SolarError::NotDeployed)));
+        mw.deploy().unwrap();
+        let report = mw.run_trace(src, stream(&schema, 50)).unwrap();
+        assert_eq!(report.per_app.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_source_and_bad_nodes_rejected() {
+        let overlay = Overlay::new(Topology::ring(3).build());
+        let mut mw = Middleware::new(overlay);
+        let schema = Schema::new(["t"]);
+        mw.register_source("s", NodeId(0), schema.clone()).unwrap();
+        assert!(matches!(
+            mw.register_source("s", NodeId(1), schema.clone()),
+            Err(SolarError::DuplicateSource(_))
+        ));
+        assert!(matches!(
+            mw.register_source("s2", NodeId(9), schema.clone()),
+            Err(SolarError::UnknownNode(_))
+        ));
+        let src = SourceId(0);
+        assert!(matches!(
+            mw.subscribe("a", NodeId(9), src, FilterSpec::delta("t", 1.0, 0.4)),
+            Err(SolarError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            mw.subscribe("a", NodeId(0), SourceId(5), FilterSpec::delta("t", 1.0, 0.4)),
+            Err(SolarError::UnknownId(_))
+        ));
+    }
+
+    #[test]
+    fn operator_graph_reflects_subscriptions() {
+        let (mw, _, _) = setup(MiddlewareConfig::default());
+        let g = mw.operator_graph();
+        let sites = g.group_filter_sites();
+        assert_eq!(sites.len(), 1, "one source serving three specs");
+        assert_eq!(sites[0].1.len(), 3);
+    }
+
+    #[test]
+    fn consecutive_runs_reset_counters() {
+        let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+        let r1 = mw.run_trace(src, stream(&schema, 100)).unwrap();
+        // engine is finished after run 1; redeploy for run 2
+        mw.deploy().unwrap();
+        let r2 = mw.run_trace(src, stream(&schema, 100)).unwrap();
+        assert_eq!(r1.per_app[0].tuples, r2.per_app[0].tuples);
+        assert_eq!(r1.network_bytes, r2.network_bytes);
+    }
+
+    #[test]
+    fn error_display_covers_variants() {
+        let e = SolarError::DuplicateSource("x".into());
+        assert!(e.to_string().contains('x'));
+        let e = SolarError::NotDeployed;
+        assert!(e.to_string().contains("deploy"));
+    }
+}
+// (appended test module extension)
+#[cfg(test)]
+mod flow_tests {
+    use super::*;
+    use gasf_core::tuple::TupleBuilder;
+    use gasf_net::Topology;
+
+    #[test]
+    fn flow_decision_available_after_processing() {
+        let overlay = Overlay::new(Topology::ring(3).build());
+        let mut mw = Middleware::new(overlay);
+        let schema = Schema::new(["t"]);
+        let src = mw.register_source("s", NodeId(0), schema.clone()).unwrap();
+        mw.subscribe("a", NodeId(1), src, FilterSpec::delta("t", 1.0, 0.4))
+            .unwrap();
+        mw.deploy().unwrap();
+        let mut b = TupleBuilder::new(&schema);
+        for i in 0..50u64 {
+            let t = b.at_millis(10 * (i + 1)).set("t", i as f64).build().unwrap();
+            mw.process(src, t).unwrap();
+        }
+        // A real engine is far faster than 10 ms per tuple.
+        assert_eq!(mw.flow_decision(src).unwrap(), FlowDecision::Ok);
+        assert!(mw.flow_decision(SourceId(9)).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! CSV trace import/export.
+//!
+//! The paper's evaluation replays real deployment traces; when you have
+//! such a trace (NAMOS buoy logs, seismometer dumps, …) this module lets
+//! you run every experiment against it instead of the synthetic
+//! generators. The format is deliberately minimal and self-describing:
+//!
+//! ```text
+//! timestamp_us,fluoro,tmpr4
+//! 10000,12.01,19.52
+//! 20000,12.03,19.53
+//! ```
+//!
+//! The first column is always the source timestamp in microseconds; the
+//! remaining header names become the schema. Sequence numbers are assigned
+//! densely in file order. Missing values are empty cells.
+
+use crate::trace::Trace;
+use gasf_core::error::Error;
+use gasf_core::schema::Schema;
+use gasf_core::time::Micros;
+use gasf_core::tuple::Tuple;
+use std::fmt::Write as _;
+
+/// Parse failure with a line number for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvError {
+    /// 1-based line number in the file (the header is line 1; line 0
+    /// marks input-level problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<Error> for CsvError {
+    fn from(e: Error) -> Self {
+        CsvError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Serialises a trace to the CSV format above.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::from("timestamp_us");
+    for (_, name) in trace.schema().iter() {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for t in trace.iter() {
+        let _ = write!(out, "{}", t.timestamp().as_micros());
+        for v in t.values() {
+            out.push(',');
+            if !v.is_nan() {
+                let _ = write!(out, "{v}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a trace from the CSV format above.
+///
+/// # Errors
+/// Returns a [`CsvError`] naming the offending line when the header is
+/// missing/malformed, a row has the wrong number of cells, a timestamp or
+/// value fails to parse, or the stream violates the ordering invariants.
+pub fn from_csv(input: &str) -> Result<Trace, CsvError> {
+    let mut lines = input.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError {
+        line: 0,
+        message: "empty input, expected a header row".into(),
+    })?;
+    let mut cols = header.split(',');
+    let first = cols.next().unwrap_or_default().trim();
+    if first != "timestamp_us" {
+        return Err(CsvError {
+            line: 0,
+            message: format!("first column must be `timestamp_us`, got `{first}`"),
+        });
+    }
+    let names: Vec<String> = cols.map(|c| c.trim().to_string()).collect();
+    if names.is_empty() {
+        return Err(CsvError {
+            line: 0,
+            message: "header declares no attributes".into(),
+        });
+    }
+    let schema = Schema::new(names);
+
+    let mut tuples = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != schema.len() + 1 {
+            return Err(CsvError {
+                line: line_no,
+                message: format!(
+                    "expected {} cells, got {}",
+                    schema.len() + 1,
+                    cells.len()
+                ),
+            });
+        }
+        let ts: u64 = cells[0].trim().parse().map_err(|e| CsvError {
+            line: line_no,
+            message: format!("bad timestamp `{}`: {e}", cells[0]),
+        })?;
+        let mut values = Vec::with_capacity(schema.len());
+        for (ci, cell) in cells[1..].iter().enumerate() {
+            let cell = cell.trim();
+            if cell.is_empty() {
+                values.push(f64::NAN);
+            } else {
+                let col_name = schema
+                    .iter()
+                    .nth(ci)
+                    .map(|(_, n)| n.to_string())
+                    .unwrap_or_default();
+                values.push(cell.parse().map_err(|e| CsvError {
+                    line: line_no,
+                    message: format!("bad value `{cell}` for {col_name}: {e}"),
+                })?);
+            }
+        }
+        let tuple = Tuple::new(&schema, tuples.len() as u64, Micros(ts), values)
+            .map_err(|e| CsvError {
+                line: line_no,
+                message: e.to_string(),
+            })?;
+        tuples.push(tuple);
+    }
+    Trace::new(schema, tuples).map_err(CsvError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NamosBuoy;
+
+    #[test]
+    fn round_trip() {
+        let trace = NamosBuoy::new().tuples(50).seed(3).generate();
+        let csv = to_csv(&trace);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back.len(), trace.len());
+        assert!(back.schema().same_as(trace.schema()));
+        for (a, b) in trace.iter().zip(back.iter()) {
+            assert_eq!(a.timestamp(), b.timestamp());
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parses_minimal_example() {
+        let csv = "timestamp_us,t\n10000,1.5\n20000,2.5\n";
+        let trace = from_csv(csv).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.tuples()[1].seq(), 1);
+        let s = trace.stats("t").unwrap();
+        assert!((s.mean_abs_delta - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_values_become_nan() {
+        let csv = "timestamp_us,a,b\n10,1.0,\n20,,2.0\n";
+        let trace = from_csv(csv).unwrap();
+        let a = trace.schema().attr("a").unwrap();
+        let b = trace.schema().attr("b").unwrap();
+        assert_eq!(trace.tuples()[0].get(b), None);
+        assert_eq!(trace.tuples()[1].get(a), None);
+        assert_eq!(trace.tuples()[1].get(b), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("time,t\n1,2\n").is_err());
+        assert!(from_csv("timestamp_us\n").is_err());
+        let wrong_width = from_csv("timestamp_us,t\n10,1.0,9.0\n").unwrap_err();
+        assert_eq!(wrong_width.line, 2, "header is line 1");
+        let bad_ts = from_csv("timestamp_us,t\nxx,1.0\n").unwrap_err();
+        assert!(bad_ts.message.contains("timestamp"));
+        let bad_val = from_csv("timestamp_us,t\n10,zz\n").unwrap_err();
+        assert!(bad_val.message.contains("zz"));
+        // out of order timestamps
+        let ooo = from_csv("timestamp_us,t\n20,1.0\n10,2.0\n");
+        assert!(ooo.is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "timestamp_us,t\n10,1.0\n\n20,2.0\n";
+        assert_eq!(from_csv(csv).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CsvError {
+            line: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "csv line 3: boom");
+    }
+}

@@ -1,0 +1,147 @@
+//! Fire-experiment HRR(Q) generator (§4.7.4, Fig. 4.23).
+//!
+//! The WPI fire-study trace plots heat release rate over an experiment:
+//! near zero at ignition, a smooth t²-law growth to a ~3.5 peak, a
+//! quasi-steady burning phase and a decay — with small measurement noise.
+//! This "relatively smooth curve" is what made group-aware filtering save
+//! the most bandwidth (60 % of SI) in the paper's comparison.
+
+use crate::trace::Trace;
+use gasf_core::schema::Schema;
+use gasf_core::time::Micros;
+use gasf_core::tuple::TupleBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Generator for synthetic heat-release-rate traces.
+#[derive(Debug, Clone)]
+pub struct FireHrr {
+    tuples: usize,
+    interval: Micros,
+    seed: u64,
+    peak: f64,
+}
+
+impl FireHrr {
+    /// A generator with defaults matching Fig. 4.23's scale (peak ≈ 3.5).
+    pub fn new() -> Self {
+        FireHrr {
+            tuples: 10_000,
+            interval: Micros::from_millis(10),
+            seed: 0,
+            peak: 3.5,
+        }
+    }
+
+    /// Sets the number of tuples to generate.
+    pub fn tuples(mut self, n: usize) -> Self {
+        self.tuples = n;
+        self
+    }
+
+    /// Sets the inter-arrival interval.
+    pub fn interval(mut self, interval: Micros) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the peak heat release rate.
+    pub fn peak(mut self, peak: f64) -> Self {
+        self.peak = peak;
+        self
+    }
+
+    /// The schema: a single `hrr` attribute.
+    pub fn schema() -> Schema {
+        Schema::new(["hrr"])
+    }
+
+    /// Generates the trace.
+    pub fn generate(&self) -> Trace {
+        let schema = Self::schema();
+        let attr = schema.attr("hrr").expect("schema has hrr");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xf17e_0000_1234_5678);
+        // HRR is a derived, low-noise quantity: model the measurement
+        // deviation as a slowly wandering AR(1) offset, not white noise —
+        // the published curve is visibly smooth (Fig. 4.23).
+        let noise = Normal::new(0.0, 0.004).expect("valid normal");
+        let mut offset = 0.0f64;
+
+        // Phase boundaries as fractions of the experiment duration:
+        // ignition lag 10 %, growth 30 %, steady 30 %, decay 30 %.
+        let n = self.tuples.max(1) as f64;
+        let mut b = TupleBuilder::new(&schema);
+        let mut tuples = Vec::with_capacity(self.tuples);
+        for i in 0..self.tuples {
+            let frac = i as f64 / n;
+            let shape = if frac < 0.1 {
+                0.0
+            } else if frac < 0.4 {
+                // t² growth law
+                let g = (frac - 0.1) / 0.3;
+                g * g
+            } else if frac < 0.7 {
+                1.0
+            } else {
+                // exponential-ish decay
+                let d = (frac - 0.7) / 0.3;
+                (1.0 - d).max(0.0).powf(1.5)
+            };
+            offset = 0.97 * offset + noise.sample(&mut rng);
+            let v = (self.peak * shape + offset).max(0.0);
+            let ts = Micros(self.interval.as_micros() * (i as u64 + 1));
+            tuples.push(
+                b.at(ts)
+                    .set_attr(attr, v)
+                    .build()
+                    .expect("schema-aligned tuple"),
+            );
+        }
+        Trace::new(schema, tuples).expect("generated stream is ordered")
+    }
+}
+
+impl Default for FireHrr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = FireHrr::new().tuples(3_000).seed(8).generate();
+        let b = FireHrr::new().tuples(3_000).seed(8).generate();
+        assert_eq!(a, b);
+        let s = a.stats("hrr").unwrap();
+        assert!(s.min >= 0.0);
+        assert!(s.max > 3.0 && s.max < 4.0, "peak ~3.5: {s:?}");
+    }
+
+    #[test]
+    fn growth_then_steady_then_decay() {
+        let t = FireHrr::new().tuples(1_000).seed(8).generate();
+        let series = t.series_of("hrr").unwrap();
+        let at = |frac: f64| series[(frac * 999.0) as usize].1;
+        assert!(at(0.05) < 0.2, "pre-ignition near zero");
+        assert!(at(0.55) > 3.0, "steady phase near peak");
+        assert!(at(0.99) < 0.5, "decayed at the end");
+        assert!(at(0.25) > at(0.15), "monotone growth phase");
+    }
+
+    #[test]
+    fn custom_peak() {
+        let t = FireHrr::new().tuples(1_000).peak(7.0).generate();
+        assert!(t.stats("hrr").unwrap().max > 6.0);
+    }
+}

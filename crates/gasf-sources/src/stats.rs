@@ -1,0 +1,93 @@
+//! Source statistics.
+//!
+//! §4.3: "we computed the average changes, `srcStatistics`, of two
+//! consecutive tuples in the source time series and then randomly picked
+//! delta values between the range of srcStatistics and 3·srcStatistics".
+//! [`SourceStats::mean_abs_delta`] is exactly that quantity.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one attribute's time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceStats {
+    /// Number of values observed.
+    pub count: usize,
+    /// Mean absolute change between consecutive values — the paper's
+    /// `srcStatistics` (called ASC, *Average State Change*, in §5.4).
+    pub mean_abs_delta: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl SourceStats {
+    /// Computes statistics from a value stream.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> SourceStats {
+        let mut count = 0usize;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut prev: Option<f64> = None;
+        let mut delta_sum = 0.0;
+        let mut delta_count = 0usize;
+        for v in values {
+            count += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+            if let Some(p) = prev {
+                delta_sum += (v - p).abs();
+                delta_count += 1;
+            }
+            prev = Some(v);
+        }
+        SourceStats {
+            count,
+            mean_abs_delta: if delta_count == 0 {
+                0.0
+            } else {
+                delta_sum / delta_count as f64
+            },
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            min: if count == 0 { 0.0 } else { min },
+            max: if count == 0 { 0.0 } else { max },
+        }
+    }
+
+    /// The value range (`max - min`).
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = SourceStats::from_values([1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.range() - 2.0).abs() < 1e-12);
+        // |3-1| = 2, |2-3| = 1 -> mean 1.5
+        assert!((s.mean_abs_delta - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e = SourceStats::from_values(std::iter::empty());
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean_abs_delta, 0.0);
+        assert_eq!(e.mean, 0.0);
+        let s = SourceStats::from_values([5.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_abs_delta, 0.0);
+        assert_eq!(s.mean, 5.0);
+    }
+}

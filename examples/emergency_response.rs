@@ -1,0 +1,95 @@
+//! Emergency response: the §5.5.1 chlorine train-derailment scenario.
+//!
+//! A chlorine-concentration source (Gaussian-puff plume model) feeds three
+//! command-and-control applications over a wireless-mesh overlay:
+//! fire prediction (finest granularity, tight latency), responder safety
+//! assessment, and a situation-awareness web portal (coarsest). The demo
+//! compares self-interested and group-aware dissemination end to end —
+//! filtering, tuple-level multicast, bandwidth and latency.
+//!
+//! ```text
+//! cargo run -p gasf-examples --bin emergency_response
+//! ```
+
+use gasf_core::engine::Algorithm;
+use gasf_core::quality::FilterSpec;
+use gasf_core::time::Micros;
+use gasf_net::{NodeId, Overlay, Topology};
+use gasf_solar::{Middleware, MiddlewareConfig, RunReport, SolarError};
+use gasf_sources::ChlorinePlume;
+
+fn scenario(algorithm: Algorithm) -> Result<RunReport, SolarError> {
+    // Mesh of routers on fire trucks / police cars / ambulances (§2.2.1):
+    // a 3x3 grid, source proxy at a corner.
+    let overlay = Overlay::new(Topology::grid(3, 3).bandwidth_bps(1_000_000).build());
+    let mut mw = Middleware::with_config(
+        overlay,
+        MiddlewareConfig {
+            algorithm,
+            ..Default::default()
+        },
+    );
+
+    let trace = ChlorinePlume::new().tuples(5_000).seed(2026).generate();
+    let stats = trace.stats("chlorine").expect("chlorine attr");
+    let s = stats.mean_abs_delta * 2.0;
+
+    let src = mw.register_source("chlorine-sensors", NodeId(0), trace.schema().clone())?;
+    mw.subscribe(
+        "fire-prediction",
+        NodeId(8),
+        src,
+        FilterSpec::delta("chlorine", s * 1.5, s * 0.7)
+            .with_latency_tolerance(Micros::from_millis(100)),
+    )?;
+    mw.subscribe(
+        "responder-safety",
+        NodeId(4),
+        src,
+        FilterSpec::delta("chlorine", s * 2.5, s * 1.2),
+    )?;
+    mw.subscribe(
+        "situation-portal",
+        NodeId(6),
+        src,
+        FilterSpec::delta("chlorine", s * 4.0, s * 2.0),
+    )?;
+    mw.deploy()?;
+    mw.run_trace(src, trace.into_tuples())
+}
+
+fn main() -> Result<(), SolarError> {
+    println!("chlorine monitoring in a train-derail disaster (§5.5.1)\n");
+    let si = scenario(Algorithm::SelfInterested)?;
+    let ga = scenario(Algorithm::PerCandidateSet)?;
+
+    for (name, r) in [("self-interested", &si), ("group-aware (PS)", &ga)] {
+        println!("{name}:");
+        println!(
+            "  O/I ratio            {:.3}",
+            r.engine.oi_ratio()
+        );
+        println!("  bytes on wire        {}", r.network_bytes);
+        println!(
+            "  mean e2e latency     {:.1} ms",
+            r.mean_e2e_latency().as_millis_f64()
+        );
+        for app in &r.per_app {
+            println!(
+                "    {:<18} {:>5} tuples, {:>7.1} ms",
+                app.name,
+                app.tuples,
+                app.mean_e2e_latency.as_millis_f64()
+            );
+        }
+    }
+    let saving = 1.0 - ga.network_bytes as f64 / si.network_bytes as f64;
+    println!(
+        "\ngroup-aware filtering saves a further {:.1}% of mesh bandwidth\n\
+         (the paper's deployment measured ~15%), spending {:.2} ms of CPU\n\
+         per 60 tuples (paper: < 250 ms on 2005 hardware).",
+        saving * 100.0,
+        ga.engine.cpu.as_secs_f64() * 1e3 / (ga.engine.input_tuples as f64 / 60.0)
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Multi-modal sensing: cheap sensors index expensive imagers (§5.5.2).
+//!
+//! A surveillance site bundles low-cost motion/seismic sensors with a
+//! high-cost imager (Fig. 5.5). The cheap sensors sample fast; their
+//! *filtered* output acts as an **index** selecting which images are worth
+//! shipping over the constrained network. The smaller the group-aware
+//! output, the fewer images transmitted — so the group-aware saving
+//! multiplies with the image size.
+//!
+//! ```text
+//! cargo run -p gasf-examples --bin multimodal_sensing
+//! ```
+
+use gasf_core::prelude::*;
+use gasf_sources::VolcanoSeismic;
+use std::collections::BTreeSet;
+
+/// Bytes per image the co-located camera would ship for an indexed event.
+const IMAGE_BYTES: u64 = 64 * 1024;
+/// Bytes per raw sensor tuple.
+const TUPLE_BYTES: u64 = 88;
+
+fn run(algorithm: Algorithm) -> Result<(u64, u64), Error> {
+    let trace = VolcanoSeismic::new().tuples(8_000).seed(11).generate();
+    let s = trace.stats("seis").unwrap().mean_abs_delta * 2.0;
+    let mut engine = GroupEngine::builder(trace.schema().clone())
+        .algorithm(algorithm)
+        .filter(FilterSpec::delta("seis", s * 1.5, s * 0.7).with_label("tripwire"))
+        .filter(FilterSpec::delta("seis", s * 3.0, s * 1.5).with_label("tracker"))
+        .filter(FilterSpec::delta("seis", s * 2.2, s * 1.1).with_label("archiver"))
+        .build()?;
+
+    // Each distinct output tuple triggers one image upload; each image is
+    // shipped once regardless of how many applications want it (multicast).
+    let mut indexed: BTreeSet<u64> = BTreeSet::new();
+    let mut sensor_tuples = 0u64;
+    for emission in engine.run(trace.into_tuples())? {
+        indexed.insert(emission.tuple.seq());
+        sensor_tuples += 1;
+    }
+    let bytes = indexed.len() as u64 * IMAGE_BYTES + sensor_tuples * TUPLE_BYTES;
+    Ok((indexed.len() as u64, bytes))
+}
+
+fn main() -> Result<(), Error> {
+    println!("multi-modal sensing with co-located sensors and imagers (§5.5.2)\n");
+    let (si_images, si_bytes) = run(Algorithm::SelfInterested)?;
+    let (ga_images, ga_bytes) = run(Algorithm::RegionGreedy)?;
+    println!("self-interested index: {si_images} images  -> {si_bytes} bytes on the uplink");
+    println!("group-aware index:     {ga_images} images  -> {ga_bytes} bytes on the uplink");
+    println!(
+        "\nthe index shrank by {:.1}%, and because every index entry drags a\n\
+         {} KiB image behind it, the uplink saving is {:.1}% — group-aware\n\
+         filtering also saves the robot's battery and local storage (§5.5.2).",
+        (1.0 - ga_images as f64 / si_images as f64) * 100.0,
+        IMAGE_BYTES / 1024,
+        (1.0 - ga_bytes as f64 / si_bytes as f64) * 100.0,
+    );
+    Ok(())
+}

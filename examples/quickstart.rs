@@ -1,0 +1,70 @@
+//! Quickstart: the paper's §2.1 running example, end to end.
+//!
+//! Three applications share a temperature source. A tolerates 10-unit
+//! slack at 50-unit granularity, B tolerates 5 at 40, C tolerates 25 at
+//! 80. Group-aware filtering needs 3 tuples where self-interested
+//! filtering needs 6.
+//!
+//! ```text
+//! cargo run -p gasf-examples --bin quickstart
+//! ```
+
+use gasf_core::prelude::*;
+
+fn run(algorithm: Algorithm, tuples: &[Tuple], schema: &Schema) -> Result<(), Error> {
+    let mut engine = GroupEngine::builder(schema.clone())
+        .algorithm(algorithm)
+        .filter(FilterSpec::delta("temperature", 50.0, 10.0).with_label("A (10,50)"))
+        .filter(FilterSpec::delta("temperature", 40.0, 5.0).with_label("B (5,40)"))
+        .filter(FilterSpec::delta("temperature", 80.0, 25.0).with_label("C (25,80)"))
+        .build()?;
+
+    println!("--- {algorithm:?} ---");
+    for emission in engine.run(tuples.to_vec())? {
+        let recipients: Vec<String> = emission
+            .recipients
+            .iter()
+            .map(|f| ["A", "B", "C"][f.index()].to_string())
+            .collect();
+        println!(
+            "  t={:<9} value={:<6} -> {{{}}}",
+            emission.emitted_at.to_string(),
+            emission.tuple.values()[0],
+            recipients.join(", ")
+        );
+    }
+    let m = engine.metrics();
+    println!(
+        "  {} inputs, {} distinct outputs (O/I = {:.2}), {} regions\n",
+        m.input_tuples,
+        m.output_tuples,
+        m.oi_ratio(),
+        m.regions
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Error> {
+    let schema = Schema::new(["temperature"]);
+    // §2.1.1's nine-tuple sequence plus the closing tuple, 10 ms apart.
+    let values = [0.0, 35.0, 29.0, 45.0, 50.0, 59.0, 80.0, 97.0, 100.0, 112.0];
+    let mut b = TupleBuilder::new(&schema);
+    let tuples: Vec<Tuple> = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            b.at_millis(10 * (i as u64 + 1))
+                .set("temperature", *v)
+                .build()
+                .expect("fixture")
+        })
+        .collect();
+
+    println!("group-aware stream filtering: the paper's running example\n");
+    run(Algorithm::SelfInterested, &tuples, &schema)?;
+    run(Algorithm::RegionGreedy, &tuples, &schema)?;
+    run(Algorithm::PerCandidateSet, &tuples, &schema)?;
+    println!("group-awareness halves the multicast payload while every");
+    println!("application still receives data within its quality slack.");
+    Ok(())
+}

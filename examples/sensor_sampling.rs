@@ -1,0 +1,85 @@
+//! Sensor sampling for multiple queries (§5.5.3) — heterogeneous filter
+//! types in one group.
+//!
+//! Three analysis queries share one buoy thermistor: a delta-compression
+//! state tracker, a trend watcher and a stratified sampler that samples
+//! high-dynamics windows harder. Group-aware filtering coordinates their
+//! picks so the union shipped off the sensor shrinks.
+//!
+//! ```text
+//! cargo run -p gasf-examples --bin sensor_sampling
+//! ```
+
+use gasf_core::prelude::*;
+use gasf_sources::NamosBuoy;
+
+fn run(algorithm: Algorithm) -> Result<EngineMetrics, Error> {
+    let trace = NamosBuoy::new().tuples(6_000).seed(33).generate();
+    let s = trace.stats("tmpr4").unwrap().mean_abs_delta * 2.0;
+    let range = trace.stats("tmpr4").unwrap().range();
+
+    // srcStatistics of the trend series, for the DC2 query.
+    let series = trace.series_of("tmpr4").unwrap();
+    let trend_stat = {
+        let mut acc = 0.0;
+        for w in series.windows(2) {
+            let dt = (w[1].0.as_secs_f64() - w[0].0.as_secs_f64()).max(1e-9);
+            acc += ((w[1].1 - w[0].1) / dt).abs();
+        }
+        acc / (series.len() - 1) as f64 * 2.0
+    };
+
+    let mut engine = GroupEngine::builder(trace.schema().clone())
+        .algorithm(algorithm)
+        .filter(FilterSpec::delta("tmpr4", s * 2.0, s).with_label("state tracker (DC1)"))
+        .filter(
+            FilterSpec::trend_delta("tmpr4", trend_stat * 2.0, trend_stat)
+                .with_label("trend watcher (DC2)"),
+        )
+        .filter(
+            FilterSpec::stratified_sample(
+                "tmpr4",
+                Micros::from_secs(1),
+                range * 0.2,
+                40.0,
+                10.0,
+            )
+            .with_label("dynamics sampler (SS)"),
+        )
+        .build()?;
+    engine.run(trace.into_tuples())?;
+    Ok(engine.into_metrics())
+}
+
+fn main() -> Result<(), Error> {
+    println!("sensor sampling for multiple queries (§5.5.3)\n");
+    let si = run(Algorithm::SelfInterested)?;
+    let ga = run(Algorithm::PerCandidateSet)?;
+
+    println!("                         self-interested   group-aware");
+    println!(
+        "distinct tuples shipped  {:>15}   {:>11}",
+        si.output_tuples, ga.output_tuples
+    );
+    println!(
+        "O/I ratio                {:>15.3}   {:>11.3}",
+        si.oi_ratio(),
+        ga.oi_ratio()
+    );
+    for (i, name) in ["state tracker", "trend watcher", "dynamics sampler"]
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "{name:<16} outputs  {:>15}   {:>11}",
+            si.per_filter[i].chosen, ga.per_filter[i].chosen
+        );
+    }
+    println!(
+        "\neach query still receives its full quality (same per-query output\n\
+         counts), but the union shrank by {:.1}% — less radio time, longer\n\
+         sensor life (§5.5.3).",
+        (1.0 - ga.output_tuples as f64 / si.output_tuples as f64) * 100.0
+    );
+    Ok(())
+}

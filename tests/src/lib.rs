@@ -1,0 +1,2 @@
+//! Placeholder library target: the real content of this crate is the
+//! integration-test suite under `tests/`.

@@ -1,0 +1,227 @@
+//! End-to-end integration: sources → middleware → engines → overlay
+//! multicast → applications, across crates.
+
+use gasf_core::engine::{Algorithm, OutputStrategy};
+use gasf_core::cuts::TimeConstraint;
+use gasf_core::quality::FilterSpec;
+use gasf_core::time::Micros;
+use gasf_net::{NodeId, Overlay, Topology};
+use gasf_solar::{Middleware, MiddlewareConfig};
+use gasf_sources::{ChlorinePlume, NamosBuoy, SourceKind};
+
+fn build(
+    algorithm: Algorithm,
+    topology: Topology,
+    trace: &gasf_sources::Trace,
+    specs: &[FilterSpec],
+    app_nodes: &[u32],
+) -> (Middleware, gasf_solar::SourceId) {
+    let overlay = Overlay::new(topology);
+    let mut mw = Middleware::with_config(
+        overlay,
+        MiddlewareConfig {
+            algorithm,
+            strategy: OutputStrategy::Earliest,
+            constraint: Some(TimeConstraint::max_delay(Micros::from_millis(200))),
+        },
+    );
+    let src = mw
+        .register_source("s", NodeId(0), trace.schema().clone())
+        .unwrap();
+    for (i, spec) in specs.iter().enumerate() {
+        mw.subscribe(format!("app{i}"), NodeId(app_nodes[i % app_nodes.len()]), src, spec.clone())
+            .unwrap();
+    }
+    mw.deploy().unwrap();
+    (mw, src)
+}
+
+fn namos_specs(trace: &gasf_sources::Trace) -> Vec<FilterSpec> {
+    let s = trace.stats("tmpr4").unwrap().mean_abs_delta * 2.0;
+    vec![
+        FilterSpec::delta("tmpr4", s, s * 0.5),
+        FilterSpec::delta("tmpr4", s * 2.0, s),
+        FilterSpec::delta("tmpr4", s * 1.5, s * 0.75),
+    ]
+}
+
+#[test]
+fn full_pipeline_on_every_topology() {
+    let trace = NamosBuoy::new().tuples(1_500).seed(5).generate();
+    let specs = namos_specs(&trace);
+    for topology in [
+        Topology::ring(7).build(),
+        Topology::star(6).build(),
+        Topology::line(5).build(),
+        Topology::grid(3, 3).build(),
+    ] {
+        let (mut mw, src) = build(
+            Algorithm::RegionGreedy,
+            topology,
+            &trace,
+            &specs,
+            &[1, 2, 3, 4],
+        );
+        let report = mw.run_trace(src, trace.tuples().to_vec()).unwrap();
+        assert_eq!(report.engine.input_tuples, 1_500);
+        assert!(report.engine.output_tuples > 0);
+        assert!(report.network_bytes > 0);
+        for app in &report.per_app {
+            assert!(app.tuples > 0, "{} starved", app.name);
+            assert!(
+                app.mean_e2e_latency >= Micros::from_millis(10),
+                "{}: e2e latency {} implausibly low",
+                app.name,
+                app.mean_e2e_latency
+            );
+        }
+    }
+}
+
+#[test]
+fn bandwidth_ordering_ga_si_nofilter() {
+    // The Fig. 1.3 ordering must hold through the whole stack.
+    let trace = NamosBuoy::new().tuples(2_000).seed(9).generate();
+    let specs = namos_specs(&trace);
+    let bytes_of = |algorithm| {
+        let (mut mw, src) = build(
+            algorithm,
+            Topology::ring(7).build(),
+            &trace,
+            &specs,
+            &[2, 4, 6],
+        );
+        mw.run_trace(src, trace.tuples().to_vec()).unwrap().network_bytes
+    };
+    let ga = bytes_of(Algorithm::RegionGreedy);
+    let si = bytes_of(Algorithm::SelfInterested);
+    assert!(ga <= si, "group-aware {ga} vs self-interested {si}");
+}
+
+#[test]
+fn all_algorithms_and_strategies_deliver_everything() {
+    let trace = ChlorinePlume::new().tuples(1_000).seed(3).generate();
+    let s = trace.stats("chlorine").unwrap().mean_abs_delta * 2.0;
+    let specs = [FilterSpec::delta("chlorine", s * 1.5, s * 0.7),
+        FilterSpec::delta("chlorine", s * 3.0, s * 1.5)];
+    for algorithm in [
+        Algorithm::RegionGreedy,
+        Algorithm::PerCandidateSet,
+        Algorithm::SelfInterested,
+    ] {
+        for strategy in [
+            OutputStrategy::Earliest,
+            OutputStrategy::PerCandidateSet,
+            OutputStrategy::Batched(64),
+        ] {
+            let overlay = Overlay::new(Topology::ring(5).build());
+            let mut mw = Middleware::with_config(
+                overlay,
+                MiddlewareConfig {
+                    algorithm,
+                    strategy,
+                    constraint: None,
+                },
+            );
+            let src = mw
+                .register_source("c", NodeId(0), trace.schema().clone())
+                .unwrap();
+            mw.subscribe("a0", NodeId(2), src, specs[0].clone()).unwrap();
+            mw.subscribe("a1", NodeId(4), src, specs[1].clone()).unwrap();
+            mw.deploy().unwrap();
+            let report = mw.run_trace(src, trace.tuples().to_vec()).unwrap();
+            // per-app deliveries equal the engine's per-filter set counts
+            for (i, app) in report.per_app.iter().enumerate() {
+                assert_eq!(
+                    app.tuples, report.engine.per_filter[i].sets_closed,
+                    "{algorithm:?}/{strategy:?}: app{i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_source_kind_flows_through_the_stack() {
+    for kind in [
+        SourceKind::Namos,
+        SourceKind::Cow,
+        SourceKind::Volcano,
+        SourceKind::Fire,
+        SourceKind::Chlorine,
+    ] {
+        let trace = kind.generate(800, 4);
+        let attr = kind.primary_attr();
+        let s = trace.stats(attr).unwrap().mean_abs_delta * 2.0;
+        let specs = vec![
+            FilterSpec::delta(attr, s * 1.5, s * 0.7),
+            FilterSpec::delta(attr, s * 2.5, s * 1.2),
+        ];
+        let (mut mw, src) = build(
+            Algorithm::PerCandidateSet,
+            Topology::ring(5).build(),
+            &trace,
+            &specs,
+            &[1, 3],
+        );
+        let report = mw.run_trace(src, trace.tuples().to_vec()).unwrap();
+        assert!(
+            report.engine.output_tuples > 0,
+            "{kind:?} produced no output"
+        );
+    }
+}
+
+#[test]
+fn quality_propagation_matches_middleware_deployment() {
+    let trace = NamosBuoy::new().tuples(100).seed(1).generate();
+    let specs = namos_specs(&trace);
+    let (mw, _) = build(
+        Algorithm::RegionGreedy,
+        Topology::ring(7).build(),
+        &trace,
+        &specs,
+        &[1, 2, 3],
+    );
+    let graph = mw.operator_graph();
+    let sites = graph.group_filter_sites();
+    assert_eq!(sites.len(), 1);
+    assert_eq!(sites[0].1.len(), specs.len());
+    for spec in &specs {
+        assert!(sites[0].1.contains(spec));
+    }
+}
+
+#[test]
+fn tighter_constraints_cut_more_and_lower_latency() {
+    let trace = NamosBuoy::new().tuples(2_000).seed(7).generate();
+    let specs = namos_specs(&trace);
+    let run = |deadline_ms: u64| {
+        let overlay = Overlay::new(Topology::ring(7).build());
+        let mut mw = Middleware::with_config(
+            overlay,
+            MiddlewareConfig {
+                algorithm: Algorithm::RegionGreedy,
+                strategy: OutputStrategy::Earliest,
+                constraint: Some(TimeConstraint::max_delay(Micros::from_millis(deadline_ms))),
+            },
+        );
+        let src = mw
+            .register_source("s", NodeId(0), trace.schema().clone())
+            .unwrap();
+        for (i, spec) in specs.iter().enumerate() {
+            mw.subscribe(format!("a{i}"), NodeId(1 + i as u32), src, spec.clone())
+                .unwrap();
+        }
+        mw.deploy().unwrap();
+        let r = mw.run_trace(src, trace.tuples().to_vec()).unwrap();
+        (r.engine.cut_fraction(), r.engine.mean_latency())
+    };
+    let (loose_cuts, loose_latency) = run(500);
+    let (tight_cuts, tight_latency) = run(30);
+    assert!(tight_cuts >= loose_cuts, "{tight_cuts} vs {loose_cuts}");
+    assert!(
+        tight_latency <= loose_latency,
+        "{tight_latency} vs {loose_latency}"
+    );
+}

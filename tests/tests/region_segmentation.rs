@@ -1,0 +1,135 @@
+//! Theorem 2/3 operational checks: solving per region equals solving the
+//! whole (finite) stream at once, and region covers never intersect.
+
+use gasf_core::candidate::{CloseCause, TimeCover};
+use gasf_core::filter::{build_filter, GroupFilter};
+use gasf_core::hitting_set::greedy_hitting_set;
+use gasf_core::prelude::*;
+use gasf_core::region::RegionTracker;
+use proptest::prelude::*;
+
+fn stream_from_steps(steps: &[i32]) -> (Schema, Vec<Tuple>) {
+    let schema = Schema::new(["v"]);
+    let mut b = TupleBuilder::new(&schema);
+    let mut v = 0.0;
+    let tuples = steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            v += *s as f64;
+            b.at_millis(10 * (i as u64 + 1))
+                .set("v", v)
+                .build()
+                .expect("fixture")
+        })
+        .collect();
+    (schema, tuples)
+}
+
+/// Collects all closed candidate sets of the given filters on a stream.
+fn collect_sets(
+    schema: &Schema,
+    specs: &[FilterSpec],
+    tuples: &[Tuple],
+) -> Vec<gasf_core::candidate::ClosedSet> {
+    let mut filters: Vec<Box<dyn GroupFilter>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| build_filter(s, FilterId::from_index(i), schema).expect("valid"))
+        .collect();
+    let mut sets = Vec::new();
+    for t in tuples {
+        for f in &mut filters {
+            let a = f.process(t).expect("no missing values");
+            sets.extend(a.closed);
+        }
+    }
+    for f in &mut filters {
+        sets.extend(f.force_close(CloseCause::EndOfStream).closed);
+    }
+    sets
+}
+
+fn spec_strategy() -> impl Strategy<Value = Vec<FilterSpec>> {
+    proptest::collection::vec((8.0f64..40.0, 0.1f64..0.5), 2..5).prop_map(|params| {
+        params
+            .into_iter()
+            .map(|(delta, frac)| FilterSpec::delta("v", delta, delta * frac))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Region covers must be pairwise disjoint (Axiom 2) and every set
+    /// must land in exactly one region.
+    #[test]
+    fn regions_partition_the_sets(
+        steps in proptest::collection::vec(-12i32..12, 10..120),
+        specs in spec_strategy(),
+    ) {
+        let (schema, tuples) = stream_from_steps(&steps);
+        let sets = collect_sets(&schema, &specs, &tuples);
+        let total = sets.len();
+        let mut tracker = RegionTracker::new();
+        for s in sets {
+            tracker.add(s);
+        }
+        let regions = tracker.drain_all();
+        let placed: usize = regions.iter().map(|r| r.sets().len()).sum();
+        prop_assert_eq!(placed, total);
+        let covers: Vec<TimeCover> = regions.iter().map(|r| r.cover()).collect();
+        for (i, a) in covers.iter().enumerate() {
+            for b in covers.iter().skip(i + 1) {
+                prop_assert!(!a.intersects(b), "regions intersect: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    /// Theorem 2, operationally: the union of per-region greedy solutions
+    /// has the same size as the greedy solution over all sets at once
+    /// (regions are independent sub-instances — no tuple is shared across
+    /// regions, so the greedy decomposes exactly).
+    #[test]
+    fn per_region_greedy_equals_whole_stream_greedy(
+        steps in proptest::collection::vec(-12i32..12, 10..120),
+        specs in spec_strategy(),
+    ) {
+        let (schema, tuples) = stream_from_steps(&steps);
+        let sets = collect_sets(&schema, &specs, &tuples);
+        let whole = greedy_hitting_set(&sets).len();
+
+        let mut tracker = RegionTracker::new();
+        for s in sets {
+            tracker.add(s);
+        }
+        let per_region: usize = tracker
+            .drain_all()
+            .into_iter()
+            .map(|r| greedy_hitting_set(r.sets()).len())
+            .sum();
+        prop_assert_eq!(per_region, whole);
+    }
+
+    /// A filter's own candidate sets never overlap in time when Axiom 1's
+    /// slack bound holds (it is enforced by spec validation).
+    #[test]
+    fn per_filter_time_covers_disjoint(
+        steps in proptest::collection::vec(-12i32..12, 10..120),
+        delta in 8.0f64..40.0,
+        frac in 0.1f64..0.5,
+    ) {
+        let (schema, tuples) = stream_from_steps(&steps);
+        let specs = vec![FilterSpec::delta("v", delta, delta * frac)];
+        let sets = collect_sets(&schema, &specs, &tuples);
+        for w in sets.windows(2) {
+            prop_assert!(
+                !w[0].cover().intersects(&w[1].cover()),
+                "consecutive sets of one filter intersect: {:?} vs {:?}",
+                w[0].cover(),
+                w[1].cover()
+            );
+        }
+    }
+}
