@@ -15,15 +15,9 @@ fn bench(c: &mut Criterion) {
     for n in [3usize, 10, 20] {
         let specs = random_group(&trace, "tmpr4", n, (1.0, 6.0), s * 0.5, n as u64);
         for v in [Variant::Rg, Variant::Si] {
-            g.bench_with_input(
-                BenchmarkId::new(v.label(), n),
-                &v,
-                |b, &v| {
-                    b.iter(|| {
-                        black_box(run_variant(&trace, &specs, v, Micros::from_millis(125)))
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(v.label(), n), &v, |b, &v| {
+                b.iter(|| black_box(run_variant(&trace, &specs, v, Micros::from_millis(125))))
+            });
         }
     }
     g.finish();

@@ -8,6 +8,7 @@ use gasf_core::candidate::{CandidateTuple, CloseCause, ClosedSet, FilterId};
 use gasf_core::hitting_set::greedy_hitting_set;
 use gasf_core::quality::Prescription;
 use gasf_core::time::Micros;
+use gasf_core::tuple::TupleId;
 use std::hint::black_box;
 
 /// Builds a region-like instance: `filters` sets of `width` consecutive
@@ -21,14 +22,14 @@ fn instance(filters: usize, width: u64) -> Vec<ClosedSet> {
                 set_index: 0,
                 candidates: (start..start + width)
                     .map(|s| CandidateTuple {
-                        seq: s,
+                        id: TupleId::from_seq(s),
                         timestamp: Micros::from_millis(s * 10),
                         key: s as f64,
                     })
                     .collect(),
                 pick_degree: 1,
                 prescription: Prescription::Any,
-                si_choice: vec![start],
+                si_choice: vec![TupleId::from_seq(start)],
                 cause: CloseCause::Natural,
             }
         })

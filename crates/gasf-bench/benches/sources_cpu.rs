@@ -20,15 +20,16 @@ fn bench(c: &mut Criterion) {
         let trace = kind.generate(2_000, 1);
         let group = source_group(&trace, kind.primary_attr(), name, 42);
         for v in [Variant::Rg, Variant::Ps, Variant::Si] {
-            g.bench_with_input(
-                BenchmarkId::new(name, v.label()),
-                &v,
-                |b, &v| {
-                    b.iter(|| {
-                        black_box(run_variant(&trace, &group.specs, v, Micros::from_millis(125)))
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, v.label()), &v, |b, &v| {
+                b.iter(|| {
+                    black_box(run_variant(
+                        &trace,
+                        &group.specs,
+                        v,
+                        Micros::from_millis(125),
+                    ))
+                })
+            });
         }
     }
     g.finish();

@@ -15,15 +15,16 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ten_groups");
     for group in &groups {
         for v in [Variant::Ps, Variant::Si] {
-            g.bench_with_input(
-                BenchmarkId::new(&group.name, v.label()),
-                &v,
-                |b, &v| {
-                    b.iter(|| {
-                        black_box(run_variant(&trace, &group.specs, v, Micros::from_millis(125)))
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(&group.name, v.label()), &v, |b, &v| {
+                b.iter(|| {
+                    black_box(run_variant(
+                        &trace,
+                        &group.specs,
+                        v,
+                        Micros::from_millis(125),
+                    ))
+                })
+            });
         }
     }
     g.finish();

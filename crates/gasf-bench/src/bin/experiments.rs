@@ -6,7 +6,7 @@
 //! ```
 
 use gasf_bench::experiments::{self, Params, ALL_IDS};
-use gasf_bench::report::Table;
+use gasf_bench::report::{tables_to_json, Table};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -58,19 +58,12 @@ fn main() -> ExitCode {
         println!("{t}");
     }
     if let Some(path) = json_path {
-        match serde_json::to_string_pretty(&tables) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("failed to write {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                eprintln!("wrote {path}");
-            }
-            Err(e) => {
-                eprintln!("serialisation failed: {e}");
-                return ExitCode::FAILURE;
-            }
+        let json = tables_to_json(&tables);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
         }
+        eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
 }

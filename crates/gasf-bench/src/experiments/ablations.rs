@@ -99,7 +99,12 @@ pub fn abl_predictor(params: &Params) -> Vec<Table> {
     let mut t = Table::new(
         "abl_predictor",
         "ablation: run-time predictor overestimation (deadline 40 ms)",
-        ["overestimate (us)", "deadline violations", "O/I ratio", "% regions cut"],
+        [
+            "overestimate (us)",
+            "deadline violations",
+            "O/I ratio",
+            "% regions cut",
+        ],
     );
     for overestimate in [0.0, 10_000.0, 20_000.0] {
         let mut engine = GroupEngine::builder(trace.schema().clone())
@@ -125,7 +130,9 @@ pub fn abl_predictor(params: &Params) -> Vec<Table> {
             format!("{:.1}%", m.cut_fraction() * 100.0),
         ]);
     }
-    t.note("more overestimation cuts earlier: fewer deadline violations, slightly worse O/I (§3.3)");
+    t.note(
+        "more overestimation cuts earlier: fewer deadline violations, slightly worse O/I (§3.3)",
+    );
     vec![t]
 }
 

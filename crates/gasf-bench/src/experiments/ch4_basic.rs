@@ -2,9 +2,7 @@
 
 use super::Params;
 use crate::report::{boxplot, f3, f4, Table};
-use crate::runner::{
-    cpu_per_tuple_us, latency_samples_ms, run_variant, Variant,
-};
+use crate::runner::{cpu_per_tuple_us, latency_samples_ms, run_variant, Variant};
 use crate::specs::table_4_1;
 use gasf_core::metrics::BoxPlot;
 use gasf_core::time::Micros;
@@ -94,12 +92,7 @@ pub fn fig4_6(params: &Params) -> Vec<Table> {
             let samples = latency_samples_ms(&out);
             let b = BoxPlot::from_samples(&samples).expect("non-empty samples");
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            t.row([
-                g.name.clone(),
-                v.label().to_string(),
-                f3(mean),
-                boxplot(&b),
-            ]);
+            t.row([g.name.clone(), v.label().to_string(), f3(mean), boxplot(&b)]);
         }
     }
     t.note("paper: SI ~12 ms (multicast only), group-aware ~70 ms dominated by waiting for region tuples");

@@ -57,12 +57,7 @@ pub fn sweep_table(params: &Params, metric: CutMetric) -> Vec<Table> {
         ["variant", "deadline(ms)", "value"],
     );
     for (i, ms) in DEADLINES_MS.iter().enumerate() {
-        let out = run_variant(
-            &trace,
-            &group.specs,
-            Variant::RgC,
-            Micros::from_millis(*ms),
-        );
+        let out = run_variant(&trace, &group.specs, Variant::RgC, Micros::from_millis(*ms));
         let value = match metric {
             CutMetric::Latency => f3(mean_latency_ms(&out)),
             CutMetric::Cpu => f3(cpu_per_tuple_us(&out)),

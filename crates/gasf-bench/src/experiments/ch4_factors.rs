@@ -88,7 +88,14 @@ pub fn fig4_17(params: &Params) -> Vec<Table> {
     for &n in sizes {
         let mut ratios = Vec::new();
         for rep in 0..params.reps {
-            let specs = random_group(&trace, "tmpr4", n, (DELTA_SCALE, 6.0 * DELTA_SCALE), s, rep * 100 + n as u64);
+            let specs = random_group(
+                &trace,
+                "tmpr4",
+                n,
+                (DELTA_SCALE, 6.0 * DELTA_SCALE),
+                s,
+                rep * 100 + n as u64,
+            );
             let ga = run_variant(&trace, &specs, Variant::Rg, CUT);
             let si = run_variant(&trace, &specs, Variant::Si, CUT);
             ratios.push(output_ratio(&ga, &si));
@@ -112,7 +119,14 @@ pub fn fig4_18(params: &Params) -> Vec<Table> {
     let s = trace.stats("tmpr4").expect("attr").mean_abs_delta;
     let mut rng = StdRng::seed_from_u64(418);
     for n in (3..=20).step_by(2) {
-        let specs = random_group(&trace, "tmpr4", n, (DELTA_SCALE, 6.0 * DELTA_SCALE), s, rng.gen());
+        let specs = random_group(
+            &trace,
+            "tmpr4",
+            n,
+            (DELTA_SCALE, 6.0 * DELTA_SCALE),
+            s,
+            rng.gen(),
+        );
         let ga = run_variant(&trace, &specs, Variant::Rg, CUT);
         let si = run_variant(&trace, &specs, Variant::Si, CUT);
         let per_batch = |out: &crate::runner::RunOutcome| {

@@ -86,10 +86,7 @@ mod tests {
     fn pcs_is_not_slower_than_earliest() {
         let t = &fig4_13(&p())[0];
         let mean = |label: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == label)
-                .unwrap()[1]
+            t.rows.iter().find(|r| r[0] == label).unwrap()[1]
                 .parse()
                 .unwrap()
         };

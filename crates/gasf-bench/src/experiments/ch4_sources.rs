@@ -111,8 +111,7 @@ pub fn sparkline(values: &[f64], buckets: usize) -> String {
         .map(|b| {
             let lo = b * values.len() / buckets;
             let hi = ((b + 1) * values.len() / buckets).max(lo + 1);
-            let mean =
-                values[lo..hi.min(values.len())].iter().sum::<f64>() / (hi - lo) as f64;
+            let mean = values[lo..hi.min(values.len())].iter().sum::<f64>() / (hi - lo) as f64;
             let idx = (((mean - min) / span) * 7.0).round() as usize;
             BARS[idx.min(7)]
         })
@@ -165,10 +164,7 @@ mod tests {
         // group-awareness than bursty ones (cow).
         let t = &fig4_20(&p())[0];
         let ratio = |name: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0].contains(name))
-                .unwrap()[6]
+            t.rows.iter().find(|r| r[0].contains(name)).unwrap()[6]
                 .parse()
                 .unwrap()
         };

@@ -44,16 +44,43 @@ impl Params {
 
     /// The NAMOS trace for repetition `rep`.
     pub fn namos(&self, rep: u64) -> Trace {
-        NamosBuoy::new().tuples(self.tuples).seed(rep + 1).generate()
+        NamosBuoy::new()
+            .tuples(self.tuples)
+            .seed(rep + 1)
+            .generate()
     }
 }
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "tab4_1", "fig4_2", "fig4_3", "fig4_6", "fig4_9", "fig4_10", "fig4_11", "fig4_12",
-    "fig4_13", "fig4_14", "fig4_15", "fig4_16", "fig4_17", "fig4_18", "fig4_19", "fig4_20",
-    "fig4_21", "fig4_24", "tab5_2", "fig5_2", "tab5_3", "fig5_3", "fig1_3", "sec4_1_2",
-    "sec5_5_1", "abl_regions", "abl_predictor", "abl_stateful",
+    "tab4_1",
+    "fig4_2",
+    "fig4_3",
+    "fig4_6",
+    "fig4_9",
+    "fig4_10",
+    "fig4_11",
+    "fig4_12",
+    "fig4_13",
+    "fig4_14",
+    "fig4_15",
+    "fig4_16",
+    "fig4_17",
+    "fig4_18",
+    "fig4_19",
+    "fig4_20",
+    "fig4_21",
+    "fig4_24",
+    "tab5_2",
+    "fig5_2",
+    "tab5_3",
+    "fig5_3",
+    "fig1_3",
+    "sec4_1_2",
+    "sec5_5_1",
+    "abl_regions",
+    "abl_predictor",
+    "abl_stateful",
 ];
 
 /// Runs one experiment by id; `None` for unknown ids.

@@ -108,8 +108,14 @@ pub fn sec4_1_2(_params: &Params) -> Vec<Table> {
         "overlay multicast delay calibration (7-node ring, 1 Mbps)",
         ["metric", "value (ms)"],
     );
-    t.row(["mean recipient latency", &f3(d.mean_latency().as_millis_f64())]);
-    t.row(["max recipient latency", &f3(d.max_latency().as_millis_f64())]);
+    t.row([
+        "mean recipient latency",
+        &f3(d.mean_latency().as_millis_f64()),
+    ]);
+    t.row([
+        "max recipient latency",
+        &f3(d.max_latency().as_millis_f64()),
+    ]);
     t.note("paper measured ~130 ms for Solar's overlay multicasting on Emulab");
     vec![t]
 }
@@ -119,7 +125,10 @@ pub fn sec4_1_2(_params: &Params) -> Vec<Table> {
 /// paper reported ~15 % additional bandwidth saving over SI and <0.25 s
 /// per 60 tuples of filtering CPU.
 pub fn sec5_5_1(params: &Params) -> Vec<Table> {
-    let trace = ChlorinePlume::new().tuples(params.tuples).seed(7).generate();
+    let trace = ChlorinePlume::new()
+        .tuples(params.tuples)
+        .seed(7)
+        .generate();
     let _ = SourceKind::Chlorine; // documented mapping
     let g = source_group(&trace, "chlorine", "DC_chlorine", 551);
 
@@ -131,8 +140,7 @@ pub fn sec5_5_1(params: &Params) -> Vec<Table> {
     let ga = run_mw(Algorithm::PerCandidateSet);
 
     let saving = 1.0 - ga.network_bytes as f64 / si.network_bytes as f64;
-    let cpu_per_60_ms =
-        ga.engine.cpu.as_secs_f64() * 1e3 / (ga.engine.input_tuples as f64 / 60.0);
+    let cpu_per_60_ms = ga.engine.cpu.as_secs_f64() * 1e3 / (ga.engine.input_tuples as f64 / 60.0);
     let mut t = Table::new(
         "sec5_5_1",
         "chlorine monitoring scenario (train-derailment exercise)",

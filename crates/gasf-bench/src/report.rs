@@ -45,14 +45,77 @@ impl Table {
         self.notes.push(note.into());
         self
     }
+
+    /// Renders the table as a JSON object. The workspace runs offline
+    /// without a serde backend, and every cell is already a string, so the
+    /// export is hand-rolled here.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"id\":{}", json_string(&self.id)));
+        out.push_str(&format!(",\"title\":{}", json_string(&self.title)));
+        out.push_str(&format!(
+            ",\"headers\":{}",
+            json_string_array(&self.headers)
+        ));
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string_array(row));
+        }
+        out.push(']');
+        out.push_str(&format!(",\"notes\":{}", json_string_array(&self.notes)));
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a slice of tables as a pretty-ish JSON array (one table per
+/// line), the format the `experiments --json` flag writes.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("[\n");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(&t.to_json());
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", cells.join(","))
 }
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== {} — {} ==", self.id, self.title)?;
-        let cols = self.headers.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -122,7 +185,9 @@ mod tests {
     #[test]
     fn renders_aligned_table() {
         let mut t = Table::new("x1", "demo", ["algo", "O/I"]);
-        t.row(["RG", "0.36"]).row(["SI", "0.46"]).note("lower is better");
+        t.row(["RG", "0.36"])
+            .row(["SI", "0.46"])
+            .note("lower is better");
         let out = t.to_string();
         assert!(out.contains("== x1 — demo =="));
         assert!(out.contains("algo"));
@@ -133,10 +198,14 @@ mod tests {
 
     #[test]
     fn serializes_to_json() {
-        let mut t = Table::new("x2", "demo", ["a"]);
-        t.row(["1"]);
-        let j = serde_json::to_string(&t).unwrap();
+        let mut t = Table::new("x2", "de\"mo", ["a"]);
+        t.row(["1"]).note("n1");
+        let j = t.to_json();
         assert!(j.contains("\"id\":\"x2\""));
+        assert!(j.contains("\"title\":\"de\\\"mo\""));
+        assert!(j.contains("\"rows\":[[\"1\"]]"));
+        let all = tables_to_json(&[t]);
+        assert!(all.starts_with("[\n") && all.ends_with("]\n"));
     }
 
     #[test]

@@ -24,7 +24,13 @@ pub enum Variant {
 
 impl Variant {
     /// All five, in the paper's plotting order.
-    pub const ALL: [Variant; 5] = [Variant::Rg, Variant::RgC, Variant::Ps, Variant::PsC, Variant::Si];
+    pub const ALL: [Variant; 5] = [
+        Variant::Rg,
+        Variant::RgC,
+        Variant::Ps,
+        Variant::PsC,
+        Variant::Si,
+    ];
 
     /// The paper's abbreviation.
     pub fn label(self) -> &'static str {

@@ -122,10 +122,7 @@ pub fn source_group(trace: &Trace, attr: &str, name: &str, seed: u64) -> Group {
     for m in &mut mults {
         *m = rng.gen_range(1.0..3.0) * DELTA_SCALE;
     }
-    Group::new(
-        name,
-        mults.iter().map(|&m| dc(attr, s * m, 0.5)).collect(),
-    )
+    Group::new(name, mults.iter().map(|&m| dc(attr, s * m, 0.5)).collect())
 }
 
 /// A random group of `n` DC1 filters on one attribute, fixed slack value
@@ -176,9 +173,7 @@ pub fn ten_groups(trace: &Trace) -> Vec<Group> {
         let series: Vec<f64> = trace
             .tuples()
             .iter()
-            .map(|t| {
-                ids.iter().map(|&id| t.get(id).unwrap_or(0.0)).sum::<f64>() / ids.len() as f64
-            })
+            .map(|t| ids.iter().map(|&id| t.get(id).unwrap_or(0.0)).sum::<f64>() / ids.len() as f64)
             .collect();
         gasf_sources::SourceStats::from_values(series).mean_abs_delta
     };

@@ -5,9 +5,15 @@
 //! satisfies the filter. The engines drive filters tuple-by-tuple and the
 //! filters answer with [`FilterAction`]s describing admissions, dismissals
 //! and closures; a closure hands the engine a finished [`ClosedSet`].
+//!
+//! Candidate sets reference tuples exclusively by interned
+//! [`TupleId`] — the payloads stay in the engine's
+//! [`TuplePool`](crate::tuple::TuplePool) and are only resolved again at
+//! emission time.
 
 use crate::quality::Prescription;
 use crate::time::Micros;
+use crate::tuple::TupleId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -81,12 +87,14 @@ impl TimeCover {
     }
 }
 
-/// A tuple recorded inside a candidate set: its identity plus the derived
-/// value the filter used (needed for top/bottom prescriptions).
+/// A tuple recorded inside a candidate set: its interned identity plus the
+/// derived value the filter used (needed for top/bottom prescriptions) and
+/// the timestamp (needed for time covers and the freshest tie-break)
+/// denormalised so the hot path never touches the tuple pool.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CandidateTuple {
-    /// Stream sequence number.
-    pub seq: u64,
+    /// Interned tuple identity.
+    pub id: TupleId,
     /// Source timestamp.
     pub timestamp: Micros,
     /// The filter's derived value for this tuple (attribute value, trend,
@@ -124,7 +132,7 @@ pub struct ClosedSet {
     /// output (the reference tuple for DC filters; an independent sample
     /// for sampling filters). Used by the SI baseline and for compression-
     /// ratio accounting.
-    pub si_choice: Vec<u64>,
+    pub si_choice: Vec<TupleId>,
     /// Why the set closed.
     pub cause: CloseCause,
 }
@@ -143,9 +151,9 @@ impl ClosedSet {
         }
     }
 
-    /// Whether the set contains a tuple with this sequence number.
-    pub fn contains(&self, seq: u64) -> bool {
-        self.candidates.iter().any(|c| c.seq == seq)
+    /// Whether the set contains the tuple with this id.
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.candidates.iter().any(|c| c.id == id)
     }
 
     /// Number of candidates.
@@ -158,33 +166,36 @@ impl ClosedSet {
         self.candidates.is_empty()
     }
 
-    /// Sequence numbers of the candidates eligible under the prescription,
-    /// grouped by *rank*. For [`Prescription::Any`] there is a single rank
-    /// containing everything. For `Top`/`Bottom` there are `pick_degree`
-    /// ranks ordered by the derived key; value ties share a rank (§5.3: "at
-    /// most one tuple for each of the k ranks").
-    pub fn eligible_ranks(&self) -> Vec<Vec<u64>> {
+    /// Ids of the candidates eligible under the prescription, grouped by
+    /// *rank*. For [`Prescription::Any`] there is a single rank containing
+    /// everything. For `Top`/`Bottom` there are `pick_degree` ranks ordered
+    /// by the derived key; value ties share a rank (§5.3: "at most one
+    /// tuple for each of the k ranks").
+    pub fn eligible_ranks(&self) -> Vec<Vec<TupleId>> {
         match self.prescription {
-            Prescription::Any => vec![self.candidates.iter().map(|c| c.seq).collect()],
+            Prescription::Any => vec![self.candidates.iter().map(|c| c.id).collect()],
             Prescription::Top | Prescription::Bottom => {
                 let mut sorted: Vec<&CandidateTuple> = self.candidates.iter().collect();
                 sorted.sort_by(|a, b| {
-                    let ord = a.key.partial_cmp(&b.key).unwrap_or(std::cmp::Ordering::Equal);
+                    let ord = a
+                        .key
+                        .partial_cmp(&b.key)
+                        .unwrap_or(std::cmp::Ordering::Equal);
                     match self.prescription {
                         Prescription::Top => ord.reverse(),
                         _ => ord,
                     }
                 });
-                let mut ranks: Vec<Vec<u64>> = Vec::new();
+                let mut ranks: Vec<Vec<TupleId>> = Vec::new();
                 let mut last_key = f64::NAN;
                 for c in sorted {
                     if ranks.len() >= self.pick_degree && c.key != last_key {
                         break;
                     }
                     if c.key == last_key {
-                        ranks.last_mut().expect("rank exists").push(c.seq);
+                        ranks.last_mut().expect("rank exists").push(c.id);
                     } else {
-                        ranks.push(vec![c.seq]);
+                        ranks.push(vec![c.id]);
                         last_key = c.key;
                     }
                 }
@@ -193,8 +204,8 @@ impl ClosedSet {
         }
     }
 
-    /// All eligible sequence numbers (flattened ranks).
-    pub fn eligible(&self) -> Vec<u64> {
+    /// All eligible ids (flattened ranks).
+    pub fn eligible(&self) -> Vec<TupleId> {
         self.eligible_ranks().into_iter().flatten().collect()
     }
 }
@@ -213,8 +224,8 @@ pub struct FilterAction {
     /// The tuple was identified as a *reference* output (what the
     /// self-interested filter would emit). Drives the SI baseline.
     pub reference: bool,
-    /// Sequence numbers dismissed from the open set by this tuple.
-    pub dismissed: Vec<u64>,
+    /// Ids dismissed from the open set by this tuple.
+    pub dismissed: Vec<TupleId>,
     /// A candidate set that closed during this step.
     pub closed: Option<ClosedSet>,
 }
@@ -232,10 +243,14 @@ mod tests {
 
     fn ct(seq: u64, ms: u64, key: f64) -> CandidateTuple {
         CandidateTuple {
-            seq,
+            id: TupleId::from_seq(seq),
             timestamp: Micros::from_millis(ms),
             key,
         }
+    }
+
+    fn ids(seqs: &[u64]) -> Vec<TupleId> {
+        seqs.iter().copied().map(TupleId::from_seq).collect()
     }
 
     fn set(cands: Vec<CandidateTuple>, degree: usize, p: Prescription) -> ClosedSet {
@@ -282,12 +297,16 @@ mod tests {
 
     #[test]
     fn closed_set_cover_and_contains() {
-        let s = set(vec![ct(3, 30, 45.0), ct(4, 40, 50.0), ct(5, 50, 59.0)], 1, Prescription::Any);
+        let s = set(
+            vec![ct(3, 30, 45.0), ct(4, 40, 50.0), ct(5, 50, 59.0)],
+            1,
+            Prescription::Any,
+        );
         let cover = s.cover();
         assert_eq!(cover.min, Micros::from_millis(30));
         assert_eq!(cover.max, Micros::from_millis(50));
-        assert!(s.contains(4));
-        assert!(!s.contains(9));
+        assert!(s.contains(TupleId::from_seq(4)));
+        assert!(!s.contains(TupleId::from_seq(9)));
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
     }
@@ -295,19 +314,24 @@ mod tests {
     #[test]
     fn eligible_any_is_single_rank() {
         let s = set(vec![ct(0, 0, 1.0), ct(1, 10, 2.0)], 1, Prescription::Any);
-        assert_eq!(s.eligible_ranks(), vec![vec![0, 1]]);
-        assert_eq!(s.eligible(), vec![0, 1]);
+        assert_eq!(s.eligible_ranks(), vec![ids(&[0, 1])]);
+        assert_eq!(s.eligible(), ids(&[0, 1]));
     }
 
     #[test]
     fn eligible_top_orders_by_key() {
         let s = set(
-            vec![ct(0, 0, 1.0), ct(1, 10, 5.0), ct(2, 20, 3.0), ct(3, 30, 5.0)],
+            vec![
+                ct(0, 0, 1.0),
+                ct(1, 10, 5.0),
+                ct(2, 20, 3.0),
+                ct(3, 30, 5.0),
+            ],
             2,
             Prescription::Top,
         );
         // ranks: [5.0 -> {1,3}], [3.0 -> {2}]
-        assert_eq!(s.eligible_ranks(), vec![vec![1, 3], vec![2]]);
+        assert_eq!(s.eligible_ranks(), vec![ids(&[1, 3]), ids(&[2])]);
     }
 
     #[test]
@@ -317,7 +341,7 @@ mod tests {
             2,
             Prescription::Bottom,
         );
-        assert_eq!(s.eligible_ranks(), vec![vec![1], vec![2]]);
+        assert_eq!(s.eligible_ranks(), vec![ids(&[1]), ids(&[2])]);
     }
 
     #[test]

@@ -102,11 +102,7 @@ impl RuntimePredictor {
     pub fn predict_us(&self, size: usize) -> f64 {
         let base = match self.fit() {
             Some((slope, intercept)) => slope * size as f64 + intercept,
-            None => self
-                .window
-                .iter()
-                .map(|&(_, y)| y)
-                .fold(0.0, f64::max),
+            None => self.window.iter().map(|&(_, y)| y).fold(0.0, f64::max),
         };
         (base + self.overestimate_us).max(0.0)
     }

@@ -13,18 +13,19 @@
 
 use crate::candidate::ClosedSet;
 use crate::quality::Prescription;
+use crate::tuple::TupleId;
 use crate::utility::GroupUtility;
 use std::collections::HashSet;
 
 /// Chooses this set's output tuples.
 ///
-/// `recently_decided` holds the sequence numbers already chosen by filters
-/// in the still-incomplete regions (the global state's `decidedOutput`).
+/// `recently_decided` holds the ids already chosen by filters in the
+/// still-incomplete regions (the global state's `decidedOutput`).
 pub(crate) fn decide_outputs(
     set: &ClosedSet,
     utility: &GroupUtility,
-    recently_decided: &HashSet<u64>,
-) -> Vec<u64> {
+    recently_decided: &HashSet<TupleId>,
+) -> Vec<TupleId> {
     let ranks = set.eligible_ranks();
     let ranked = set.prescription != Prescription::Any;
     let k = if ranked {
@@ -32,34 +33,34 @@ pub(crate) fn decide_outputs(
     } else {
         set.pick_degree.min(set.len())
     };
-    // (already-chosen, utility, seq) — all compared descending.
-    let mut candidates: Vec<(bool, u32, u64, usize)> = Vec::new();
+    // (already-chosen, utility, id) — all compared descending.
+    let mut candidates: Vec<(bool, u32, TupleId, usize)> = Vec::new();
     for (rank_idx, rank) in ranks.iter().enumerate() {
-        for &seq in rank {
+        for &id in rank {
             candidates.push((
-                recently_decided.contains(&seq),
-                utility.get(seq),
-                seq,
+                recently_decided.contains(&id),
+                utility.get(id),
+                id,
                 rank_idx,
             ));
         }
     }
-    candidates.sort_by_key(|&(already, utility, seq, _)| std::cmp::Reverse((already, utility, seq)));
+    candidates.sort_by_key(|&(already, utility, id, _)| std::cmp::Reverse((already, utility, id)));
 
     let mut chosen = Vec::with_capacity(k);
-    let mut used_ranks: Vec<bool> = vec![false; ranks.len()];
-    for (_, _, seq, rank_idx) in candidates {
+    let mut used_ranks = crate::bitset::BitSet::with_capacity(ranks.len());
+    for (_, _, id, rank_idx) in candidates {
         if chosen.len() == k {
             break;
         }
-        if ranked && used_ranks[rank_idx] {
+        if ranked && used_ranks.contains(rank_idx) {
             continue;
         }
-        if chosen.contains(&seq) {
+        if chosen.contains(&id) {
             continue;
         }
-        used_ranks[rank_idx] = true;
-        chosen.push(seq);
+        used_ranks.insert(rank_idx);
+        chosen.push(id);
     }
     chosen
 }
@@ -70,6 +71,10 @@ mod tests {
     use crate::candidate::{CandidateTuple, CloseCause, FilterId};
     use crate::time::Micros;
 
+    fn id(seq: u64) -> TupleId {
+        TupleId::from_seq(seq)
+    }
+
     fn set(seqs: &[u64], degree: usize, p: Prescription) -> ClosedSet {
         ClosedSet {
             filter: FilterId::from_index(0),
@@ -77,7 +82,7 @@ mod tests {
             candidates: seqs
                 .iter()
                 .map(|&s| CandidateTuple {
-                    seq: s,
+                    id: id(s),
                     timestamp: Micros::from_millis(s * 10),
                     key: s as f64,
                 })
@@ -93,13 +98,13 @@ mod tests {
     fn already_decided_takes_precedence() {
         let s = set(&[3, 4], 1, Prescription::Any);
         let mut u = GroupUtility::new();
-        u.increment(3);
-        u.increment(3); // utility 2 for the older tuple
-        u.increment(4);
+        u.increment(id(3));
+        u.increment(id(3)); // utility 2 for the older tuple
+        u.increment(id(4));
         let mut decided = HashSet::new();
-        decided.insert(4);
+        decided.insert(id(4));
         // Rule 1 beats rule 2: 4 wins despite lower utility.
-        assert_eq!(decide_outputs(&s, &u, &decided), vec![4]);
+        assert_eq!(decide_outputs(&s, &u, &decided), vec![id(4)]);
     }
 
     #[test]
@@ -107,12 +112,12 @@ mod tests {
         let s = set(&[3, 4, 5], 1, Prescription::Any);
         let mut u = GroupUtility::new();
         for _ in 0..2 {
-            u.increment(3);
-            u.increment(5);
+            u.increment(id(3));
+            u.increment(id(5));
         }
-        u.increment(4);
+        u.increment(id(4));
         // 3 and 5 tie on utility; 5 is fresher.
-        assert_eq!(decide_outputs(&s, &u, &HashSet::new()), vec![5]);
+        assert_eq!(decide_outputs(&s, &u, &HashSet::new()), vec![id(5)]);
     }
 
     #[test]
@@ -121,10 +126,10 @@ mod tests {
         let u = GroupUtility::new();
         let chosen = decide_outputs(&s, &u, &HashSet::new());
         assert_eq!(chosen.len(), 3);
-        let unique: HashSet<u64> = chosen.iter().copied().collect();
+        let unique: HashSet<TupleId> = chosen.iter().copied().collect();
         assert_eq!(unique.len(), 3);
         // with equal utilities, freshest first
-        assert_eq!(chosen, vec![4, 3, 2]);
+        assert_eq!(chosen, vec![id(4), id(3), id(2)]);
     }
 
     #[test]
@@ -133,7 +138,7 @@ mod tests {
         let s = set(&[1, 3, 4], 2, Prescription::Top);
         let chosen = decide_outputs(&s, &GroupUtility::new(), &HashSet::new());
         assert_eq!(chosen.len(), 2);
-        assert!(chosen.contains(&4) && chosen.contains(&3));
+        assert!(chosen.contains(&id(4)) && chosen.contains(&id(3)));
     }
 
     #[test]

@@ -12,19 +12,21 @@ mod decide;
 #[cfg(test)]
 mod tests;
 
+use crate::bitset::FilterSet;
 use crate::candidate::{CloseCause, FilterAction, FilterId, TimeCover};
 use crate::cuts::{RuntimePredictor, TimeConstraint};
 use crate::error::Error;
 use crate::filter::{build_filter, ForceCloseOutcome, GroupFilter};
-use crate::hitting_set::greedy_hitting_set;
+use crate::hitting_set::greedy_hitting_set_over;
 use crate::metrics::{EngineMetrics, FilterMetrics};
 use crate::quality::FilterSpec;
 use crate::region::{Region, RegionTracker};
 use crate::schema::Schema;
 use crate::time::Micros;
-use crate::tuple::Tuple;
+use crate::tuple::{Tuple, TupleId, TuplePool};
 use crate::utility::GroupUtility;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Second-stage algorithm selecting outputs from candidate sets.
@@ -57,12 +59,16 @@ pub enum OutputStrategy {
 }
 
 /// A decided tuple labelled with the filters that should receive it.
+///
+/// The payload is the engine pool's shared `Arc<Tuple>` (no copy is made
+/// at release time) and the recipient labels are a packed [`FilterSet`],
+/// iterated in ascending filter order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Emission {
-    /// The tuple to multicast.
-    pub tuple: Tuple,
-    /// Recipient filters (sorted, deduplicated).
-    pub recipients: Vec<FilterId>,
+    /// The tuple to multicast (shared with the engine's intern pool).
+    pub tuple: Arc<Tuple>,
+    /// Recipient filters.
+    pub recipients: FilterSet,
     /// Stream time at which the engine released the tuple.
     pub emitted_at: Micros,
 }
@@ -163,7 +169,11 @@ impl GroupEngineBuilder {
             } else {
                 spec.clone()
             };
-            filters.push(build_filter(&effective, FilterId::from_index(i), &self.schema)?);
+            filters.push(build_filter(
+                &effective,
+                FilterId::from_index(i),
+                &self.schema,
+            )?);
         }
         let constraint = self.constraint.or_else(|| {
             self.specs
@@ -183,14 +193,14 @@ impl GroupEngineBuilder {
             predictor: RuntimePredictor::with_window(self.predictor_window, self.overestimate_us),
             utility: GroupUtility::new(),
             tracker: RegionTracker::new(),
-            window: BTreeMap::new(),
+            pool: TuplePool::new(),
             pending: BTreeMap::new(),
             releasable: BTreeSet::new(),
             recently_decided: HashSet::new(),
-            emitted_seqs: HashSet::new(),
+            emitted_ids: HashSet::new(),
             batch_counter: 0,
             watermark: Micros::ZERO,
-            max_emitted_seq: None,
+            max_emitted_id: None,
             last_ts: None,
             last_seq: None,
             finished: false,
@@ -200,11 +210,6 @@ impl GroupEngineBuilder {
             },
         })
     }
-}
-
-#[derive(Debug, Clone)]
-struct PendingEntry {
-    recipients: Vec<FilterId>,
 }
 
 /// A group-aware stream-filtering engine for one source shared by a group
@@ -222,22 +227,22 @@ pub struct GroupEngine {
     predictor: RuntimePredictor,
     utility: GroupUtility,
     tracker: RegionTracker,
-    /// Tuples that may still be chosen/emitted, keyed by seq.
-    window: BTreeMap<u64, Tuple>,
-    /// Decided but not yet emitted outputs.
-    pending: BTreeMap<u64, PendingEntry>,
-    /// Pending seqs whose region has completed (eligible under `Earliest`).
-    releasable: BTreeSet<u64>,
-    /// Seqs chosen in still-incomplete regions (PS heuristic 1).
-    recently_decided: HashSet<u64>,
-    /// Seqs ever emitted (distinct-output accounting).
-    emitted_seqs: HashSet<u64>,
+    /// Intern pool owning the live tuples that may still be chosen/emitted.
+    pool: TuplePool,
+    /// Decided but not yet emitted outputs (recipient sets by id).
+    pending: BTreeMap<TupleId, FilterSet>,
+    /// Pending ids whose region has completed (eligible under `Earliest`).
+    releasable: BTreeSet<TupleId>,
+    /// Ids chosen in still-incomplete regions (PS heuristic 1).
+    recently_decided: HashSet<TupleId>,
+    /// Ids ever emitted (distinct-output accounting).
+    emitted_ids: HashSet<TupleId>,
     batch_counter: u32,
     /// Stream time up to which every region is complete (the punctuation
     /// value of §3.4).
     watermark: Micros,
-    /// Highest sequence number emitted so far (disorder detection).
-    max_emitted_seq: Option<u64>,
+    /// Highest id emitted so far (disorder detection).
+    max_emitted_id: Option<TupleId>,
     last_ts: Option<Micros>,
     last_seq: Option<u64>,
     finished: bool,
@@ -283,12 +288,12 @@ impl GroupEngine {
         &self.metrics
     }
 
-    /// Number of tuples currently buffered by the engine (window +
+    /// Number of tuples currently interned by the engine (live window +
     /// pending outputs). For well-formed streams this stays bounded by the
     /// current region's extent regardless of stream length — the region
     /// cleanup is what makes the engine usable on unbounded streams.
     pub fn buffered_tuples(&self) -> usize {
-        self.window.len()
+        self.pool.len()
     }
 
     /// The output watermark: the stream time up to which every region has
@@ -337,11 +342,12 @@ impl GroupEngine {
             }
         }
         let now = tuple.timestamp();
-        let seq = tuple.seq();
         self.last_ts = Some(now);
-        self.last_seq = Some(seq);
+        self.last_seq = Some(tuple.seq());
         self.metrics.input_tuples += 1;
-        self.window.insert(seq, tuple.clone());
+        // Intern once: the pool owns the payload, everything downstream
+        // carries the id.
+        let (id, tuple) = self.pool.intern(tuple);
 
         // Per-filter timely cuts (PS+C) are checked *before* admitting the
         // new tuple: "admitting a new tuple will likely violate the time
@@ -353,7 +359,7 @@ impl GroupEngine {
         // First stage: candidate admission.
         for i in 0..self.filters.len() {
             let action = self.filters[i].process(&tuple)?;
-            self.apply_action(i, seq, now, action);
+            self.apply_action(i, id, now, action);
         }
 
         // Group timely cut (RG+C) is checked after the admission loop
@@ -375,7 +381,7 @@ impl GroupEngine {
         self.drain_regions(now);
 
         let emissions = self.flush_for_push(now);
-        self.maybe_drop(seq);
+        self.maybe_drop(id);
         self.metrics.cpu += start.elapsed();
         Ok(emissions)
     }
@@ -447,23 +453,23 @@ impl GroupEngine {
     }
 
     fn handle_force_outcome(&mut self, i: usize, now: Micros, outcome: ForceCloseOutcome) {
-        for seq in outcome.dismissed {
+        for id in outcome.dismissed {
             self.metrics.per_filter[i].dismissed += 1;
-            self.utility.decrement(seq);
-            self.maybe_drop(seq);
+            self.utility.decrement(id);
+            self.maybe_drop(id);
         }
         if let Some(set) = outcome.closed {
             self.handle_closed_set(i, now, set);
         }
     }
 
-    fn apply_action(&mut self, i: usize, seq: u64, now: Micros, action: FilterAction) {
+    fn apply_action(&mut self, i: usize, id: TupleId, now: Micros, action: FilterAction) {
         if action.reference {
             self.metrics.per_filter[i].references += 1;
             if self.algorithm == Algorithm::SelfInterested
                 && self.filters[i].si_emits_at_reference()
             {
-                self.enqueue(seq, FilterId::from_index(i));
+                self.enqueue(id, FilterId::from_index(i));
                 self.metrics.per_filter[i].chosen += 1;
             }
         }
@@ -474,7 +480,7 @@ impl GroupEngine {
         }
         if action.admitted {
             self.metrics.per_filter[i].admitted += 1;
-            self.utility.increment(seq);
+            self.utility.increment(id);
         }
         if let Some(set) = action.closed {
             self.handle_closed_set(i, now, set);
@@ -489,39 +495,38 @@ impl GroupEngine {
         match self.algorithm {
             Algorithm::SelfInterested => {
                 if !self.filters[i].si_emits_at_reference() {
-                    for &s in &set.si_choice {
-                        self.enqueue(s, FilterId::from_index(i));
+                    for &id in &set.si_choice {
+                        self.enqueue(id, FilterId::from_index(i));
                         self.metrics.per_filter[i].chosen += 1;
                     }
                 }
                 for c in &set.candidates {
-                    self.utility.decrement(c.seq);
+                    self.utility.decrement(c.id);
                 }
-                let seqs: Vec<u64> = set.candidates.iter().map(|c| c.seq).collect();
-                for s in seqs {
-                    self.maybe_drop(s);
+                for c in &set.candidates {
+                    self.maybe_drop(c.id);
                 }
             }
             Algorithm::PerCandidateSet => {
                 let chosen = decide::decide_outputs(&set, &self.utility, &self.recently_decided);
                 self.metrics.per_filter[i].chosen += chosen.len() as u64;
                 if self.filters[i].is_stateful() {
-                    if let Some(&s0) = chosen.first() {
+                    if let Some(&first) = chosen.first() {
                         let key = set
                             .candidates
                             .iter()
-                            .find(|c| c.seq == s0)
+                            .find(|c| c.id == first)
                             .map(|c| c.key)
                             .unwrap_or_default();
-                        self.filters[i].output_chosen(s0, key);
+                        self.filters[i].output_chosen(first, key);
                     }
                 }
-                for &s in &chosen {
-                    self.enqueue(s, set.filter);
-                    self.recently_decided.insert(s);
+                for &id in &chosen {
+                    self.enqueue(id, set.filter);
+                    self.recently_decided.insert(id);
                 }
                 for c in &set.candidates {
-                    self.utility.decrement(c.seq);
+                    self.utility.decrement(c.id);
                 }
                 let _ = now;
                 self.tracker.add(set);
@@ -547,9 +552,12 @@ impl GroupEngine {
         if region.was_cut() {
             self.metrics.regions_cut += 1;
         }
+        // The distinct-id universe serves both the solver and the cleanup
+        // below — collected once per region.
+        let ids = region.distinct_ids();
         if self.algorithm == Algorithm::RegionGreedy {
             let t0 = Instant::now();
-            let choices = greedy_hitting_set(region.sets());
+            let choices = greedy_hitting_set_over(region.sets(), &ids);
             let elapsed = t0.elapsed();
             self.metrics.greedy_cpu += elapsed;
             self.predictor
@@ -557,48 +565,37 @@ impl GroupEngine {
             for choice in choices {
                 for &si in &choice.covers {
                     let fid = region.sets()[si].filter;
-                    self.enqueue(choice.seq, fid);
+                    self.enqueue(choice.id, fid);
                     self.metrics.per_filter[fid.index()].chosen += 1;
                 }
             }
         }
         // Cleanup: tuples of a completed region can never appear in a
-        // future candidate set (their covers would intersect the region's).
-        let mut seqs: Vec<u64> = region
-            .into_sets()
-            .iter()
-            .flat_map(|s| s.candidates.iter().map(|c| c.seq))
-            .collect();
-        seqs.sort_unstable();
-        seqs.dedup();
-        for s in seqs {
-            self.utility.remove(s);
-            self.recently_decided.remove(&s);
-            if self.pending.contains_key(&s) {
-                self.releasable.insert(s);
+        // future candidate set (their covers would intersect the region's),
+        // so their ids leave every engine structure here — this is the
+        // moment the id-stability window of `crate::tuple` ends.
+        for id in ids {
+            self.utility.remove(id);
+            self.recently_decided.remove(&id);
+            if self.pending.contains_key(&id) {
+                self.releasable.insert(id);
             } else {
-                self.window.remove(&s);
+                self.pool.release(id);
             }
         }
     }
 
-    fn enqueue(&mut self, seq: u64, recipient: FilterId) {
-        self.pending
-            .entry(seq)
-            .or_insert_with(|| PendingEntry {
-                recipients: Vec::new(),
-            })
-            .recipients
-            .push(recipient);
+    fn enqueue(&mut self, id: TupleId, recipient: FilterId) {
+        self.pending.entry(id).or_default().insert(recipient);
     }
 
-    /// Drops a tuple from the window once nothing can reference it again.
-    fn maybe_drop(&mut self, seq: u64) {
-        if self.utility.get(seq) == 0
-            && !self.pending.contains_key(&seq)
-            && !self.recently_decided.contains(&seq)
+    /// Drops a tuple from the pool once nothing can reference it again.
+    fn maybe_drop(&mut self, id: TupleId) {
+        if self.utility.get(id) == 0
+            && !self.pending.contains_key(&id)
+            && !self.recently_decided.contains(&id)
         {
-            self.window.remove(&seq);
+            self.pool.release(id);
         }
     }
 
@@ -616,39 +613,36 @@ impl GroupEngine {
                 }
             }
             (_, OutputStrategy::Earliest) => {
-                let ready: Vec<u64> = self.releasable.iter().copied().collect();
+                let ready: Vec<TupleId> = self.releasable.iter().copied().collect();
                 self.release(now, Some(ready))
             }
         }
     }
 
     /// Releases pending outputs. `only` restricts the release to specific
-    /// sequence numbers; `None` releases everything pending.
-    fn release(&mut self, now: Micros, only: Option<Vec<u64>>) -> Vec<Emission> {
-        let seqs: Vec<u64> = match only {
-            Some(s) => s,
+    /// ids; `None` releases everything pending.
+    fn release(&mut self, now: Micros, only: Option<Vec<TupleId>>) -> Vec<Emission> {
+        let ids: Vec<TupleId> = match only {
+            Some(ids) => ids,
             None => self.pending.keys().copied().collect(),
         };
-        let mut emissions = Vec::with_capacity(seqs.len());
-        for seq in seqs {
-            let Some(entry) = self.pending.remove(&seq) else {
+        let mut emissions = Vec::with_capacity(ids.len());
+        for id in ids {
+            let Some(recipients) = self.pending.remove(&id) else {
                 continue;
             };
-            self.releasable.remove(&seq);
-            let Some(tuple) = self.window.get(&seq).cloned() else {
-                debug_assert!(false, "pending tuple {seq} missing from window");
+            self.releasable.remove(&id);
+            let Some(tuple) = self.pool.get(id).cloned() else {
+                debug_assert!(false, "pending tuple {id} missing from pool");
                 continue;
             };
-            let mut recipients = entry.recipients;
-            recipients.sort_unstable();
-            recipients.dedup();
             self.metrics.emissions += 1;
             self.metrics.recipient_labels += recipients.len() as u64;
-            if self.max_emitted_seq.is_some_and(|m| seq < m) {
+            if self.max_emitted_id.is_some_and(|m| id < m) {
                 self.metrics.disordered_emissions += 1;
             }
-            self.max_emitted_seq = Some(self.max_emitted_seq.map_or(seq, |m| m.max(seq)));
-            if self.emitted_seqs.insert(seq) {
+            self.max_emitted_id = Some(self.max_emitted_id.map_or(id, |m| m.max(id)));
+            if self.emitted_ids.insert(id) {
                 self.metrics.output_tuples += 1;
             }
             self.metrics
@@ -656,9 +650,9 @@ impl GroupEngine {
                 .push(now.saturating_sub(tuple.timestamp()).as_micros());
             // The tuple may still be re-chosen while its region is
             // incomplete (per-candidate-set strategy); region completion
-            // removes it from the window for good.
-            if self.utility.get(seq) == 0 && !self.recently_decided.contains(&seq) {
-                self.window.remove(&seq);
+            // releases it from the pool for good.
+            if self.utility.get(id) == 0 && !self.recently_decided.contains(&id) {
+                self.pool.release(id);
             }
             emissions.push(Emission {
                 tuple,

@@ -99,7 +99,12 @@ fn per_candidate_set_reproduces_fig_2_11() {
     );
     assert_eq!(engine.metrics().output_tuples, 3);
     // Each filter chose one tuple per closed set: A and B have 3 sets, C 2.
-    let chosen: Vec<u64> = engine.metrics().per_filter.iter().map(|f| f.chosen).collect();
+    let chosen: Vec<u64> = engine
+        .metrics()
+        .per_filter
+        .iter()
+        .map(|f| f.chosen)
+        .collect();
     assert_eq!(chosen, vec![3, 3, 2]);
 }
 
@@ -236,7 +241,10 @@ fn earliest_latency_below_batched_latency() {
     };
     let earliest = run_with(OutputStrategy::Earliest);
     let batched = run_with(OutputStrategy::Batched(10));
-    assert!(earliest <= batched, "earliest {earliest} vs batched {batched}");
+    assert!(
+        earliest <= batched,
+        "earliest {earliest} vs batched {batched}"
+    );
 }
 
 #[test]
@@ -273,7 +281,9 @@ fn stateful_filters_require_per_candidate_set() {
 
 #[test]
 fn empty_group_rejected() {
-    let err = GroupEngine::builder(Schema::new(["t"])).build().unwrap_err();
+    let err = GroupEngine::builder(Schema::new(["t"]))
+        .build()
+        .unwrap_err();
     assert!(matches!(err, Error::InvalidConfig { .. }));
 }
 
@@ -287,10 +297,7 @@ fn ordering_violations_rejected() {
     engine.push(tuples[0].clone()).unwrap();
     // same timestamp again
     let bad_ts = tuples[0].clone().with_seq(1);
-    assert!(matches!(
-        engine.push(bad_ts),
-        Err(Error::OutOfOrder { .. })
-    ));
+    assert!(matches!(engine.push(bad_ts), Err(Error::OutOfOrder { .. })));
     // gap in sequence numbers
     let bad_seq = tuples[2].clone().with_seq(5);
     assert!(matches!(
@@ -309,7 +316,10 @@ fn push_after_finish_fails() {
         .build()
         .unwrap();
     engine.finish().unwrap();
-    assert!(matches!(engine.push(tuples[0].clone()), Err(Error::Finished)));
+    assert!(matches!(
+        engine.push(tuples[0].clone()),
+        Err(Error::Finished)
+    ));
     assert!(matches!(engine.finish(), Err(Error::Finished)));
 }
 

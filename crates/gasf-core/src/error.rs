@@ -71,7 +71,10 @@ impl fmt::Display for Error {
                 "out-of-order tuple: timestamp {got_us}us not after {last_us}us"
             ),
             Error::NonContiguousSeq { expected, got } => {
-                write!(f, "non-contiguous sequence number: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "non-contiguous sequence number: expected {expected}, got {got}"
+                )
             }
             Error::InvalidSpec { reason } => write!(f, "invalid filter spec: {reason}"),
             Error::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),

@@ -16,7 +16,7 @@ use crate::error::Error;
 use crate::quality::{Dependency, FilterKind, FilterSpec, PickSpec, Prescription};
 use crate::schema::AttrId;
 use crate::time::Micros;
-use crate::tuple::Tuple;
+use crate::tuple::{Tuple, TupleId};
 
 /// Derivation of the scalar a DC filter compresses: the taxonomy's
 /// "state-update function" applied to the watched attributes (Fig. 5.1).
@@ -86,7 +86,7 @@ struct DeltaCore {
     base: f64,
     phase: Phase,
     open: Vec<CandidateTuple>,
-    reference_seq: Option<u64>,
+    reference_id: Option<TupleId>,
     reference_val: f64,
     set_index: u64,
 }
@@ -101,7 +101,7 @@ impl DeltaCore {
             base: 0.0,
             phase: Phase::Initial,
             open: Vec::new(),
-            reference_seq: None,
+            reference_id: None,
             reference_val: 0.0,
             set_index: 0,
         }
@@ -109,7 +109,7 @@ impl DeltaCore {
 
     fn candidate(&self, tuple: &Tuple, key: f64) -> CandidateTuple {
         CandidateTuple {
-            seq: tuple.seq(),
+            id: tuple.id(),
             timestamp: tuple.timestamp(),
             key,
         }
@@ -118,7 +118,7 @@ impl DeltaCore {
     /// Seals the open candidates into a `ClosedSet`.
     fn seal(&mut self, cause: CloseCause) -> ClosedSet {
         let candidates = std::mem::take(&mut self.open);
-        let si_choice = self.reference_seq.take().into_iter().collect();
+        let si_choice = self.reference_id.take().into_iter().collect();
         let set = ClosedSet {
             filter: self.id,
             set_index: self.set_index,
@@ -137,23 +137,24 @@ impl DeltaCore {
     /// tentative candidates that are not contiguous-with and within `slack`
     /// of the reference, and switches to the vicinity phase.
     fn on_reference(&mut self, tuple: &Tuple, key: f64, action: &mut FilterAction) {
-        // Keep only the contiguous run (by sequence number) immediately
-        // preceding the reference whose keys are within slack of it.
+        // Keep only the contiguous run (by id, i.e. arrival order)
+        // immediately preceding the reference whose keys are within slack
+        // of it.
         let mut keep_from = self.open.len();
-        let mut expected = tuple.seq();
+        let mut expected = tuple.id();
         for (i, c) in self.open.iter().enumerate().rev() {
-            if c.seq + 1 == expected && (c.key - key).abs() <= self.slack {
+            if c.id.next() == expected && (c.key - key).abs() <= self.slack {
                 keep_from = i;
-                expected = c.seq;
+                expected = c.id;
             } else {
                 break;
             }
         }
         for c in self.open.drain(..keep_from) {
-            action.dismissed.push(c.seq);
+            action.dismissed.push(c.id);
         }
         self.open.push(self.candidate(tuple, key));
-        self.reference_seq = Some(tuple.seq());
+        self.reference_id = Some(tuple.id());
         self.reference_val = key;
         if !self.stateful {
             self.base = key;
@@ -213,7 +214,7 @@ impl DeltaCore {
                 // committed to this output either, so the tentative
                 // candidates are dismissed rather than closed — keeping the
                 // guarantee that cuts never perform worse than SI (§3.3).
-                let dismissed = self.open.drain(..).map(|c| c.seq).collect();
+                let dismissed = self.open.drain(..).map(|c| c.id).collect();
                 self.phase = Phase::Searching;
                 ForceCloseOutcome {
                     closed: None,
@@ -256,7 +257,7 @@ macro_rules! delegate_group_filter {
             fn force_close(&mut self, cause: CloseCause) -> ForceCloseOutcome {
                 self.core.force_close(cause)
             }
-            fn output_chosen(&mut self, _seq: u64, key: f64) {
+            fn output_chosen(&mut self, _id: crate::tuple::TupleId, key: f64) {
                 self.core.output_chosen(key);
             }
             fn is_stateful(&self) -> bool {
@@ -419,10 +420,7 @@ mod tests {
         (schema, tuples)
     }
 
-    fn run_filter(
-        mut f: Box<dyn GroupFilter>,
-        tuples: &[Tuple],
-    ) -> (Vec<Vec<f64>>, Vec<u64>) {
+    fn run_filter(mut f: Box<dyn GroupFilter>, tuples: &[Tuple]) -> (Vec<Vec<f64>>, Vec<u64>) {
         let mut sets = Vec::new();
         let mut refs = Vec::new();
         for t in tuples {
@@ -495,7 +493,7 @@ mod tests {
             let a = f.process(t).unwrap();
             dismissed.extend(a.dismissed);
         }
-        assert_eq!(dismissed, vec![1]); // seq 1 carries value 35
+        assert_eq!(dismissed, vec![TupleId::from_seq(1)]); // seq 1 carries value 35
     }
 
     #[test]
@@ -515,10 +513,15 @@ mod tests {
                 last_open.push(t.get(schema.attr("t").unwrap()).unwrap());
             }
         }
-        assert!(all_dismissed.contains(&1));
+        assert!(all_dismissed.contains(&TupleId::from_seq(1)));
         let out = f.force_close(CloseCause::EndOfStream);
         assert_eq!(
-            out.closed.unwrap().candidates.iter().map(|c| c.key).collect::<Vec<_>>(),
+            out.closed
+                .unwrap()
+                .candidates
+                .iter()
+                .map(|c| c.key)
+                .collect::<Vec<_>>(),
             vec![10.0]
         );
     }
@@ -546,7 +549,7 @@ mod tests {
         let out = f.force_close(CloseCause::Cut);
         let set = out.closed.unwrap();
         assert_eq!(set.cause, CloseCause::Cut);
-        assert_eq!(set.si_choice, vec![0]);
+        assert_eq!(set.si_choice, vec![TupleId::from_seq(0)]);
         assert!(out.dismissed.is_empty());
     }
 
@@ -563,7 +566,7 @@ mod tests {
         }
         let out = f.force_close(CloseCause::Cut);
         assert!(out.closed.is_none());
-        assert_eq!(out.dismissed, vec![2]);
+        assert_eq!(out.dismissed, vec![TupleId::from_seq(2)]);
     }
 
     #[test]
@@ -572,12 +575,9 @@ mod tests {
         // Stateless: base after first set would be 50 (the reference).
         // Stateful with chosen output 59: next reference needs |v-59| >= 50.
         let spec = FilterSpec::stateful_delta("t", 50.0, 10.0);
-        let mut f = DeltaCompression::from_spec(
-            spec,
-            FilterId::from_index(0),
-            schema.attr("t").unwrap(),
-        )
-        .unwrap();
+        let mut f =
+            DeltaCompression::from_spec(spec, FilterId::from_index(0), schema.attr("t").unwrap())
+                .unwrap();
         assert!(f.is_stateful());
         let tuples = series(
             &schema,
@@ -590,7 +590,7 @@ mod tests {
         let a2 = f.process(&tuples[2]).unwrap(); // 75 closes the set
         assert!(a2.closed.is_some());
         // The group chose 59; inform the filter.
-        f.output_chosen(1, 59.0);
+        f.output_chosen(TupleId::from_seq(1), 59.0);
         // 102: |102 - 59| = 43 < 50 -> only tentative (43 >= 40).
         let a3 = f.process(&tuples[3]).unwrap();
         assert!(a3.admitted && !a3.reference);
@@ -612,12 +612,8 @@ mod tests {
         }
         let tuples = series(&schema, "t", &pts);
         let spec = FilterSpec::trend_delta("t", 80.0, 10.0);
-        let mut f = TrendDelta::from_spec(
-            spec,
-            FilterId::from_index(0),
-            schema.attr("t").unwrap(),
-        )
-        .unwrap();
+        let mut f = TrendDelta::from_spec(spec, FilterId::from_index(0), schema.attr("t").unwrap())
+            .unwrap();
         let mut refs = 0;
         for t in &tuples {
             if f.process(t).unwrap().reference {
@@ -638,8 +634,8 @@ mod tests {
         let spec = FilterSpec::multi_attr_delta(["a", "b"], 10.0, 1.0);
         let a_id = schema.attr("a").unwrap();
         let b_id = schema.attr("b").unwrap();
-        let mut f = MultiAttrDelta::from_spec(spec, FilterId::from_index(0), vec![a_id, b_id])
-            .unwrap();
+        let mut f =
+            MultiAttrDelta::from_spec(spec, FilterId::from_index(0), vec![a_id, b_id]).unwrap();
         assert!(f.process(&t0).unwrap().reference);
         assert!(!f.process(&t1).unwrap().reference, "mean 5 below delta 10");
         assert!(f.process(&t2).unwrap().reference, "mean 10 hits delta");
@@ -654,16 +650,10 @@ mod tests {
         // filter built against schema ["t"] attr 0 == "a" here; use a filter
         // over "b" to provoke the missing value instead:
         let spec = FilterSpec::delta("b", 1.0, 0.1);
-        let mut g = DeltaCompression::from_spec(
-            spec,
-            FilterId::from_index(1),
-            schema.attr("b").unwrap(),
-        )
-        .unwrap();
-        assert!(matches!(
-            g.process(&t),
-            Err(Error::MissingValue { .. })
-        ));
+        let mut g =
+            DeltaCompression::from_spec(spec, FilterId::from_index(1), schema.attr("b").unwrap())
+                .unwrap();
+        assert!(matches!(g.process(&t), Err(Error::MissingValue { .. })));
         // and the original filter still works on its own stream
         let s2 = Schema::new(["t"]);
         let ts = series(&s2, "t", &[(0, 1.0)]);

@@ -28,7 +28,7 @@ use crate::candidate::{CloseCause, ClosedSet, FilterAction, FilterId, TimeCover}
 use crate::error::Error;
 use crate::quality::{FilterKind, FilterSpec};
 use crate::schema::Schema;
-use crate::tuple::Tuple;
+use crate::tuple::{Tuple, TupleId};
 use std::fmt;
 
 /// Result of forcing a filter to close its open candidate set.
@@ -40,7 +40,7 @@ pub struct ForceCloseOutcome {
     /// Tuples dropped without closure (tentative candidates of an output
     /// the self-interested filter had not committed to either); the engine
     /// decrements their group utility.
-    pub dismissed: Vec<u64>,
+    pub dismissed: Vec<TupleId>,
 }
 
 /// The contract between a filter and the group-aware engines.
@@ -68,8 +68,8 @@ pub trait GroupFilter: fmt::Debug + Send {
     /// Informs a *stateful* filter which tuple was chosen from its last
     /// closed set (`key` is the derived value recorded for that candidate).
     /// Stateless filters ignore this.
-    fn output_chosen(&mut self, seq: u64, key: f64) {
-        let _ = (seq, key);
+    fn output_chosen(&mut self, id: TupleId, key: f64) {
+        let _ = (id, key);
     }
 
     /// Whether candidate sets depend on previously chosen outputs
@@ -111,7 +111,11 @@ pub fn build_filter(
     match &spec.kind {
         FilterKind::Delta { attr, .. } => {
             let attr = schema.attr(attr)?;
-            Ok(Box::new(DeltaCompression::from_spec(spec.clone(), id, attr)?))
+            Ok(Box::new(DeltaCompression::from_spec(
+                spec.clone(),
+                id,
+                attr,
+            )?))
         }
         FilterKind::TrendDelta { attr, .. } => {
             let attr = schema.attr(attr)?;
@@ -122,15 +126,27 @@ pub fn build_filter(
                 .iter()
                 .map(|a| schema.attr(a))
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Box::new(MultiAttrDelta::from_spec(spec.clone(), id, attrs)?))
+            Ok(Box::new(MultiAttrDelta::from_spec(
+                spec.clone(),
+                id,
+                attrs,
+            )?))
         }
         FilterKind::Reservoir { attr, .. } => {
             let attr = schema.attr(attr)?;
-            Ok(Box::new(ReservoirSampler::from_spec(spec.clone(), id, attr)?))
+            Ok(Box::new(ReservoirSampler::from_spec(
+                spec.clone(),
+                id,
+                attr,
+            )?))
         }
         FilterKind::StratifiedSample { attr, .. } => {
             let attr = schema.attr(attr)?;
-            Ok(Box::new(StratifiedSampler::from_spec(spec.clone(), id, attr)?))
+            Ok(Box::new(StratifiedSampler::from_spec(
+                spec.clone(),
+                id,
+                attr,
+            )?))
         }
     }
 }

@@ -14,7 +14,7 @@ use crate::error::Error;
 use crate::quality::{FilterKind, FilterSpec, PickDegree, Prescription};
 use crate::schema::AttrId;
 use crate::time::Micros;
-use crate::tuple::Tuple;
+use crate::tuple::{Tuple, TupleId};
 
 /// A group-aware stratified sampler.
 #[derive(Debug)]
@@ -88,12 +88,12 @@ impl StratifiedSampler {
 
     /// Evenly spaced deterministic sample — what the self-interested
     /// sampler ships (a fixed-rate pick, blind to the group).
-    fn si_sample(candidates: &[CandidateTuple], k: usize) -> Vec<u64> {
+    fn si_sample(candidates: &[CandidateTuple], k: usize) -> Vec<TupleId> {
         let n = candidates.len();
         if n == 0 || k == 0 {
             return Vec::new();
         }
-        (0..k).map(|i| candidates[i * n / k].seq).collect()
+        (0..k).map(|i| candidates[i * n / k].id).collect()
     }
 
     fn seal(&mut self, cause: CloseCause) -> Option<ClosedSet> {
@@ -144,7 +144,7 @@ impl GroupFilter for StratifiedSampler {
             self.current_window = Some(w);
         }
         self.open.push(CandidateTuple {
-            seq: tuple.seq(),
+            id: tuple.id(),
             timestamp: tuple.timestamp(),
             key: v,
         });
@@ -263,14 +263,18 @@ mod tests {
     fn si_sample_is_evenly_spaced_and_sized() {
         let cands: Vec<CandidateTuple> = (0..10)
             .map(|i| CandidateTuple {
-                seq: i,
+                id: TupleId::from_seq(i),
                 timestamp: Micros::from_millis(i * 10),
                 key: i as f64,
             })
             .collect();
         let s = StratifiedSampler::si_sample(&cands, 5);
         assert_eq!(s.len(), 5);
-        assert_eq!(s, vec![0, 2, 4, 6, 8]);
+        let want: Vec<TupleId> = [0, 2, 4, 6, 8]
+            .iter()
+            .map(|&i| TupleId::from_seq(i))
+            .collect();
+        assert_eq!(s, want);
         assert!(StratifiedSampler::si_sample(&cands, 0).is_empty());
         assert!(StratifiedSampler::si_sample(&[], 3).is_empty());
     }
@@ -297,12 +301,9 @@ mod tests {
         let schema = Schema::new(["t"]);
         let spec = FilterSpec::stratified_sample("t", Micros::from_millis(50), 0.0, 50.0, 50.0)
             .with_prescription(Prescription::Top);
-        let mut f = StratifiedSampler::from_spec(
-            spec,
-            FilterId::from_index(0),
-            schema.attr("t").unwrap(),
-        )
-        .unwrap();
+        let mut f =
+            StratifiedSampler::from_spec(spec, FilterId::from_index(0), schema.attr("t").unwrap())
+                .unwrap();
         let tuples = series(&schema, "t", &[(0, 1.0), (10, 9.0), (20, 3.0), (30, 7.0)]);
         for t in &tuples {
             f.process(t).unwrap();
@@ -311,7 +312,10 @@ mod tests {
         assert_eq!(set.prescription, Prescription::Top);
         assert_eq!(set.pick_degree, 2);
         // top-2 ranks: 9.0 (seq 1), 7.0 (seq 3)
-        assert_eq!(set.eligible_ranks(), vec![vec![1], vec![3]]);
+        assert_eq!(
+            set.eligible_ranks(),
+            vec![vec![TupleId::from_seq(1)], vec![TupleId::from_seq(3)]]
+        );
     }
 }
 
@@ -402,7 +406,7 @@ impl GroupFilter for ReservoirSampler {
             self.current_window = Some(w);
         }
         self.open.push(CandidateTuple {
-            seq: tuple.seq(),
+            id: tuple.id(),
             timestamp: tuple.timestamp(),
             key: v,
         });

@@ -8,18 +8,38 @@
 //! generalises to the **multi-degree hitting set** (Definition 6 /
 //! Axiom 3) needed by sampling filters, with at most one tuple per rank
 //! for top/bottom prescriptions (§5.3).
+//!
+//! ## Representation
+//!
+//! The solver operates purely on interned [`TupleId`]s — no `Tuple`
+//! payloads enter the selection loop. The region's distinct ids are mapped
+//! to a dense index space once, per-tuple state lives in a flat vector
+//! (not a hash map), and per-set rank usage is tracked in packed
+//! [`BitSet`]s. Ids are stable for the lifetime of the region being
+//! solved (see [`crate::tuple`]), which is what makes the dense mapping
+//! sound.
 
+use crate::bitset::BitSet;
 use crate::candidate::ClosedSet;
-use std::collections::HashMap;
+use crate::tuple::TupleId;
 
 /// One tuple chosen by the solver and the sets it covers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Choice {
-    /// Sequence number of the chosen tuple.
-    pub seq: u64,
+    /// Interned id of the chosen tuple.
+    pub id: TupleId,
     /// Indices (into the input slice) of the sets this choice counts
     /// toward.
     pub covers: Vec<usize>,
+}
+
+/// Per-tuple solver state: timestamp for the tie-break plus the
+/// `(set, rank)` slots the tuple can fill.
+struct TupleState {
+    id: TupleId,
+    ts: u64,
+    slots: Vec<(usize, Option<usize>)>,
+    chosen: bool,
 }
 
 /// Solves the (multi-degree) hitting-set instance formed by `sets` with the
@@ -34,15 +54,43 @@ pub struct Choice {
 /// [`Prescription::Any`](crate::quality::Prescription::Any) reproduce the
 /// classical greedy hitting set exactly.
 pub fn greedy_hitting_set(sets: &[ClosedSet]) -> Vec<Choice> {
-    // Per-tuple info: timestamp + the (set, rank) slots it can fill.
-    struct Info {
-        ts: u64,
-        slots: Vec<(usize, Option<usize>)>,
-    }
-    let mut pool: HashMap<u64, Info> = HashMap::new();
+    greedy_hitting_set_over(sets, &collect_distinct_ids(sets))
+}
+
+/// The sorted distinct ids referenced by `sets` — the dense universe the
+/// solver indexes over.
+pub(crate) fn collect_distinct_ids(sets: &[ClosedSet]) -> Vec<TupleId> {
+    let mut universe: Vec<TupleId> = sets
+        .iter()
+        .flat_map(|s| s.candidates.iter().map(|c| c.id))
+        .collect();
+    universe.sort_unstable();
+    universe.dedup();
+    universe
+}
+
+/// [`greedy_hitting_set`] with the universe precomputed, so callers that
+/// already hold the region's distinct ids (the engine's region-completion
+/// path) do not pay a second collect+sort+dedup pass.
+pub(crate) fn greedy_hitting_set_over(sets: &[ClosedSet], universe: &[TupleId]) -> Vec<Choice> {
+    let dense = |id: TupleId| {
+        universe
+            .binary_search(&id)
+            .expect("universe covers every candidate id")
+    };
+
+    let mut tuples: Vec<TupleState> = universe
+        .iter()
+        .map(|&id| TupleState {
+            id,
+            ts: 0,
+            slots: Vec::new(),
+            chosen: false,
+        })
+        .collect();
     let mut needed: Vec<usize> = Vec::with_capacity(sets.len());
-    // For ranked sets: which ranks are already used.
-    let mut rank_used: Vec<Vec<bool>> = Vec::with_capacity(sets.len());
+    // For ranked sets: which ranks are already used, as packed bits.
+    let mut rank_used: Vec<BitSet> = Vec::with_capacity(sets.len());
 
     for (si, set) in sets.iter().enumerate() {
         let ranks = set.eligible_ranks();
@@ -53,31 +101,24 @@ pub fn greedy_hitting_set(sets: &[ClosedSet]) -> Vec<Choice> {
             set.pick_degree.min(set.len())
         };
         needed.push(effective);
-        rank_used.push(vec![false; ranks.len()]);
+        rank_used.push(BitSet::with_capacity(ranks.len()));
+        for c in &set.candidates {
+            tuples[dense(c.id)].ts = c.timestamp.as_micros();
+        }
         for (ri, rank) in ranks.iter().enumerate() {
-            for &seq in rank {
-                let ts = set
-                    .candidates
-                    .iter()
-                    .find(|c| c.seq == seq)
-                    .map(|c| c.timestamp.as_micros())
-                    .unwrap_or(0);
-                pool.entry(seq)
-                    .or_insert_with(|| Info {
-                        ts,
-                        slots: Vec::new(),
-                    })
+            for &id in rank {
+                tuples[dense(id)]
                     .slots
                     .push((si, if ranked { Some(ri) } else { None }));
             }
         }
     }
 
-    let usefulness = |info: &Info, needed: &[usize], rank_used: &[Vec<bool>]| -> u32 {
-        info.slots
+    let usefulness = |t: &TupleState, needed: &[usize], rank_used: &[BitSet]| -> u32 {
+        t.slots
             .iter()
             .filter(|(si, rank)| {
-                needed[*si] > 0 && rank.is_none_or(|r| !rank_used[*si][r])
+                needed[*si] > 0 && rank.is_none_or(|r| !rank_used[*si].contains(r))
             })
             .count() as u32
     };
@@ -85,38 +126,40 @@ pub fn greedy_hitting_set(sets: &[ClosedSet]) -> Vec<Choice> {
     let mut result = Vec::new();
     while needed.iter().any(|&n| n > 0) {
         // Pick the tuple with max utility; ties -> freshest timestamp,
-        // then highest seq (deterministic).
-        let mut best: Option<(u32, u64, u64)> = None; // (utility, ts, seq)
-        for (&seq, info) in pool.iter() {
-            let u = usefulness(info, &needed, &rank_used);
+        // then highest id (deterministic).
+        let mut best: Option<(u32, u64, TupleId)> = None;
+        for t in tuples.iter().filter(|t| !t.chosen) {
+            let u = usefulness(t, &needed, &rank_used);
             if u == 0 {
                 continue;
             }
-            let key = (u, info.ts, seq);
+            let key = (u, t.ts, t.id);
             if best.is_none_or(|b| key > b) {
                 best = Some(key);
             }
         }
-        let Some((_, _, seq)) = best else {
+        let Some((_, _, id)) = best else {
             // No tuple can satisfy the remaining demand (can only happen
             // for ranked sets with fewer usable ranks than degree, which
             // `effective` already prevents) — defensive break.
             debug_assert!(false, "greedy hitting set ran out of useful tuples");
             break;
         };
-        let info = pool.remove(&seq).expect("best tuple is in the pool");
+        let t = &mut tuples[dense(id)];
+        t.chosen = true;
+        let slots = std::mem::take(&mut t.slots);
         let mut covers = Vec::new();
-        for (si, rank) in &info.slots {
-            if needed[*si] > 0 && rank.is_none_or(|r| !rank_used[*si][r]) {
-                needed[*si] -= 1;
+        for (si, rank) in slots {
+            if needed[si] > 0 && rank.is_none_or(|r| !rank_used[si].contains(r)) {
+                needed[si] -= 1;
                 if let Some(r) = rank {
-                    rank_used[*si][*r] = true;
+                    rank_used[si].insert(r);
                 }
-                covers.push(*si);
+                covers.push(si);
             }
         }
         debug_assert!(!covers.is_empty());
-        result.push(Choice { seq, covers });
+        result.push(Choice { id, covers });
     }
     result
 }
@@ -125,22 +168,17 @@ pub fn greedy_hitting_set(sets: &[ClosedSet]) -> Vec<Choice> {
 /// tuples). Only 1-degree, unranked sets are supported. Used to validate
 /// the greedy heuristic in tests and to measure approximation quality.
 ///
-/// Returns the chosen sequence numbers, or `None` if the instance has more
-/// than `max_universe` distinct tuples.
-pub fn brute_force_minimum(sets: &[ClosedSet], max_universe: usize) -> Option<Vec<u64>> {
-    let mut universe: Vec<u64> = sets
-        .iter()
-        .flat_map(|s| s.candidates.iter().map(|c| c.seq))
-        .collect();
-    universe.sort_unstable();
-    universe.dedup();
+/// Returns the chosen ids, or `None` if the instance has more than
+/// `max_universe` distinct tuples.
+pub fn brute_force_minimum(sets: &[ClosedSet], max_universe: usize) -> Option<Vec<TupleId>> {
+    let universe = collect_distinct_ids(sets);
     if universe.len() > max_universe || universe.len() > 25 {
         return None;
     }
     let n = universe.len();
-    let mut best: Option<Vec<u64>> = None;
+    let mut best: Option<Vec<TupleId>> = None;
     for mask in 0u32..(1u32 << n) {
-        let chosen: Vec<u64> = (0..n)
+        let chosen: Vec<TupleId> = (0..n)
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| universe[i])
             .collect();
@@ -151,7 +189,7 @@ pub fn brute_force_minimum(sets: &[ClosedSet], max_universe: usize) -> Option<Ve
         }
         let hits_all = sets
             .iter()
-            .all(|s| s.candidates.iter().any(|c| chosen.contains(&c.seq)));
+            .all(|s| s.candidates.iter().any(|c| chosen.contains(&c.id)));
         if hits_all {
             best = Some(chosen);
         }
@@ -166,6 +204,10 @@ mod tests {
     use crate::quality::Prescription;
     use crate::time::Micros;
 
+    fn id(seq: u64) -> TupleId {
+        TupleId::from_seq(seq)
+    }
+
     fn set(filter: usize, seqs: &[u64]) -> ClosedSet {
         set_with(filter, seqs, 1, Prescription::Any)
     }
@@ -177,7 +219,7 @@ mod tests {
             candidates: seqs
                 .iter()
                 .map(|&s| CandidateTuple {
-                    seq: s,
+                    id: id(s),
                     timestamp: Micros::from_millis(s * 10),
                     key: s as f64,
                 })
@@ -189,8 +231,8 @@ mod tests {
         }
     }
 
-    fn chosen_seqs(sets: &[ClosedSet]) -> Vec<u64> {
-        let mut v: Vec<u64> = greedy_hitting_set(sets).into_iter().map(|c| c.seq).collect();
+    fn chosen_ids(sets: &[ClosedSet]) -> Vec<TupleId> {
+        let mut v: Vec<TupleId> = greedy_hitting_set(sets).into_iter().map(|c| c.id).collect();
         v.sort_unstable();
         v
     }
@@ -211,9 +253,9 @@ mod tests {
         // Utilities: 7 and 8 have 3; freshest wins -> 8 (=tuple 100) first,
         // covering sets 2,3,4. Then 3,4 have utility 2 each; freshest -> 4
         // (=tuple 50), covering sets 0,1.
-        assert_eq!(result[0].seq, 8);
+        assert_eq!(result[0].id, id(8));
         assert_eq!(result[0].covers, vec![2, 3, 4]);
-        assert_eq!(result[1].seq, 4);
+        assert_eq!(result[1].id, id(4));
         assert_eq!(result[1].covers, vec![0, 1]);
         assert_eq!(result.len(), 2);
     }
@@ -225,7 +267,7 @@ mod tests {
         for (si, s) in sets.iter().enumerate() {
             let hit = result
                 .iter()
-                .any(|c| c.covers.contains(&si) && s.contains(c.seq));
+                .any(|c| c.covers.contains(&si) && s.contains(c.id));
             assert!(hit, "set {si} not hit");
         }
     }
@@ -233,7 +275,7 @@ mod tests {
     #[test]
     fn singleton_sets_force_choices() {
         let sets = vec![set(0, &[1]), set(1, &[2])];
-        assert_eq!(chosen_seqs(&sets), vec![1, 2]);
+        assert_eq!(chosen_ids(&sets), vec![id(1), id(2)]);
     }
 
     #[test]
@@ -244,7 +286,7 @@ mod tests {
             set(2, &[3, 4]),
             set(3, &[4]),
         ];
-        let greedy = chosen_seqs(&sets);
+        let greedy = chosen_ids(&sets);
         let best = brute_force_minimum(&sets, 20).unwrap();
         // 4 hits sets 1,2,3; one of {1,2,3} hits set 0 -> optimum 2.
         assert_eq!(best.len(), 2);
@@ -253,15 +295,20 @@ mod tests {
 
     #[test]
     fn multi_degree_set_gets_k_distinct_tuples() {
-        let sets = vec![set_with(0, &[1, 2, 3, 4], 2, Prescription::Any), set(1, &[2])];
+        let sets = vec![
+            set_with(0, &[1, 2, 3, 4], 2, Prescription::Any),
+            set(1, &[2]),
+        ];
         let result = greedy_hitting_set(&sets);
-        let covering: Vec<&Choice> =
-            result.iter().filter(|c| c.covers.contains(&0)).collect();
+        let covering: Vec<&Choice> = result.iter().filter(|c| c.covers.contains(&0)).collect();
         assert_eq!(covering.len(), 2, "degree-2 set covered twice");
-        let seqs: Vec<u64> = covering.iter().map(|c| c.seq).collect();
-        assert_eq!(seqs.len(), seqs.iter().collect::<std::collections::HashSet<_>>().len());
+        let ids: Vec<TupleId> = covering.iter().map(|c| c.id).collect();
+        assert_eq!(
+            ids.len(),
+            ids.iter().collect::<std::collections::HashSet<_>>().len()
+        );
         // 2 should be shared with the singleton set.
-        assert!(result.iter().any(|c| c.seq == 2 && c.covers.len() == 2));
+        assert!(result.iter().any(|c| c.id == id(2) && c.covers.len() == 2));
     }
 
     #[test]
@@ -273,10 +320,10 @@ mod tests {
         s.candidates[2].key = 5.0;
         let result = greedy_hitting_set(&[s]);
         assert_eq!(result.len(), 2);
-        let seqs: Vec<u64> = result.iter().map(|c| c.seq).collect();
+        let ids: Vec<TupleId> = result.iter().map(|c| c.id).collect();
         // must include 3 (only rank-1 tuple) and exactly one of {1,2}
-        assert!(seqs.contains(&3));
-        assert_eq!(seqs.iter().filter(|&&s| s == 1 || s == 2).count(), 1);
+        assert!(ids.contains(&id(3)));
+        assert_eq!(ids.iter().filter(|&&i| i == id(1) || i == id(2)).count(), 1);
     }
 
     #[test]
@@ -307,6 +354,6 @@ mod tests {
         let sets = vec![set(0, &[1, 9]), set(1, &[1, 9])];
         let result = greedy_hitting_set(&sets);
         assert_eq!(result.len(), 1);
-        assert_eq!(result[0].seq, 9);
+        assert_eq!(result[0].id, id(9));
     }
 }

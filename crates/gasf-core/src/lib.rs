@@ -32,6 +32,15 @@
 //! [`filter::StratifiedSampler`] (SS), all implementing [`filter::GroupFilter`]
 //! so downstream users can add their own.
 //!
+//! ## Data path
+//!
+//! The hot path runs on interned identities, not payloads: every tuple is
+//! interned once into the engine's [`tuple::TuplePool`] (an `Arc<Tuple>`
+//! pool keyed by the copyable [`tuple::TupleId`] newtype), candidate sets
+//! and solvers carry ids only, and recipient labels are packed
+//! [`bitset::FilterSet`] bitsets. Payloads are resolved again exactly once,
+//! at emission time.
+//!
 //! ## Quickstart
 //!
 //! ```rust
@@ -46,13 +55,18 @@
 //!     .build()?;
 //!
 //! let mut stream = TupleBuilder::new(&schema);
+//! let mut emitted = 0;
 //! for (i, v) in [0.0, 35.0, 29.0, 45.0, 50.0, 59.0].iter().enumerate() {
-//!     let tuple = stream.at_millis(i as u64 * 10).set("temperature", *v).build()?;
+//!     let tuple = stream.at_millis(i as u64 * 10 + 1).set("temperature", *v).build()?;
 //!     for emission in engine.push(tuple)? {
-//!         println!("send {:?} to {:?}", emission.tuple.seq(), emission.recipients);
+//!         // `emission.tuple` is the pool's shared Arc<Tuple>;
+//!         // `emission.recipients` is a packed FilterSet of filter ids.
+//!         println!("send {} to {}", emission.tuple.id(), emission.recipients);
+//!         emitted += 1;
 //!     }
 //! }
-//! engine.finish()?;
+//! emitted += engine.finish()?.len();
+//! assert!(emitted > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -60,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod bitset;
 pub mod candidate;
 pub mod cuts;
 pub mod engine;
@@ -72,6 +87,7 @@ pub mod prelude;
 pub mod quality;
 pub mod region;
 pub mod schema;
+mod seq_ring;
 pub mod time;
 pub mod tuple;
 pub mod utility;

@@ -107,7 +107,10 @@ impl EngineMetrics {
 
     /// Latency samples in milliseconds (for box plots).
     pub fn latencies_ms(&self) -> Vec<f64> {
-        self.latencies_us.iter().map(|&u| u as f64 / 1000.0).collect()
+        self.latencies_us
+            .iter()
+            .map(|&u| u as f64 / 1000.0)
+            .collect()
     }
 }
 

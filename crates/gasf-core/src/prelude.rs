@@ -4,6 +4,7 @@
 //! use gasf_core::prelude::*;
 //! ```
 
+pub use crate::bitset::{BitSet, FilterSet};
 pub use crate::candidate::{CandidateTuple, CloseCause, ClosedSet, FilterId, TimeCover};
 pub use crate::cuts::{RuntimePredictor, TimeConstraint};
 pub use crate::engine::{Algorithm, Emission, GroupEngine, GroupEngineBuilder, OutputStrategy};
@@ -18,5 +19,5 @@ pub use crate::quality::{Dependency, FilterKind, FilterSpec, PickDegree, PickSpe
 pub use crate::region::{Region, RegionTracker};
 pub use crate::schema::{AttrId, Schema};
 pub use crate::time::Micros;
-pub use crate::tuple::{series, Tuple, TupleBuilder};
+pub use crate::tuple::{series, Tuple, TupleBuilder, TupleId, TuplePool};
 pub use crate::utility::GroupUtility;

@@ -321,9 +321,8 @@ impl FilterSpec {
             Ok(())
         }
         match &self.kind {
-            FilterKind::Delta { delta, slack, .. } | FilterKind::TrendDelta { delta, slack, .. } => {
-                check_delta_slack(*delta, *slack)
-            }
+            FilterKind::Delta { delta, slack, .. }
+            | FilterKind::TrendDelta { delta, slack, .. } => check_delta_slack(*delta, *slack),
             FilterKind::MultiAttrDelta {
                 attrs,
                 delta,
@@ -422,10 +421,20 @@ impl fmt::Display for FilterSpec {
                     Dependency::Stateless => "DC1",
                     Dependency::Stateful => "DC1*",
                 };
-                write!(f, "{tag}({attr}, {}, {})", fmt_param(*delta), fmt_param(*slack))
+                write!(
+                    f,
+                    "{tag}({attr}, {}, {})",
+                    fmt_param(*delta),
+                    fmt_param(*slack)
+                )
             }
             FilterKind::TrendDelta { attr, delta, slack } => {
-                write!(f, "DC2({attr}, {}, {})", fmt_param(*delta), fmt_param(*slack))
+                write!(
+                    f,
+                    "DC2({attr}, {}, {})",
+                    fmt_param(*delta),
+                    fmt_param(*slack)
+                )
             }
             FilterKind::MultiAttrDelta {
                 attrs,
@@ -488,12 +497,12 @@ mod tests {
     #[test]
     fn multi_attr_needs_attrs() {
         let empty: Vec<String> = vec![];
-        assert!(FilterSpec::multi_attr_delta(empty, 1.0, 0.1).validate().is_err());
-        assert!(
-            FilterSpec::multi_attr_delta(["a", "b"], 1.0, 0.1)
-                .validate()
-                .is_ok()
-        );
+        assert!(FilterSpec::multi_attr_delta(empty, 1.0, 0.1)
+            .validate()
+            .is_err());
+        assert!(FilterSpec::multi_attr_delta(["a", "b"], 1.0, 0.1)
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -515,7 +524,9 @@ mod tests {
         assert_eq!(s.to_string(), "DC3(t2, t4, 0.03, 0.015)");
         let labeled = FilterSpec::delta("x", 1.0, 0.1).with_label("mine");
         assert_eq!(labeled.to_string(), "mine");
-        assert!(FilterSpec::stateful_delta("x", 1.0, 0.1).to_string().contains("DC1*"));
+        assert!(FilterSpec::stateful_delta("x", 1.0, 0.1)
+            .to_string()
+            .contains("DC1*"));
     }
 
     #[test]

@@ -5,9 +5,22 @@
 //! (Axiom 2), and solving the hitting set per region preserves both the
 //! optimum (Theorem 2) and the greedy approximation ratio (Theorem 3) —
 //! which is what makes group-aware filtering possible on unbounded streams.
+//!
+//! ## Representation
+//!
+//! Regions hold their member sets' candidates as interned
+//! [`TupleId`]s only; no tuple payloads are cloned into (or moved through)
+//! the segmentation and selection path. The ids a region references are
+//! stable for the region's whole lifetime: the engine's tuple pool keeps
+//! every referenced payload alive until [`RegionTracker`] hands the
+//! completed region back and region cleanup releases its ids — which is
+//! also the moment the ids leave every other engine structure (utilities,
+//! pending outputs). Id order is arrival order, so the solvers' freshness
+//! tie-breaks need no timestamps beyond the candidates' denormalised ones.
 
 use crate::candidate::{ClosedSet, TimeCover};
 use crate::time::Micros;
+use crate::tuple::TupleId;
 
 /// A family of connected candidate sets awaiting (or ready for) a group
 /// decision.
@@ -47,16 +60,14 @@ impl Region {
         self.sets.iter().map(|s| s.len()).sum()
     }
 
+    /// The *distinct* tuple ids referenced by the region, ascending.
+    pub fn distinct_ids(&self) -> Vec<TupleId> {
+        crate::hitting_set::collect_distinct_ids(&self.sets)
+    }
+
     /// Number of *distinct* tuples in the region.
     pub fn distinct_tuples(&self) -> usize {
-        let mut seqs: Vec<u64> = self
-            .sets
-            .iter()
-            .flat_map(|s| s.candidates.iter().map(|c| c.seq))
-            .collect();
-        seqs.sort_unstable();
-        seqs.dedup();
-        seqs.len()
+        self.distinct_ids().len()
     }
 
     /// Whether any member set was closed by a timely cut.
@@ -118,8 +129,8 @@ impl RegionTracker {
         let mut i = 0;
         while i < self.pending.len() {
             let region = &self.pending[i];
-            let blocked = open_covers.iter().any(|oc| oc.intersects(&region.cover))
-                || now < region.cover.max;
+            let blocked =
+                open_covers.iter().any(|oc| oc.intersects(&region.cover)) || now < region.cover.max;
             if blocked {
                 i += 1;
             } else {
@@ -167,7 +178,7 @@ mod tests {
             candidates: ms
                 .iter()
                 .map(|&m| CandidateTuple {
-                    seq: m / 10,
+                    id: crate::tuple::TupleId::from_seq(m / 10),
                     timestamp: Micros::from_millis(m),
                     key: 0.0,
                 })

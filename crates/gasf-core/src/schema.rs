@@ -136,10 +136,7 @@ mod tests {
         let b = s.attr("b").unwrap();
         assert_eq!(b.index(), 1);
         assert_eq!(s.name(b), "b");
-        assert!(matches!(
-            s.attr("zzz"),
-            Err(Error::UnknownAttribute { .. })
-        ));
+        assert!(matches!(s.attr("zzz"), Err(Error::UnknownAttribute { .. })));
     }
 
     #[test]

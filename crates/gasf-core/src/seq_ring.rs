@@ -1,0 +1,176 @@
+//! Dense ring storage keyed by monotonically increasing sequence numbers.
+//!
+//! [`TuplePool`](crate::tuple::TuplePool) and
+//! [`GroupUtility`](crate::utility::GroupUtility) both need the same
+//! shape of storage: entries keyed by stream-ordered `u64` seqs that
+//! enter near the back, leave near the front (region cleanup follows the
+//! stream), and must resolve in O(1). [`SeqRing`] is that shared
+//! mechanism — a `VecDeque` indexed by `seq - base`.
+//!
+//! **Spent seqs stay spent.** When the front of the ring is vacated,
+//! `base` advances and never goes back — even across a full drain. A seq
+//! below `base` is *spent*: `get` returns `None` and `set` refuses it.
+//! This is what makes interned ids safe to hold: a stale id can never
+//! alias a later entry's value.
+
+use std::collections::VecDeque;
+
+/// A dense ring of optional entries keyed by `u64` sequence numbers.
+#[derive(Debug, Clone)]
+pub(crate) struct SeqRing<T> {
+    /// Seq of `slots[0]`. Seqs below `base` are spent forever.
+    base: u64,
+    slots: VecDeque<Option<T>>,
+    live: usize,
+}
+
+impl<T> Default for SeqRing<T> {
+    fn default() -> Self {
+        SeqRing {
+            base: 0,
+            slots: VecDeque::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> SeqRing<T> {
+    /// Creates an empty ring (all seqs fresh).
+    #[cfg(test)]
+    pub fn new() -> Self {
+        SeqRing::default()
+    }
+
+    /// One past the highest seq ever stored (the next "fresh" seq).
+    pub fn end(&self) -> u64 {
+        self.base + self.slots.len() as u64
+    }
+
+    fn index(&self, seq: u64) -> Option<usize> {
+        if seq < self.base {
+            return None;
+        }
+        let idx = (seq - self.base) as usize;
+        (idx < self.slots.len()).then_some(idx)
+    }
+
+    /// Stores `value` at `seq`, growing the ring (with vacant slots over
+    /// any gap) as needed. Returns `false` — and stores nothing — if the
+    /// seq is already spent. Replaces and drops any existing entry.
+    pub fn set(&mut self, seq: u64, value: T) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        if self.slots.is_empty() {
+            // First entry at or past the spent frontier: rebase.
+            self.base = seq;
+        }
+        for _ in self.end()..=seq {
+            self.slots.push_back(None);
+        }
+        let idx = (seq - self.base) as usize;
+        if self.slots[idx].is_none() {
+            self.live += 1;
+        }
+        self.slots[idx] = Some(value);
+        true
+    }
+
+    /// The entry at `seq`, if live.
+    pub fn get(&self, seq: u64) -> Option<&T> {
+        self.index(seq).and_then(|i| self.slots[i].as_ref())
+    }
+
+    /// Mutable access to the entry at `seq`, if live.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut T> {
+        self.index(seq).and_then(|i| self.slots[i].as_mut())
+    }
+
+    /// Removes and returns the entry at `seq`, trimming the vacated front
+    /// so `base` follows the stream. Spent or vacant seqs yield `None`.
+    pub fn take(&mut self, seq: u64) -> Option<T> {
+        let taken = self.index(seq).and_then(|i| self.slots[i].take());
+        if taken.is_some() {
+            self.live -= 1;
+            while let Some(None) = self.slots.front() {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        taken
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_take_roundtrip_with_gaps() {
+        let mut r = SeqRing::new();
+        assert!(r.set(5, "a"));
+        assert!(r.set(8, "b"), "gap seqs stay vacant");
+        assert_eq!(r.get(5), Some(&"a"));
+        assert_eq!(r.get(6), None);
+        assert_eq!(r.get(8), Some(&"b"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.take(5), Some("a"));
+        assert_eq!(r.take(5), None, "double take is None");
+        assert_eq!(r.len(), 1);
+        *r.get_mut(8).unwrap() = "c";
+        assert_eq!(r.take(8), Some("c"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn spent_seqs_stay_spent_across_full_drain() {
+        let mut r = SeqRing::new();
+        r.set(10, 1u32);
+        assert_eq!(r.take(10), Some(1));
+        assert!(r.is_empty());
+        // The frontier does not rewind: a stale seq can never alias.
+        assert!(!r.set(3, 9));
+        assert_eq!(r.get(3), None);
+        assert_eq!(r.end(), 11);
+        // Fresh seqs at or past the frontier are fine.
+        assert!(r.set(11, 2));
+        assert_eq!(r.get(11), Some(&2));
+    }
+
+    #[test]
+    fn interior_vacancies_can_be_refilled() {
+        let mut r = SeqRing::new();
+        r.set(0, 1u32);
+        r.set(4, 1);
+        assert_eq!(r.take(2), None);
+        assert!(r.set(2, 7), "vacant interior slot is not spent");
+        assert_eq!(r.get(2), Some(&7));
+        // replacing an existing entry keeps live count right
+        assert!(r.set(2, 8));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn front_trim_advances_base() {
+        let mut r = SeqRing::new();
+        for seq in 0..100u64 {
+            r.set(seq, seq);
+        }
+        for seq in 0..90u64 {
+            r.take(seq);
+        }
+        assert_eq!(r.len(), 10);
+        assert!(!r.set(42, 0), "trimmed seqs are spent");
+        assert_eq!(r.get(95), Some(&95));
+    }
+}

@@ -1,16 +1,139 @@
-//! Stream tuples.
+//! Stream tuples, their interned identities and the engine's tuple pool.
 //!
 //! "A tuple consists of a collection of attribute-value pairs … all tuples
 //! are timestamped at the originating sources" (§2.2.1). Values are `f64`
 //! aligned to the stream's [`Schema`]; an absent value is `NaN` and filters
 //! reject tuples missing the attributes they need.
+//!
+//! ## Interned identities
+//!
+//! The selection hot path (candidate sets, hitting set, regions) never
+//! moves tuple payloads around. Each tuple entering an engine is *interned*
+//! once into a [`TuplePool`], which owns the payload behind an
+//! `Arc<Tuple>` and hands out a [`TupleId`] — a copyable `u64` newtype
+//! over the stream sequence number. Everything downstream (candidate
+//! membership, utilities, greedy choices, pending emissions) carries
+//! `TupleId`s and only resolves back to the payload at emission time.
+//!
+//! **Invariants:**
+//! * a `TupleId` is stable for the whole lifetime of the region that
+//!   references it — the pool never reuses or renumbers ids, and region
+//!   cleanup is the only thing that releases them;
+//! * ids are strictly increasing in stream order (they mirror the source
+//!   sequence numbers the engine already requires to be contiguous), so
+//!   `TupleId` order *is* arrival order, which the solvers' freshest-tie-
+//!   break rule relies on;
+//! * the pool's storage is a dense ring: lookup and release are O(1), and
+//!   memory stays bounded by the live window (the region span), not the
+//!   stream length.
 
 use crate::error::Error;
 use crate::schema::{AttrId, Schema};
+use crate::seq_ring::SeqRing;
 use crate::time::Micros;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
+
+/// Stable, copyable identity of an interned tuple.
+///
+/// A `TupleId` is a `u64` newtype over the stream sequence number assigned
+/// by the source. It is the currency of the whole selection data path:
+/// candidate sets, group utilities, hitting-set choices and pending
+/// emissions all reference tuples by id and never clone payloads. Ids are
+/// strictly increasing in stream order, so comparing ids compares arrival
+/// (and, for in-order streams, freshness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TupleId(u64);
+
+impl TupleId {
+    /// The id a tuple with stream sequence number `seq` interns to.
+    pub const fn from_seq(seq: u64) -> Self {
+        TupleId(seq)
+    }
+
+    /// The underlying stream sequence number.
+    pub const fn seq(self) -> u64 {
+        self.0
+    }
+
+    /// The id of the immediately following stream tuple.
+    pub const fn next(self) -> Self {
+        TupleId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Intern table owning the engine's live tuple window.
+///
+/// Tuples are interned in arrival order; the pool stores each payload once
+/// behind an `Arc` and resolves [`TupleId`]s in O(1) via a dense ring
+/// buffer (`id - base` indexing). Releasing ids from the front — which is
+/// what region cleanup does, since regions complete oldest-first — trims
+/// the ring, keeping memory proportional to the live window.
+#[derive(Debug, Default)]
+pub struct TuplePool {
+    ring: SeqRing<Arc<Tuple>>,
+}
+
+impl TuplePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        TuplePool::default()
+    }
+
+    /// Interns a tuple, returning its id and the shared payload.
+    ///
+    /// # Panics
+    /// Panics if `tuple.seq()` does not come strictly after every
+    /// sequence number this pool has ever interned (released or not) —
+    /// ids are never reused, and the engine validates stream order before
+    /// interning, so a violation here is a bug.
+    pub fn intern(&mut self, tuple: Tuple) -> (TupleId, Arc<Tuple>) {
+        let id = tuple.id();
+        assert!(
+            id.seq() >= self.ring.end(),
+            "tuple {} interned out of order (expected >= {})",
+            id.seq(),
+            self.ring.end()
+        );
+        let arc = Arc::new(tuple);
+        self.ring.set(id.seq(), Arc::clone(&arc));
+        (id, arc)
+    }
+
+    /// The shared payload of a live id, or `None` once released.
+    pub fn get(&self, id: TupleId) -> Option<&Arc<Tuple>> {
+        self.ring.get(id.seq())
+    }
+
+    /// Whether the id is still live in the pool.
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Releases an id, dropping the pool's reference to the payload.
+    /// Releasing an unknown or already-released id is a no-op; a released
+    /// id is spent forever and will never resolve again.
+    pub fn release(&mut self, id: TupleId) {
+        self.ring.take(id.seq());
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no tuple is live.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
 
 /// One item of a data stream.
 ///
@@ -54,6 +177,12 @@ impl Tuple {
     /// Sequence number assigned by the source (strictly increasing).
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// The interned identity this tuple resolves to (its sequence number
+    /// as a [`TupleId`]).
+    pub fn id(&self) -> TupleId {
+        TupleId(self.seq)
     }
 
     /// Source timestamp.
@@ -301,5 +430,88 @@ mod tests {
         let txt = t.to_string();
         assert!(txt.contains("#4"));
         assert!(txt.contains("1.5"));
+    }
+
+    #[test]
+    fn tuple_id_mirrors_seq_and_orders_by_arrival() {
+        let s = Schema::new(["t"]);
+        let t = Tuple::new(&s, 7, Micros(3), vec![0.0]).unwrap();
+        assert_eq!(t.id(), TupleId::from_seq(7));
+        assert_eq!(t.id().seq(), 7);
+        assert_eq!(t.id().next(), TupleId::from_seq(8));
+        assert!(TupleId::from_seq(7) < TupleId::from_seq(8));
+        assert_eq!(TupleId::from_seq(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn pool_interns_resolves_and_releases() {
+        let s = Schema::new(["t"]);
+        let mut pool = TuplePool::new();
+        assert!(pool.is_empty());
+        let mut ids = Vec::new();
+        for seq in 0..5u64 {
+            let t = Tuple::new(&s, seq, Micros(seq * 10 + 1), vec![seq as f64]).unwrap();
+            let (id, arc) = pool.intern(t);
+            assert_eq!(id.seq(), seq);
+            assert_eq!(arc.seq(), seq);
+            ids.push(id);
+        }
+        assert_eq!(pool.len(), 5);
+        assert_eq!(pool.get(ids[3]).unwrap().values(), &[3.0]);
+        // releasing from the middle keeps later ids resolvable
+        pool.release(ids[1]);
+        assert!(!pool.contains(ids[1]));
+        assert!(pool.contains(ids[4]));
+        assert_eq!(pool.len(), 4);
+        // double release is a no-op
+        pool.release(ids[1]);
+        assert_eq!(pool.len(), 4);
+        // releasing the front trims the ring
+        pool.release(ids[0]);
+        assert_eq!(pool.len(), 3);
+        assert!(pool.get(ids[0]).is_none());
+        for id in &ids[2..] {
+            pool.release(*id);
+        }
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn pool_ids_are_never_reused_even_across_a_drain() {
+        let s = Schema::new(["t"]);
+        let mut pool = TuplePool::new();
+        let (a, _) = pool.intern(Tuple::new(&s, 10, Micros(1), vec![0.0]).unwrap());
+        pool.release(a);
+        assert!(pool.is_empty());
+        // a stale id held across the drain can never alias a new payload
+        assert!(pool.get(a).is_none());
+        let (b, _) = pool.intern(Tuple::new(&s, 11, Micros(2), vec![1.0]).unwrap());
+        assert!(pool.contains(b));
+        assert!(pool.get(a).is_none());
+        // gaps (spliced streams) leave vacant, unresolvable slots
+        let (c, _) = pool.intern(Tuple::new(&s, 14, Micros(3), vec![2.0]).unwrap());
+        assert!(pool.contains(c));
+        assert!(!pool.contains(TupleId::from_seq(12)));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn pool_rejects_reusing_a_drained_seq() {
+        let s = Schema::new(["t"]);
+        let mut pool = TuplePool::new();
+        let (a, _) = pool.intern(Tuple::new(&s, 10, Micros(1), vec![0.0]).unwrap());
+        pool.release(a);
+        // the frontier never rewinds, even when the pool is empty
+        pool.intern(Tuple::new(&s, 3, Micros(2), vec![1.0]).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn pool_rejects_out_of_order_interning() {
+        let s = Schema::new(["t"]);
+        let mut pool = TuplePool::new();
+        pool.intern(Tuple::new(&s, 5, Micros(1), vec![0.0]).unwrap());
+        pool.intern(Tuple::new(&s, 5, Micros(2), vec![1.0]).unwrap());
     }
 }

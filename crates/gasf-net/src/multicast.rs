@@ -93,7 +93,11 @@ pub struct Delivery {
 impl Delivery {
     /// The slowest recipient's latency.
     pub fn max_latency(&self) -> Micros {
-        self.latencies.values().copied().max().unwrap_or(Micros::ZERO)
+        self.latencies
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(Micros::ZERO)
     }
 
     /// Mean recipient latency.
@@ -270,7 +274,10 @@ impl Overlay {
         recipients: &[NodeId],
         payload_bytes: usize,
     ) -> Result<Delivery, NetError> {
-        let g = self.groups.get(&group).ok_or(NetError::UnknownGroup(group))?;
+        let g = self
+            .groups
+            .get(&group)
+            .ok_or(NetError::UnknownGroup(group))?;
         for r in recipients {
             if !g.members.contains(r) {
                 return Err(NetError::NotAMember(*r));
@@ -334,10 +341,8 @@ impl Overlay {
             }
         }
 
-        let latencies: BTreeMap<NodeId, Micros> = recipients
-            .iter()
-            .map(|&r| (r, arrival[&r]))
-            .collect();
+        let latencies: BTreeMap<NodeId, Micros> =
+            recipients.iter().map(|&r| (r, arrival[&r])).collect();
         self.messages += 1;
         Ok(Delivery {
             latencies,
@@ -369,7 +374,12 @@ impl Overlay {
 
     /// One overlay hop: software delay + store-and-forward along the
     /// underlay shortest path, accounting bytes per link.
-    fn transmit(&mut self, from: NodeId, to: NodeId, bytes: usize) -> Result<(Micros, u64), NetError> {
+    fn transmit(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+    ) -> Result<(Micros, u64), NetError> {
         if from.index() >= self.topology.len() {
             return Err(NetError::UnknownNode(from));
         }
@@ -501,9 +511,7 @@ mod tests {
         let members = all_nodes(7);
         let g = o.create_group("grp", &members).unwrap();
         let full = o.multicast(g, NodeId(0), &members[1..], 200).unwrap();
-        let sub = o
-            .multicast(g, NodeId(0), &members[1..3], 200)
-            .unwrap();
+        let sub = o.multicast(g, NodeId(0), &members[1..3], 200).unwrap();
         assert!(sub.bytes_on_wire <= full.bytes_on_wire);
         assert_eq!(sub.latencies.len(), 2);
     }

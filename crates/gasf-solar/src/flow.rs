@@ -151,7 +151,10 @@ mod tests {
         assert!(m.utilization() > 1.0);
         match m.decision() {
             FlowDecision::Shed { drop_fraction } => {
-                assert!(drop_fraction > 0.2 && drop_fraction < 0.5, "{drop_fraction}");
+                assert!(
+                    drop_fraction > 0.2 && drop_fraction < 0.5,
+                    "{drop_fraction}"
+                );
             }
             other => panic!("expected shedding, got {other:?}"),
         }

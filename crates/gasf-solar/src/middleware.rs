@@ -11,8 +11,8 @@
 
 use crate::flow::{FlowDecision, FlowMonitor};
 use crate::graph::OperatorGraph;
-use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
 use gasf_core::cuts::TimeConstraint;
+use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
 use gasf_core::metrics::EngineMetrics;
 use gasf_core::quality::FilterSpec;
 use gasf_core::schema::Schema;
@@ -337,11 +337,8 @@ impl Middleware {
                 builder = builder.filter(self.apps[app.0].spec.clone());
             }
             s.engine = Some(builder.build()?);
-            let mut members: BTreeSet<NodeId> = s
-                .subscribers
-                .iter()
-                .map(|a| self.apps[a.0].node)
-                .collect();
+            let mut members: BTreeSet<NodeId> =
+                s.subscribers.iter().map(|a| self.apps[a.0].node).collect();
             members.insert(s.node); // the source proxy is always a member
             let members: Vec<NodeId> = members.into_iter().collect();
             let group = self
@@ -437,9 +434,9 @@ impl Middleware {
             let nodes: BTreeSet<NodeId> =
                 recipient_apps.iter().map(|a| self.apps[a.0].node).collect();
             let nodes: Vec<NodeId> = nodes.into_iter().collect();
-            let delivery =
-                self.overlay
-                    .multicast(group, src_node, &nodes, e.tuple.wire_size())?;
+            let delivery = self
+                .overlay
+                .multicast(group, src_node, &nodes, e.tuple.wire_size())?;
             for &app in &recipient_apps {
                 let entry = &mut self.apps[app.0];
                 let net = delivery
@@ -448,9 +445,7 @@ impl Middleware {
                     .copied()
                     .unwrap_or(Micros::ZERO);
                 entry.tuples += 1;
-                entry
-                    .e2e_latency_us
-                    .push((e.latency() + net).as_micros());
+                entry.e2e_latency_us.push((e.latency() + net).as_micros());
             }
         }
         Ok(())
@@ -523,7 +518,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let v = (i as f64 * 0.7).sin() * 10.0 + i as f64 * 0.05;
-                b.at_millis(10 * (i as u64 + 1)).set("t", v).build().unwrap()
+                b.at_millis(10 * (i as u64 + 1))
+                    .set("t", v)
+                    .build()
+                    .unwrap()
             })
             .collect()
     }
@@ -596,10 +594,7 @@ mod tests {
             .unwrap();
         let mut b = TupleBuilder::new(&schema);
         let t = b.at_millis(10).set("t", 0.0).build().unwrap();
-        assert!(matches!(
-            mw.process(src, t),
-            Err(SolarError::NotDeployed)
-        ));
+        assert!(matches!(mw.process(src, t), Err(SolarError::NotDeployed)));
     }
 
     #[test]
@@ -635,7 +630,12 @@ mod tests {
             Err(SolarError::UnknownNode(_))
         ));
         assert!(matches!(
-            mw.subscribe("a", NodeId(0), SourceId(5), FilterSpec::delta("t", 1.0, 0.4)),
+            mw.subscribe(
+                "a",
+                NodeId(0),
+                SourceId(5),
+                FilterSpec::delta("t", 1.0, 0.4)
+            ),
             Err(SolarError::UnknownId(_))
         ));
     }
@@ -686,7 +686,11 @@ mod flow_tests {
         mw.deploy().unwrap();
         let mut b = TupleBuilder::new(&schema);
         for i in 0..50u64 {
-            let t = b.at_millis(10 * (i + 1)).set("t", i as f64).build().unwrap();
+            let t = b
+                .at_millis(10 * (i + 1))
+                .set("t", i as f64)
+                .build()
+                .unwrap();
             mw.process(src, t).unwrap();
         }
         // A real engine is far faster than 10 ms per tuple.

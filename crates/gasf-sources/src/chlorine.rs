@@ -144,7 +144,10 @@ mod tests {
         let series = t.series_of("chlorine").unwrap();
         let rising = series.windows(2).filter(|w| w[1].1 > w[0].1).count();
         let falling = series.windows(2).filter(|w| w[1].1 < w[0].1).count();
-        assert!(rising > 1000 && falling > 1000, "{rising} up / {falling} down");
+        assert!(
+            rising > 1000 && falling > 1000,
+            "{rising} up / {falling} down"
+        );
     }
 
     #[test]

@@ -109,11 +109,7 @@ pub fn from_csv(input: &str) -> Result<Trace, CsvError> {
         if cells.len() != schema.len() + 1 {
             return Err(CsvError {
                 line: line_no,
-                message: format!(
-                    "expected {} cells, got {}",
-                    schema.len() + 1,
-                    cells.len()
-                ),
+                message: format!("expected {} cells, got {}", schema.len() + 1, cells.len()),
             });
         }
         let ts: u64 = cells[0].trim().parse().map_err(|e| CsvError {
@@ -137,8 +133,8 @@ pub fn from_csv(input: &str) -> Result<Trace, CsvError> {
                 })?);
             }
         }
-        let tuple = Tuple::new(&schema, tuples.len() as u64, Micros(ts), values)
-            .map_err(|e| CsvError {
+        let tuple =
+            Tuple::new(&schema, tuples.len() as u64, Micros(ts), values).map_err(|e| CsvError {
                 line: line_no,
                 message: e.to_string(),
             })?;

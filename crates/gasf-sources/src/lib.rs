@@ -32,8 +32,8 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod chlorine;
-pub mod csv;
 mod cow;
+pub mod csv;
 mod fire;
 mod namos;
 mod stats;
@@ -41,8 +41,8 @@ mod trace;
 mod volcano;
 
 pub use chlorine::ChlorinePlume;
-pub use csv::{from_csv, to_csv, CsvError};
 pub use cow::CowOrientation;
+pub use csv::{from_csv, to_csv, CsvError};
 pub use fire::FireHrr;
 pub use namos::NamosBuoy;
 pub use stats::SourceStats;

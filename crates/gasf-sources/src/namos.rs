@@ -136,8 +136,8 @@ impl NamosBuoy {
                 } else if rng.gen_bool(1.0 / 12.0) {
                     // Pick a new level around the drifting baseline and
                     // ramp there over a handful of samples.
-                    let baseline = ch.base
-                        + ch.amp * (std::f64::consts::TAU * t / ch.period + ch.phase).sin();
+                    let baseline =
+                        ch.base + ch.amp * (std::f64::consts::TAU * t / ch.period + ch.phase).sin();
                     ch.target = baseline + ch.spread * noise.sample(&mut rng);
                     ch.ramp_left = rng.gen_range(3..9);
                 }

@@ -1,0 +1,371 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the surface the GASF property tests use — the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), [`Strategy`] with `prop_map`,
+//! range and tuple strategies, `collection::{vec, btree_set}` and the
+//! `prop_assert!`/`prop_assert_eq!` macros — as a deterministic
+//! random-testing harness. Each test function draws its cases from an RNG
+//! seeded by the test's module path, so failures reproduce across runs.
+//! Shrinking is not implemented; the failing case's values are reported by
+//! the assertion message instead. The real crate can be swapped back in
+//! via the workspace manifest without touching the tests.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure value produced by `prop_assert!`-style macros.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic generator backing the harness — the workspace `rand`
+/// shim's xoshiro256++, seeded from a hash of the test name so there is a
+/// single RNG implementation across the shims.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for a named test; equal names give equal streams.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name seeds the shared generator.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.next_f64()
+    }
+
+    fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range");
+        range.start + (self.next_u64() as usize) % (range.end - range.start)
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_set}`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a size drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with a size drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `BTreeSet` targeting `size` distinct elements drawn from
+    /// `element`. If the element universe is smaller than the drawn size,
+    /// the set holds as many distinct values as could be found (never
+    /// fewer than one for non-empty size ranges).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.usize_in(self.size.clone()).max(1);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(64).max(256) {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Declares property-test functions: each `name(arg in strategy, ...)` is
+/// expanded into a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case} failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_respect_bounds() {
+        let mut rng = crate::TestRng::for_test("bounds");
+        for _ in 0..200 {
+            let v = (0u64..12).generate(&mut rng);
+            assert!(v < 12);
+            let f = (1.0f64..2.0).generate(&mut rng);
+            assert!((1.0..2.0).contains(&f));
+            let xs = collection::vec(-12i32..12, 3..6).generate(&mut rng);
+            assert!((3..6).contains(&xs.len()));
+            let set = collection::btree_set(0u64..12, 1..5).generate(&mut rng);
+            assert!(!set.is_empty() && set.len() < 5);
+        }
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let a = collection::vec(0u64..100, 5..6).generate(&mut crate::TestRng::for_test("x"));
+        let b = collection::vec(0u64..100, 5..6).generate(&mut crate::TestRng::for_test("x"));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(xs in collection::vec(0u64..50, 1..8), k in 1usize..4) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(k < 4, "k was {k}");
+            let distinct: std::collections::BTreeSet<u64> = xs.iter().copied().collect();
+            prop_assert!(distinct.len() <= xs.len());
+        }
+    }
+}

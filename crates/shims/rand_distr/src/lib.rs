@@ -1,0 +1,102 @@
+//! Offline stand-in for `rand_distr`: the `Normal` distribution sampled
+//! with the Box-Muller transform, which is all the GASF synthetic sources
+//! need. Deterministic given the (always-seeded) generator.
+
+#![forbid(unsafe_code)]
+
+use rand::RngCore;
+use std::fmt;
+
+/// Sampling from a parameterised distribution.
+pub trait Distribution<T> {
+    /// Draws one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// The mean was non-finite.
+    MeanTooSmall,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    /// Rejects non-finite parameters and negative standard deviations.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller; u1 is kept away from 0 so ln() stays finite.
+        let u1 = (rng.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn sample_moments_are_plausible() {
+        let n = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+}

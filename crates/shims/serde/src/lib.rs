@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! shim provides the exact surface the GASF crates use: the `Serialize` /
+//! `Deserialize` trait names (as capability markers) and the matching
+//! derive macros. No wire format is implemented — serialisation backends
+//! are out of scope for the reproduction, and `gasf-bench` renders its own
+//! JSON. Replacing this shim with the real crate is a one-line change in
+//! the workspace manifest; the derives are intentionally API-compatible.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Deriving it records that a type is serialisation-ready; the shim
+/// defines no methods because no serialisation backend exists offline.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

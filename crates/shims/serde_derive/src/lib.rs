@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The derives emit marker impls (`impl serde::Serialize for T {}`) so that
+//! `#[derive(Serialize, Deserialize)]` keeps compiling without a registry.
+//! The macros support plain (non-generic) structs and enums, which covers
+//! every derived type in this workspace; a generic target is a compile
+//! error so silent breakage is impossible.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the first top-level `struct`/`enum`
+/// keyword. Attribute contents are grouped tokens, so they cannot be
+/// mistaken for the keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                for next in iter.by_ref() {
+                    if let TokenTree::Ident(name) = next {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: expected a struct or enum");
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid marker impl")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid marker impl")
+}

@@ -80,9 +80,7 @@ fn main() -> Result<(), Error> {
             &rates,
             rates.len(),
         );
-        println!(
-            "regrouping: isolate filter(s) {filters:?} -> engine groups {parts:?}"
-        );
+        println!("regrouping: isolate filter(s) {filters:?} -> engine groups {parts:?}");
         println!("the modest filters keep sharing; the greedy one runs self-interested.");
     }
     Ok(())

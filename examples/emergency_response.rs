@@ -65,10 +65,7 @@ fn main() -> Result<(), SolarError> {
 
     for (name, r) in [("self-interested", &si), ("group-aware (PS)", &ga)] {
         println!("{name}:");
-        println!(
-            "  O/I ratio            {:.3}",
-            r.engine.oi_ratio()
-        );
+        println!("  O/I ratio            {:.3}", r.engine.oi_ratio());
         println!("  bytes on wire        {}", r.network_bytes);
         println!(
             "  mean e2e latency     {:.1} ms",

@@ -37,14 +37,8 @@ fn run(algorithm: Algorithm) -> Result<EngineMetrics, Error> {
                 .with_label("trend watcher (DC2)"),
         )
         .filter(
-            FilterSpec::stratified_sample(
-                "tmpr4",
-                Micros::from_secs(1),
-                range * 0.2,
-                40.0,
-                10.0,
-            )
-            .with_label("dynamics sampler (SS)"),
+            FilterSpec::stratified_sample("tmpr4", Micros::from_secs(1), range * 0.2, 40.0, 10.0)
+                .with_label("dynamics sampler (SS)"),
         )
         .build()?;
     engine.run(trace.into_tuples())?;

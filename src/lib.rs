@@ -1,0 +1,23 @@
+//! # gasf — group-aware stream filtering, workspace facade
+//!
+//! This crate re-exports the member crates of the GASF workspace so the
+//! examples (and downstream quick starts) can depend on a single name:
+//!
+//! * [`core`] — tuples, candidate sets, hitting-set solvers, regions and
+//!   the [`core::engine::GroupEngine`] two-stage filtering engines,
+//! * [`net`] — the overlay topology and tuple-level multicast substrate,
+//! * [`solar`] — the Solar-like pub/sub middleware tying engines to the
+//!   overlay,
+//! * [`sources`] — deterministic synthetic data sources shaped after the
+//!   paper's deployments.
+//!
+//! See the repository `README.md` for the paper → module map and the
+//! workspace layout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gasf_core as core;
+pub use gasf_net as net;
+pub use gasf_solar as solar;
+pub use gasf_sources as sources;

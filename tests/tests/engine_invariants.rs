@@ -32,11 +32,7 @@ fn stream_from_steps(steps: &[i32]) -> (Schema, Vec<Tuple>) {
     (schema, tuples)
 }
 
-fn engine(
-    schema: &Schema,
-    specs: &[FilterSpec],
-    algorithm: Algorithm,
-) -> GroupEngine {
+fn engine(schema: &Schema, specs: &[FilterSpec], algorithm: Algorithm) -> GroupEngine {
     GroupEngine::builder(schema.clone())
         .algorithm(algorithm)
         .filters(specs.to_vec())

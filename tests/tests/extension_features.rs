@@ -91,7 +91,11 @@ fn monitor_feeds_regrouping() {
     assert_eq!(filters, &vec![2]);
 
     // Feed the recommendation into the regrouping strategy.
-    let rates: Vec<f64> = report.selectivity.iter().map(|f| f.reference_rate).collect();
+    let rates: Vec<f64> = report
+        .selectivity
+        .iter()
+        .map(|f| f.reference_rate)
+        .collect();
     let topo = Topology::ring(7).build();
     let nodes = [NodeId(1), NodeId(2), NodeId(3)];
     let parts = partition(
@@ -103,7 +107,10 @@ fn monitor_feeds_regrouping() {
     );
     assert!(gasf_solar::is_valid_partition(&parts, 3));
     assert!(parts.contains(&vec![2]), "the greedy consumer is isolated");
-    assert!(parts.contains(&vec![0, 1]), "the modest filters stay grouped");
+    assert!(
+        parts.contains(&vec![0, 1]),
+        "the modest filters stay grouped"
+    );
 }
 
 #[test]

@@ -1,0 +1,172 @@
+//! Equivalence suite for the interned-id/bitset hitting-set data path.
+//!
+//! The production solver (`gasf_core::hitting_set::greedy_hitting_set`)
+//! runs on dense `TupleId` indices with packed-bitset rank/coverage
+//! tracking. This suite pins it against a deliberately naive *oracle*
+//! implementation of the same greedy heuristic built on `HashSet`s and
+//! `HashMap`s over raw sequence numbers — the representation the data path
+//! used before the refactor. On random candidate-set families the two must
+//! select covers of equal cardinality (with identical tie-break rules they
+//! in fact pick the same tuples), and both must satisfy every set's
+//! demand.
+
+use gasf_core::candidate::{CandidateTuple, CloseCause, ClosedSet, FilterId};
+use gasf_core::hitting_set::greedy_hitting_set;
+use gasf_core::quality::Prescription;
+use gasf_core::time::Micros;
+use gasf_core::tuple::TupleId;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn mk_set(filter: usize, seqs: Vec<u64>, degree: usize) -> ClosedSet {
+    ClosedSet {
+        filter: FilterId::from_index(filter),
+        set_index: 0,
+        candidates: seqs
+            .iter()
+            .map(|&s| CandidateTuple {
+                id: TupleId::from_seq(s),
+                timestamp: Micros::from_millis(s * 10),
+                key: s as f64,
+            })
+            .collect(),
+        pick_degree: degree,
+        prescription: Prescription::Any,
+        si_choice: vec![],
+        cause: CloseCause::Natural,
+    }
+}
+
+/// Reference greedy hitting set over `HashSet`s of raw sequence numbers,
+/// mirroring the paper's Fig. 2.7 rules exactly: pick the tuple useful to
+/// the most unsatisfied sets, tie-break on freshest timestamp (== highest
+/// seq for these fixtures), satisfy each set `min(degree, |set|)` times
+/// with distinct tuples.
+fn oracle_greedy(sets: &[ClosedSet]) -> Vec<u64> {
+    let mut members: Vec<HashSet<u64>> = sets
+        .iter()
+        .map(|s| s.candidates.iter().map(|c| c.id.seq()).collect())
+        .collect();
+    let mut needed: Vec<usize> = sets.iter().map(|s| s.pick_degree.min(s.len())).collect();
+    let mut pool: HashSet<u64> = members.iter().flatten().copied().collect();
+    let mut chosen = Vec::new();
+    while needed.iter().any(|&n| n > 0) {
+        let mut best: Option<(usize, u64)> = None;
+        for &seq in &pool {
+            let usefulness = members
+                .iter()
+                .zip(&needed)
+                .filter(|(m, &n)| n > 0 && m.contains(&seq))
+                .count();
+            if usefulness == 0 {
+                continue;
+            }
+            let key = (usefulness, seq);
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
+            }
+        }
+        let Some((_, seq)) = best else {
+            unreachable!("demand is always satisfiable for unranked sets");
+        };
+        pool.remove(&seq);
+        for (m, n) in members.iter_mut().zip(needed.iter_mut()) {
+            if *n > 0 && m.remove(&seq) {
+                *n -= 1;
+            }
+        }
+        chosen.push(seq);
+    }
+    chosen
+}
+
+/// 1..7 degree-1 sets over a universe of 0..14, each with 1..6 members.
+fn family() -> impl Strategy<Value = Vec<ClosedSet>> {
+    proptest::collection::vec(proptest::collection::btree_set(0u64..14, 1..6), 1..7).prop_map(
+        |sets| {
+            sets.into_iter()
+                .enumerate()
+                .map(|(i, s)| mk_set(i, s.into_iter().collect(), 1))
+                .collect()
+        },
+    )
+}
+
+/// Families that also exercise multi-degree sets (sampler-shaped demand).
+fn multi_degree_family() -> impl Strategy<Value = Vec<ClosedSet>> {
+    proptest::collection::vec(
+        (proptest::collection::btree_set(0u64..14, 2..7), 1usize..4),
+        1..6,
+    )
+    .prop_map(|sets| {
+        sets.into_iter()
+            .enumerate()
+            .map(|(i, (s, d))| mk_set(i, s.into_iter().collect(), d))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bitset_cover_matches_hashset_oracle_cardinality(sets in family()) {
+        let bitset_cover = greedy_hitting_set(&sets);
+        let oracle_cover = oracle_greedy(&sets);
+        prop_assert_eq!(
+            bitset_cover.len(),
+            oracle_cover.len(),
+            "bitset path chose {} tuples, oracle {}",
+            bitset_cover.len(),
+            oracle_cover.len()
+        );
+        // With identical tie-break rules the two greedy runs agree on the
+        // actual tuples, not just the count.
+        let mut got: Vec<u64> = bitset_cover.iter().map(|c| c.id.seq()).collect();
+        let mut want = oracle_cover;
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn multi_degree_cover_matches_oracle_cardinality(sets in multi_degree_family()) {
+        let bitset_cover = greedy_hitting_set(&sets);
+        let oracle_cover = oracle_greedy(&sets);
+        prop_assert_eq!(bitset_cover.len(), oracle_cover.len());
+    }
+
+    #[test]
+    fn both_paths_satisfy_every_demand(sets in multi_degree_family()) {
+        let choices = greedy_hitting_set(&sets);
+        // Production path: per-set coverage count equals the clamped degree.
+        let mut covered: HashMap<usize, usize> = HashMap::new();
+        for c in &choices {
+            for &si in &c.covers {
+                prop_assert!(sets[si].contains(c.id), "cover by non-member tuple");
+                *covered.entry(si).or_default() += 1;
+            }
+        }
+        for (si, set) in sets.iter().enumerate() {
+            let want = set.pick_degree.min(set.len());
+            prop_assert_eq!(
+                covered.get(&si).copied().unwrap_or(0), want,
+                "set {} under/over-covered", si
+            );
+        }
+        // Oracle path: every set sees `min(degree, |set|)` of its members.
+        let oracle: HashSet<u64> = oracle_greedy(&sets).into_iter().collect();
+        for (si, set) in sets.iter().enumerate() {
+            let hit = set
+                .candidates
+                .iter()
+                .filter(|c| oracle.contains(&c.id.seq()))
+                .count();
+            prop_assert!(
+                hit >= set.pick_degree.min(set.len()),
+                "oracle under-covered set {}",
+                si
+            );
+        }
+    }
+}

@@ -4,6 +4,7 @@ use gasf_core::candidate::{CandidateTuple, CloseCause, ClosedSet, FilterId};
 use gasf_core::hitting_set::{brute_force_minimum, greedy_hitting_set};
 use gasf_core::quality::Prescription;
 use gasf_core::time::Micros;
+use gasf_core::tuple::TupleId;
 use proptest::prelude::*;
 
 fn mk_set(filter: usize, seqs: Vec<u64>, degree: usize, p: Prescription) -> ClosedSet {
@@ -13,7 +14,7 @@ fn mk_set(filter: usize, seqs: Vec<u64>, degree: usize, p: Prescription) -> Clos
         candidates: seqs
             .iter()
             .map(|&s| CandidateTuple {
-                seq: s,
+                id: TupleId::from_seq(s),
                 timestamp: Micros::from_millis(s * 10),
                 key: (s % 7) as f64,
             })
@@ -27,16 +28,14 @@ fn mk_set(filter: usize, seqs: Vec<u64>, degree: usize, p: Prescription) -> Clos
 
 /// 1..6 sets over a universe of 1..12 tuples, each set with 1..5 members.
 fn instance_strategy() -> impl Strategy<Value = Vec<ClosedSet>> {
-    proptest::collection::vec(
-        proptest::collection::btree_set(0u64..12, 1..5),
-        1..6,
+    proptest::collection::vec(proptest::collection::btree_set(0u64..12, 1..5), 1..6).prop_map(
+        |sets| {
+            sets.into_iter()
+                .enumerate()
+                .map(|(i, s)| mk_set(i, s.into_iter().collect(), 1, Prescription::Any))
+                .collect()
+        },
     )
-    .prop_map(|sets| {
-        sets.into_iter()
-            .enumerate()
-            .map(|(i, s)| mk_set(i, s.into_iter().collect(), 1, Prescription::Any))
-            .collect()
-    })
 }
 
 proptest! {
@@ -48,7 +47,7 @@ proptest! {
         for (si, set) in sets.iter().enumerate() {
             let covered = choices
                 .iter()
-                .any(|c| c.covers.contains(&si) && set.contains(c.seq));
+                .any(|c| c.covers.contains(&si) && set.contains(c.id));
             prop_assert!(covered, "set {si} not covered");
         }
     }
@@ -58,8 +57,8 @@ proptest! {
         let choices = greedy_hitting_set(&sets);
         let mut seen = std::collections::HashSet::new();
         for c in &choices {
-            prop_assert!(seen.insert(c.seq), "tuple {} chosen twice", c.seq);
-            prop_assert!(!c.covers.is_empty(), "useless choice {}", c.seq);
+            prop_assert!(seen.insert(c.id), "tuple {} chosen twice", c.id);
+            prop_assert!(!c.covers.is_empty(), "useless choice {}", c.id);
         }
     }
 
@@ -101,8 +100,8 @@ proptest! {
         // each chosen tuple maps to a distinct rank
         let mut used = std::collections::HashSet::new();
         for c in &choices {
-            let rank = ranks.iter().position(|r| r.contains(&c.seq));
-            prop_assert!(rank.is_some(), "chosen {} not eligible", c.seq);
+            let rank = ranks.iter().position(|r| r.contains(&c.id));
+            prop_assert!(rank.is_some(), "chosen {} not eligible", c.id);
             prop_assert!(used.insert(rank.unwrap()), "rank reused");
         }
         prop_assert_eq!(choices.len(), degree.min(ranks.len()));

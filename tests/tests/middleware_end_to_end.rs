@@ -1,8 +1,8 @@
 //! End-to-end integration: sources → middleware → engines → overlay
 //! multicast → applications, across crates.
 
-use gasf_core::engine::{Algorithm, OutputStrategy};
 use gasf_core::cuts::TimeConstraint;
+use gasf_core::engine::{Algorithm, OutputStrategy};
 use gasf_core::quality::FilterSpec;
 use gasf_core::time::Micros;
 use gasf_net::{NodeId, Overlay, Topology};
@@ -29,8 +29,13 @@ fn build(
         .register_source("s", NodeId(0), trace.schema().clone())
         .unwrap();
     for (i, spec) in specs.iter().enumerate() {
-        mw.subscribe(format!("app{i}"), NodeId(app_nodes[i % app_nodes.len()]), src, spec.clone())
-            .unwrap();
+        mw.subscribe(
+            format!("app{i}"),
+            NodeId(app_nodes[i % app_nodes.len()]),
+            src,
+            spec.clone(),
+        )
+        .unwrap();
     }
     mw.deploy().unwrap();
     (mw, src)
@@ -91,7 +96,9 @@ fn bandwidth_ordering_ga_si_nofilter() {
             &specs,
             &[2, 4, 6],
         );
-        mw.run_trace(src, trace.tuples().to_vec()).unwrap().network_bytes
+        mw.run_trace(src, trace.tuples().to_vec())
+            .unwrap()
+            .network_bytes
     };
     let ga = bytes_of(Algorithm::RegionGreedy);
     let si = bytes_of(Algorithm::SelfInterested);
@@ -102,8 +109,10 @@ fn bandwidth_ordering_ga_si_nofilter() {
 fn all_algorithms_and_strategies_deliver_everything() {
     let trace = ChlorinePlume::new().tuples(1_000).seed(3).generate();
     let s = trace.stats("chlorine").unwrap().mean_abs_delta * 2.0;
-    let specs = [FilterSpec::delta("chlorine", s * 1.5, s * 0.7),
-        FilterSpec::delta("chlorine", s * 3.0, s * 1.5)];
+    let specs = [
+        FilterSpec::delta("chlorine", s * 1.5, s * 0.7),
+        FilterSpec::delta("chlorine", s * 3.0, s * 1.5),
+    ];
     for algorithm in [
         Algorithm::RegionGreedy,
         Algorithm::PerCandidateSet,
@@ -126,8 +135,10 @@ fn all_algorithms_and_strategies_deliver_everything() {
             let src = mw
                 .register_source("c", NodeId(0), trace.schema().clone())
                 .unwrap();
-            mw.subscribe("a0", NodeId(2), src, specs[0].clone()).unwrap();
-            mw.subscribe("a1", NodeId(4), src, specs[1].clone()).unwrap();
+            mw.subscribe("a0", NodeId(2), src, specs[0].clone())
+                .unwrap();
+            mw.subscribe("a1", NodeId(4), src, specs[1].clone())
+                .unwrap();
             mw.deploy().unwrap();
             let report = mw.run_trace(src, trace.tuples().to_vec()).unwrap();
             // per-app deliveries equal the engine's per-filter set counts
