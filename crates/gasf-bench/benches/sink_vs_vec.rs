@@ -1,0 +1,83 @@
+//! Sink path vs legacy `push → Vec<Emission>` wrappers: the allocation
+//! cost of materialising every push's emissions.
+//!
+//! Three drivers over the same trace and specs:
+//!
+//! * `vec`  — the compatibility wrappers (`push`/`finish` return a fresh
+//!   `Vec<Emission>` per step, built through a `VecSink` clone),
+//! * `sink` — the primary path into a [`NullSink`] (engine cost only:
+//!   reused scratch, no per-push allocation, no collection),
+//! * `collect` — the primary path into one [`VecSink`] for the whole run
+//!   (what the experiment harness does).
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_bench::runner::{build_engine, Variant};
+use gasf_bench::specs::table_4_1;
+use gasf_core::engine::OutputStrategy;
+use gasf_core::sink::{NullSink, VecSink};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = common::trace();
+    let group = &table_4_1(&trace)[0];
+    let mut g = c.benchmark_group("sink_vs_vec");
+    for v in [Variant::Rg, Variant::Ps, Variant::Si] {
+        g.bench_with_input(BenchmarkId::new("vec", v.label()), &v, |b, &v| {
+            b.iter(|| {
+                let mut engine = build_engine(
+                    &trace,
+                    &group.specs,
+                    v.algorithm(),
+                    OutputStrategy::Earliest,
+                    None,
+                );
+                let mut total = 0usize;
+                for t in trace.tuples() {
+                    total += engine.push(t.clone()).unwrap().len();
+                }
+                total += engine.finish().unwrap().len();
+                black_box(total)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sink", v.label()), &v, |b, &v| {
+            b.iter(|| {
+                let mut engine = build_engine(
+                    &trace,
+                    &group.specs,
+                    v.algorithm(),
+                    OutputStrategy::Earliest,
+                    None,
+                );
+                engine
+                    .run_into(trace.tuples().iter().cloned(), &mut NullSink)
+                    .unwrap();
+                black_box(engine.metrics().emissions)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("collect", v.label()), &v, |b, &v| {
+            b.iter(|| {
+                let mut engine = build_engine(
+                    &trace,
+                    &group.specs,
+                    v.algorithm(),
+                    OutputStrategy::Earliest,
+                    None,
+                );
+                let mut sink = VecSink::new();
+                engine
+                    .run_into(trace.tuples().iter().cloned(), &mut sink)
+                    .unwrap();
+                black_box(sink.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

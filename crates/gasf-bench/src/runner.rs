@@ -4,6 +4,7 @@ use gasf_core::cuts::TimeConstraint;
 use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
 use gasf_core::metrics::EngineMetrics;
 use gasf_core::quality::FilterSpec;
+use gasf_core::sink::VecSink;
 use gasf_core::time::Micros;
 use gasf_sources::Trace;
 
@@ -88,7 +89,31 @@ impl RunOutcome {
     }
 }
 
-/// Runs one engine configuration over a trace.
+/// Builds one engine for an experiment configuration.
+///
+/// # Panics
+/// Panics on construction failure — experiment configurations are static
+/// and a failure is a harness bug.
+pub fn build_engine(
+    trace: &Trace,
+    specs: &[FilterSpec],
+    algorithm: Algorithm,
+    strategy: OutputStrategy,
+    constraint: Option<TimeConstraint>,
+) -> GroupEngine {
+    let mut builder = GroupEngine::builder(trace.schema().clone())
+        .algorithm(algorithm)
+        .output_strategy(strategy)
+        .filters(specs.to_vec());
+    if let Some(c) = constraint {
+        builder = builder.time_constraint(c);
+    }
+    builder.build().expect("experiment spec must be valid")
+}
+
+/// Runs one engine configuration over a trace on the sink path (tuples
+/// stream straight from the trace, emissions stream into one reused
+/// collector).
 ///
 /// # Panics
 /// Panics on engine construction/run failure — experiment configurations
@@ -100,20 +125,14 @@ pub fn run_engine(
     strategy: OutputStrategy,
     constraint: Option<TimeConstraint>,
 ) -> RunOutcome {
-    let mut builder = GroupEngine::builder(trace.schema().clone())
-        .algorithm(algorithm)
-        .output_strategy(strategy)
-        .filters(specs.to_vec());
-    if let Some(c) = constraint {
-        builder = builder.time_constraint(c);
-    }
-    let mut engine = builder.build().expect("experiment spec must be valid");
-    let emissions = engine
-        .run(trace.tuples().to_vec())
+    let mut engine = build_engine(trace, specs, algorithm, strategy, constraint);
+    let mut sink = VecSink::new();
+    engine
+        .run_into(trace.tuples().iter().cloned(), &mut sink)
         .expect("experiment trace must replay cleanly");
     RunOutcome {
         metrics: engine.into_metrics(),
-        emissions,
+        emissions: sink.into_vec(),
     }
 }
 

@@ -5,7 +5,7 @@
 //! and which *candidate sets* of a region a tuple covers. Both were
 //! hash-set shaped in the original data path; here they are packed into
 //! `u64` blocks — [`BitSet`] over raw indices and [`FilterSet`] as its
-//! [`FilterId`](crate::candidate::FilterId)-typed wrapper. A group of up
+//! [`FilterId`]-typed wrapper. A group of up
 //! to 64 filters fits in a single block, so membership tests, unions and
 //! cardinalities are single-word operations with no hashing and no
 //! allocation beyond one small `Vec`.

@@ -7,6 +7,16 @@
 //! algorithm, enforces timely cuts, and emits [`Emission`]s — tuples
 //! labelled with the recipient filters, ready for tuple-level multicast
 //! (Fig. 1.2).
+//!
+//! The primary output path is sink-based: [`GroupEngine::push_into`],
+//! [`GroupEngine::push_batch`] and [`GroupEngine::finish_into`] write
+//! released emissions into any [`EmissionSink`] through a reusable
+//! internal scratch buffer, so the steady-state release path performs no
+//! per-push `Vec<Emission>` allocation. The engine also implements
+//! [`StreamOperator`], the seam pipelines compose over.
+//! [`push`](GroupEngine::push) / [`finish`](GroupEngine::finish) /
+//! [`run`](GroupEngine::run) remain as thin [`VecSink`]-backed
+//! compatibility wrappers.
 
 mod decide;
 #[cfg(test)]
@@ -22,6 +32,7 @@ use crate::metrics::{EngineMetrics, FilterMetrics};
 use crate::quality::FilterSpec;
 use crate::region::{Region, RegionTracker};
 use crate::schema::Schema;
+use crate::sink::{EmissionSink, StreamOperator, VecSink};
 use crate::time::Micros;
 use crate::tuple::{Tuple, TupleId, TuplePool};
 use crate::utility::GroupUtility;
@@ -204,6 +215,7 @@ impl GroupEngineBuilder {
             last_ts: None,
             last_seq: None,
             finished: false,
+            scratch: Vec::new(),
             metrics: EngineMetrics {
                 per_filter: vec![FilterMetrics::default(); n],
                 ..Default::default()
@@ -246,7 +258,21 @@ pub struct GroupEngine {
     last_ts: Option<Micros>,
     last_seq: Option<u64>,
     finished: bool,
+    /// Reusable emission buffer: the release path fills it (reusing the
+    /// allocation across pushes), the CPU clock stops, and only then is the
+    /// batch handed to the sink — so downstream cost never pollutes engine
+    /// CPU metrics and the hot path allocates no `Vec<Emission>`.
+    scratch: Vec<Emission>,
     metrics: EngineMetrics,
+}
+
+/// Which pending outputs a release step covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Release {
+    /// Everything pending.
+    All,
+    /// Only ids whose region has completed (the `Earliest` strategy).
+    Ready,
 }
 
 impl GroupEngine {
@@ -311,16 +337,21 @@ impl GroupEngine {
         self.metrics
     }
 
-    /// Feeds the next stream tuple; returns the emissions released by this
-    /// step (possibly empty).
+    /// Feeds the next stream tuple, writing the emissions released by this
+    /// step (possibly none) into `sink`.
+    ///
+    /// This is the primary, allocation-free ingest path: emissions are
+    /// staged in a reusable scratch buffer and handed to the sink as one
+    /// [`accept_batch`](EmissionSink::accept_batch) call after the engine's
+    /// CPU clock stops.
     ///
     /// # Errors
-    /// * [`Error::Finished`] after [`finish`](Self::finish),
+    /// * [`Error::Finished`] after [`finish_into`](Self::finish_into),
     /// * [`Error::OutOfOrder`] / [`Error::NonContiguousSeq`] for ordering
     ///   violations,
     /// * [`Error::MissingValue`] when the tuple lacks an attribute a filter
     ///   needs.
-    pub fn push(&mut self, tuple: Tuple) -> Result<Vec<Emission>, Error> {
+    pub fn push_into<S: EmissionSink>(&mut self, tuple: Tuple, sink: &mut S) -> Result<(), Error> {
         let start = Instant::now();
         if self.finished {
             return Err(Error::Finished);
@@ -380,18 +411,20 @@ impl GroupEngine {
         // Second stage: solve/complete any regions that became ready.
         self.drain_regions(now);
 
-        let emissions = self.flush_for_push(now);
+        self.flush_to_scratch(now);
         self.maybe_drop(id);
         self.metrics.cpu += start.elapsed();
-        Ok(emissions)
+        self.drain_scratch(sink);
+        Ok(())
     }
 
     /// Ends the stream: force-closes all open candidate sets, completes the
-    /// remaining regions and releases everything still pending.
+    /// remaining regions, writes everything still pending into `sink` and
+    /// calls [`flush`](EmissionSink::flush) on it.
     ///
     /// # Errors
     /// Returns [`Error::Finished`] if called twice.
-    pub fn finish(&mut self) -> Result<Vec<Emission>, Error> {
+    pub fn finish_into<S: EmissionSink>(&mut self, sink: &mut S) -> Result<(), Error> {
         let start = Instant::now();
         if self.finished {
             return Err(Error::Finished);
@@ -405,12 +438,77 @@ impl GroupEngine {
         for region in self.tracker.drain_all() {
             self.complete_region(region, now);
         }
-        let emissions = self.release(now, None);
+        self.release_to_scratch(now, Release::All);
         self.metrics.cpu += start.elapsed();
-        Ok(emissions)
+        self.drain_scratch(sink);
+        sink.flush();
+        Ok(())
+    }
+
+    /// Feeds a batch of tuples into `sink` without per-tuple caller
+    /// dispatch — the slice-friendly entry point for sources and the bench
+    /// harness. The stream stays open; call
+    /// [`finish_into`](Self::finish_into) to end it.
+    ///
+    /// # Errors
+    /// Stops at (and returns) the first tuple that fails, like
+    /// [`push_into`](Self::push_into).
+    pub fn push_batch<S: EmissionSink>(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+        sink: &mut S,
+    ) -> Result<(), Error> {
+        for t in tuples {
+            self.push_into(t, sink)?;
+        }
+        Ok(())
+    }
+
+    /// Runs an entire stream through the engine into `sink`
+    /// ([`push_batch`](Self::push_batch) followed by
+    /// [`finish_into`](Self::finish_into)).
+    ///
+    /// # Errors
+    /// Propagates any push/finish error.
+    pub fn run_into<S: EmissionSink>(
+        &mut self,
+        stream: impl IntoIterator<Item = Tuple>,
+        sink: &mut S,
+    ) -> Result<(), Error> {
+        self.push_batch(stream, sink)?;
+        self.finish_into(sink)
+    }
+
+    /// Feeds the next stream tuple; returns the emissions released by this
+    /// step (possibly empty).
+    ///
+    /// Compatibility wrapper over [`push_into`](Self::push_into) — it
+    /// clones every emission into a fresh `Vec` via [`VecSink`]. Prefer the
+    /// sink path on hot paths.
+    ///
+    /// # Errors
+    /// Same as [`push_into`](Self::push_into).
+    pub fn push(&mut self, tuple: Tuple) -> Result<Vec<Emission>, Error> {
+        let mut out = VecSink::new();
+        self.push_into(tuple, &mut out)?;
+        Ok(out.into_vec())
+    }
+
+    /// Ends the stream, returning everything still pending.
+    ///
+    /// Compatibility wrapper over [`finish_into`](Self::finish_into).
+    ///
+    /// # Errors
+    /// Returns [`Error::Finished`] if called twice.
+    pub fn finish(&mut self) -> Result<Vec<Emission>, Error> {
+        let mut out = VecSink::new();
+        self.finish_into(&mut out)?;
+        Ok(out.into_vec())
     }
 
     /// Runs an entire stream through the engine, returning all emissions.
+    ///
+    /// Compatibility wrapper over [`run_into`](Self::run_into).
     ///
     /// # Errors
     /// Propagates any [`push`](Self::push)/[`finish`](Self::finish) error.
@@ -418,12 +516,9 @@ impl GroupEngine {
         &mut self,
         stream: I,
     ) -> Result<Vec<Emission>, Error> {
-        let mut out = Vec::new();
-        for t in stream {
-            out.extend(self.push(t)?);
-        }
-        out.extend(self.finish()?);
-        Ok(out)
+        let mut out = VecSink::new();
+        self.run_into(stream, &mut out)?;
+        Ok(out.into_vec())
     }
 
     // ------------------------------------------------------------------
@@ -599,68 +694,85 @@ impl GroupEngine {
         }
     }
 
-    fn flush_for_push(&mut self, now: Micros) -> Vec<Emission> {
+    /// Stages this push step's releases into the scratch buffer, honouring
+    /// the output strategy.
+    fn flush_to_scratch(&mut self, now: Micros) {
         match (self.algorithm, self.strategy) {
-            (Algorithm::SelfInterested, _) => self.release(now, None),
-            (_, OutputStrategy::PerCandidateSet) => self.release(now, None),
+            (Algorithm::SelfInterested, _) => self.release_to_scratch(now, Release::All),
+            (_, OutputStrategy::PerCandidateSet) => self.release_to_scratch(now, Release::All),
             (_, OutputStrategy::Batched(n)) => {
                 self.batch_counter += 1;
                 if self.batch_counter >= n {
                     self.batch_counter = 0;
-                    self.release(now, None)
-                } else {
-                    Vec::new()
+                    self.release_to_scratch(now, Release::All);
                 }
             }
-            (_, OutputStrategy::Earliest) => {
-                let ready: Vec<TupleId> = self.releasable.iter().copied().collect();
-                self.release(now, Some(ready))
+            (_, OutputStrategy::Earliest) => self.release_to_scratch(now, Release::Ready),
+        }
+    }
+
+    /// Releases pending outputs into the scratch buffer. The buffer's
+    /// allocation is reused across pushes; the recipient sets are moved out
+    /// of `pending`, so releasing performs no allocation at all.
+    fn release_to_scratch(&mut self, now: Micros, which: Release) {
+        match which {
+            Release::All => {
+                while let Some((id, recipients)) = self.pending.pop_first() {
+                    self.releasable.remove(&id);
+                    self.emit_to_scratch(id, recipients, now);
+                }
+            }
+            Release::Ready => {
+                while let Some(id) = self.releasable.pop_first() {
+                    let Some(recipients) = self.pending.remove(&id) else {
+                        continue;
+                    };
+                    self.emit_to_scratch(id, recipients, now);
+                }
             }
         }
     }
 
-    /// Releases pending outputs. `only` restricts the release to specific
-    /// ids; `None` releases everything pending.
-    fn release(&mut self, now: Micros, only: Option<Vec<TupleId>>) -> Vec<Emission> {
-        let ids: Vec<TupleId> = match only {
-            Some(ids) => ids,
-            None => self.pending.keys().copied().collect(),
+    /// Builds one emission (with all release-side accounting) onto the
+    /// scratch buffer.
+    fn emit_to_scratch(&mut self, id: TupleId, recipients: FilterSet, now: Micros) {
+        let Some(tuple) = self.pool.get(id).cloned() else {
+            debug_assert!(false, "pending tuple {id} missing from pool");
+            return;
         };
-        let mut emissions = Vec::with_capacity(ids.len());
-        for id in ids {
-            let Some(recipients) = self.pending.remove(&id) else {
-                continue;
-            };
-            self.releasable.remove(&id);
-            let Some(tuple) = self.pool.get(id).cloned() else {
-                debug_assert!(false, "pending tuple {id} missing from pool");
-                continue;
-            };
-            self.metrics.emissions += 1;
-            self.metrics.recipient_labels += recipients.len() as u64;
-            if self.max_emitted_id.is_some_and(|m| id < m) {
-                self.metrics.disordered_emissions += 1;
-            }
-            self.max_emitted_id = Some(self.max_emitted_id.map_or(id, |m| m.max(id)));
-            if self.emitted_ids.insert(id) {
-                self.metrics.output_tuples += 1;
-            }
-            self.metrics
-                .latencies_us
-                .push(now.saturating_sub(tuple.timestamp()).as_micros());
-            // The tuple may still be re-chosen while its region is
-            // incomplete (per-candidate-set strategy); region completion
-            // releases it from the pool for good.
-            if self.utility.get(id) == 0 && !self.recently_decided.contains(&id) {
-                self.pool.release(id);
-            }
-            emissions.push(Emission {
-                tuple,
-                recipients,
-                emitted_at: now,
-            });
+        self.metrics.emissions += 1;
+        self.metrics.recipient_labels += recipients.len() as u64;
+        if self.max_emitted_id.is_some_and(|m| id < m) {
+            self.metrics.disordered_emissions += 1;
         }
-        emissions
+        self.max_emitted_id = Some(self.max_emitted_id.map_or(id, |m| m.max(id)));
+        if self.emitted_ids.insert(id) {
+            self.metrics.output_tuples += 1;
+        }
+        self.metrics
+            .latencies_us
+            .push(now.saturating_sub(tuple.timestamp()).as_micros());
+        // The tuple may still be re-chosen while its region is
+        // incomplete (per-candidate-set strategy); region completion
+        // releases it from the pool for good.
+        if self.utility.get(id) == 0 && !self.recently_decided.contains(&id) {
+            self.pool.release(id);
+        }
+        self.scratch.push(Emission {
+            tuple,
+            recipients,
+            emitted_at: now,
+        });
+    }
+
+    /// Hands the staged emissions to the sink and recycles the buffer.
+    /// Runs after the CPU clock stops so sink-side work (multicast,
+    /// collection) never counts as filtering cost.
+    fn drain_scratch<S: EmissionSink>(&mut self, sink: &mut S) {
+        if !self.scratch.is_empty() {
+            sink.accept_batch(&self.scratch);
+            self.scratch.clear();
+        }
     }
 
     fn oldest_pending_candidate(&self) -> Option<Micros> {
@@ -678,5 +790,17 @@ impl GroupEngine {
 
     fn pending_candidates(&self) -> usize {
         self.tracker.pending_candidates() + self.filters.iter().map(|f| f.open_len()).sum::<usize>()
+    }
+}
+
+/// The engine is the canonical [`StreamOperator`]: pipelines compose it
+/// with dissemination/metering sinks without naming `GroupEngine`.
+impl StreamOperator for GroupEngine {
+    fn process(&mut self, tuple: Tuple, sink: &mut impl EmissionSink) -> Result<(), Error> {
+        self.push_into(tuple, sink)
+    }
+
+    fn finish(&mut self, sink: &mut impl EmissionSink) -> Result<(), Error> {
+        self.finish_into(sink)
     }
 }

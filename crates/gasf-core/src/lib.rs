@@ -39,7 +39,10 @@
 //! pool keyed by the copyable [`tuple::TupleId`] newtype), candidate sets
 //! and solvers carry ids only, and recipient labels are packed
 //! [`bitset::FilterSet`] bitsets. Payloads are resolved again exactly once,
-//! at emission time.
+//! at emission time — and emissions flow downstream through the
+//! [`sink::EmissionSink`] seam: the engine stages releases in a reusable
+//! scratch buffer and hands them to the sink by reference, so the
+//! steady-state release path allocates no `Vec<Emission>` per push.
 //!
 //! ## Quickstart
 //!
@@ -55,18 +58,27 @@
 //!     .build()?;
 //!
 //! let mut stream = TupleBuilder::new(&schema);
-//! let mut emitted = 0;
-//! for (i, v) in [0.0, 35.0, 29.0, 45.0, 50.0, 59.0].iter().enumerate() {
-//!     let tuple = stream.at_millis(i as u64 * 10 + 1).set("temperature", *v).build()?;
-//!     for emission in engine.push(tuple)? {
-//!         // `emission.tuple` is the pool's shared Arc<Tuple>;
-//!         // `emission.recipients` is a packed FilterSet of filter ids.
-//!         println!("send {} to {}", emission.tuple.id(), emission.recipients);
-//!         emitted += 1;
-//!     }
+//! let tuples = [0.0, 35.0, 29.0, 45.0, 50.0, 59.0]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, v)| {
+//!         stream
+//!             .at_millis(i as u64 * 10 + 1)
+//!             .set("temperature", *v)
+//!             .build()
+//!             .expect("fixture")
+//!     });
+//!
+//! // Emissions stream into any `EmissionSink`; `VecSink` materialises
+//! // them when the whole output is wanted at once.
+//! let mut out = VecSink::new();
+//! engine.run_into(tuples, &mut out)?;
+//! for emission in out.as_slice() {
+//!     // `emission.tuple` is the pool's shared Arc<Tuple>;
+//!     // `emission.recipients` is a packed FilterSet of filter ids.
+//!     println!("send {} to {}", emission.tuple.id(), emission.recipients);
 //! }
-//! emitted += engine.finish()?.len();
-//! assert!(emitted > 0);
+//! assert!(!out.is_empty());
 //! # Ok(())
 //! # }
 //! ```
@@ -88,6 +100,7 @@ pub mod quality;
 pub mod region;
 pub mod schema;
 mod seq_ring;
+pub mod sink;
 pub mod time;
 pub mod tuple;
 pub mod utility;

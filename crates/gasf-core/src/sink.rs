@@ -1,0 +1,351 @@
+//! The streaming seam: push-based dataflow without per-push allocation.
+//!
+//! The paper's architecture (Fig. 4.1) is a push pipeline — source →
+//! group-aware engine → output scheduler → tuple-level multicast. This
+//! module is that seam as an API: an operator *emits into a sink* instead
+//! of materialising a fresh `Vec<Emission>` on every step.
+//!
+//! * [`EmissionSink`] — anything that consumes released [`Emission`]s by
+//!   reference. Implementations decide what "consume" means: collect
+//!   ([`VecSink`]), discard ([`NullSink`]), fan out ([`Tee`]), or — in
+//!   `gasf-solar` — multicast over the overlay.
+//! * [`StreamOperator`] — anything that turns a stream of [`Tuple`]s into
+//!   emissions written to a sink. [`GroupEngine`](crate::engine::GroupEngine)
+//!   is the canonical implementation.
+//!
+//! The engine's hot path writes into the sink through a reusable internal
+//! scratch buffer, so a steady-state `push_into` performs **no**
+//! `Vec<Emission>` allocation; the legacy `push → Vec<Emission>` methods
+//! remain as thin [`VecSink`]-backed compatibility wrappers.
+//!
+//! # Writing a custom sink
+//!
+//! A sink only has to implement [`accept`](EmissionSink::accept); the
+//! batch and flush hooks have sensible defaults. A counting sink in full:
+//!
+//! ```rust
+//! use gasf_core::prelude::*;
+//! use gasf_core::sink::EmissionSink;
+//!
+//! /// Counts emissions and recipient labels without keeping payloads.
+//! #[derive(Debug, Default)]
+//! struct CountingSink {
+//!     emissions: u64,
+//!     labels: u64,
+//! }
+//!
+//! impl EmissionSink for CountingSink {
+//!     fn accept(&mut self, emission: &Emission) {
+//!         self.emissions += 1;
+//!         self.labels += emission.recipients.len() as u64;
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), gasf_core::Error> {
+//! let schema = Schema::new(["t"]);
+//! let mut engine = GroupEngine::builder(schema.clone())
+//!     .filter(FilterSpec::delta("t", 2.0, 0.9))
+//!     .filter(FilterSpec::delta("t", 3.0, 1.4))
+//!     .build()?;
+//!
+//! let mut b = TupleBuilder::new(&schema);
+//! let tuples = (0..20).map(|i| {
+//!     b.at_millis(10 * (i + 1)).set("t", (i as f64 * 0.7).sin() * 5.0).build().unwrap()
+//! });
+//!
+//! let mut counter = CountingSink::default();
+//! engine.run_into(tuples, &mut counter)?;
+//! assert!(counter.emissions > 0);
+//! assert!(counter.labels >= counter.emissions);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::Emission;
+use crate::error::Error;
+use crate::tuple::Tuple;
+
+/// A consumer of released [`Emission`]s.
+///
+/// Sinks receive emissions **by reference** in release order. A sink that
+/// needs to keep an emission clones it (the payload is an `Arc<Tuple>`, so
+/// a clone is a reference-count bump plus the recipient bitset); a sink
+/// that only inspects or forwards pays nothing.
+pub trait EmissionSink {
+    /// Consumes one emission.
+    fn accept(&mut self, emission: &Emission);
+
+    /// Consumes a batch of emissions released by a single step.
+    ///
+    /// The default forwards to [`accept`](Self::accept) per emission;
+    /// override it when the sink can amortise per-batch work.
+    fn accept_batch(&mut self, emissions: &[Emission]) {
+        for e in emissions {
+            self.accept(e);
+        }
+    }
+
+    /// Flushes any internally buffered state.
+    ///
+    /// Called by [`GroupEngine::finish_into`](crate::engine::GroupEngine::finish_into)
+    /// (and therefore at the end of every
+    /// [`run_into`](crate::engine::GroupEngine::run_into)) after the final
+    /// emissions. The default does nothing.
+    fn flush(&mut self) {}
+}
+
+/// Sinks compose by mutable reference: `&mut S` forwards to `S`, so an
+/// operator taking `&mut impl EmissionSink` can hand the same sink to
+/// nested stages.
+impl<S: EmissionSink + ?Sized> EmissionSink for &mut S {
+    fn accept(&mut self, emission: &Emission) {
+        (**self).accept(emission);
+    }
+
+    fn accept_batch(&mut self, emissions: &[Emission]) {
+        (**self).accept_batch(emissions);
+    }
+
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+/// A push-based streaming operator: tuples in, emissions out through a
+/// sink.
+///
+/// This is the operator shape the whole pipeline composes over —
+/// [`GroupEngine`](crate::engine::GroupEngine) implements it, and
+/// middleware layers (metering, dissemination) wrap it.
+pub trait StreamOperator {
+    /// Processes one input tuple, writing any released emissions to `sink`.
+    ///
+    /// # Errors
+    /// Operator-specific; see the implementation.
+    fn process(&mut self, tuple: Tuple, sink: &mut impl EmissionSink) -> Result<(), Error>;
+
+    /// Ends the stream, writing the remaining emissions to `sink`.
+    ///
+    /// # Errors
+    /// Operator-specific; see the implementation.
+    fn finish(&mut self, sink: &mut impl EmissionSink) -> Result<(), Error>;
+
+    /// Processes a slice-sized batch of tuples without per-tuple dispatch
+    /// overhead. The default loops over [`process`](Self::process).
+    ///
+    /// # Errors
+    /// Stops at (and returns) the first tuple that fails.
+    fn process_batch(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+        sink: &mut impl EmissionSink,
+    ) -> Result<(), Error> {
+        for t in tuples {
+            self.process(t, sink)?;
+        }
+        Ok(())
+    }
+}
+
+/// A sink that collects cloned emissions into a `Vec`.
+///
+/// This is the bridge between the streaming path and code that wants the
+/// whole output materialised — the legacy
+/// [`GroupEngine::push`](crate::engine::GroupEngine::push)/`finish`
+/// wrappers are implemented with it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VecSink {
+    emissions: Vec<Emission>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of emissions collected so far.
+    pub fn len(&self) -> usize {
+        self.emissions.len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.emissions.is_empty()
+    }
+
+    /// The collected emissions, in release order.
+    pub fn as_slice(&self) -> &[Emission] {
+        &self.emissions
+    }
+
+    /// Consumes the sink, returning the collected emissions.
+    pub fn into_vec(self) -> Vec<Emission> {
+        self.emissions
+    }
+
+    /// Removes and returns the collected emissions, leaving the sink
+    /// empty (the returned `Vec` keeps the allocation; the sink restarts
+    /// from an unallocated buffer).
+    pub fn drain_vec(&mut self) -> Vec<Emission> {
+        std::mem::take(&mut self.emissions)
+    }
+}
+
+impl EmissionSink for VecSink {
+    fn accept(&mut self, emission: &Emission) {
+        self.emissions.push(emission.clone());
+    }
+
+    fn accept_batch(&mut self, emissions: &[Emission]) {
+        self.emissions.extend_from_slice(emissions);
+    }
+}
+
+/// A sink that discards everything — the zero-cost endpoint for runs that
+/// only need engine metrics (benchmarks, capacity probes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl EmissionSink for NullSink {
+    fn accept(&mut self, _emission: &Emission) {}
+
+    fn accept_batch(&mut self, _emissions: &[Emission]) {}
+}
+
+/// Fans every emission out to two sinks, `a` first.
+///
+/// Compose nested `Tee`s for wider fan-out; accounting adapters (e.g.
+/// `gasf-solar`'s metering) are typically tee'd next to the real
+/// destination.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tee<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Tee<A, B> {
+    /// Creates a tee over two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        Tee { a, b }
+    }
+
+    /// The first sink.
+    pub fn first(&self) -> &A {
+        &self.a
+    }
+
+    /// The second sink.
+    pub fn second(&self) -> &B {
+        &self.b
+    }
+
+    /// Consumes the tee, returning both sinks.
+    pub fn into_inner(self) -> (A, B) {
+        (self.a, self.b)
+    }
+}
+
+impl<A: EmissionSink, B: EmissionSink> EmissionSink for Tee<A, B> {
+    fn accept(&mut self, emission: &Emission) {
+        self.a.accept(emission);
+        self.b.accept(emission);
+    }
+
+    fn accept_batch(&mut self, emissions: &[Emission]) {
+        self.a.accept_batch(emissions);
+        self.b.accept_batch(emissions);
+    }
+
+    fn flush(&mut self) {
+        self.a.flush();
+        self.b.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::FilterSet;
+    use crate::candidate::FilterId;
+    use crate::schema::Schema;
+    use crate::time::Micros;
+    use crate::tuple::TupleBuilder;
+    use std::sync::Arc;
+
+    fn emission(seq: u64) -> Emission {
+        let schema = Schema::new(["t"]);
+        let mut b = TupleBuilder::new(&schema);
+        let t = b
+            .at_millis(10 * (seq + 1))
+            .set("t", seq as f64)
+            .build()
+            .unwrap();
+        let mut recipients = FilterSet::new();
+        recipients.insert(FilterId::from_index(0));
+        Emission {
+            tuple: Arc::new(t),
+            recipients,
+            emitted_at: Micros::from_millis(10 * (seq + 1)),
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecSink::new();
+        assert!(sink.is_empty());
+        let (a, b) = (emission(0), emission(1));
+        sink.accept(&a);
+        sink.accept_batch(std::slice::from_ref(&b));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.as_slice(), &[a.clone(), b.clone()]);
+        assert_eq!(sink.drain_vec(), vec![a, b]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut sink = NullSink;
+        sink.accept(&emission(0));
+        sink.accept_batch(&[emission(1), emission(2)]);
+        sink.flush();
+    }
+
+    #[test]
+    fn tee_duplicates_to_both() {
+        let mut tee = Tee::new(VecSink::new(), VecSink::new());
+        tee.accept(&emission(0));
+        tee.accept_batch(&[emission(1)]);
+        tee.flush();
+        assert_eq!(tee.first().len(), 2);
+        assert_eq!(tee.second().len(), 2);
+        let (a, b) = tee.into_inner();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        // Generic over S so `&mut VecSink` resolves to the blanket impl.
+        fn feed<S: EmissionSink>(mut sink: S) {
+            sink.accept(&emission(0));
+            sink.accept_batch(&[emission(1)]);
+            sink.flush();
+        }
+        let mut sink = VecSink::new();
+        feed(&mut sink);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn default_batch_loops_over_accept() {
+        struct Counter(u64);
+        impl EmissionSink for Counter {
+            fn accept(&mut self, _: &Emission) {
+                self.0 += 1;
+            }
+        }
+        let mut c = Counter(0);
+        c.accept_batch(&[emission(0), emission(1), emission(2)]);
+        assert_eq!(c.0, 3);
+    }
+}

@@ -6,7 +6,7 @@
 //! decided, and consult it for the greedy choices.
 //!
 //! Utilities are keyed by [`TupleId`] and stored in the same dense
-//! [`SeqRing`] mechanism as the engine's tuple pool: ids enter in stream
+//! `SeqRing` mechanism as the engine's tuple pool: ids enter in stream
 //! order and leave at region boundaries, so `id - base` indexing gives
 //! O(1) updates with memory bounded by the live window (the `BTreeMap`
 //! this replaces paid a logarithmic probe per event on the hot path).

@@ -13,6 +13,8 @@
 //! share a tuple, the fewer bytes per recipient.
 
 use crate::topology::{NodeId, Topology};
+use gasf_core::candidate::FilterId;
+use gasf_core::engine::Emission;
 use gasf_core::time::Micros;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -130,6 +132,9 @@ pub struct Overlay {
     groups: HashMap<GroupId, Group>,
     link_bytes: HashMap<(u32, u32), u64>,
     messages: u64,
+    /// Reusable recipient-node buffer for the borrow-based
+    /// [`multicast_emission`](Overlay::multicast_emission) path.
+    scratch_nodes: Vec<NodeId>,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -169,6 +174,7 @@ impl Overlay {
             groups: HashMap::new(),
             link_bytes: HashMap::new(),
             messages: 0,
+            scratch_nodes: Vec::new(),
         }
     }
 
@@ -349,6 +355,35 @@ impl Overlay {
             bytes_on_wire,
             overlay_hops,
         })
+    }
+
+    /// Sends one [`Emission`] to the nodes its recipient filters map to —
+    /// the borrow-based send path of the sink dataflow.
+    ///
+    /// `node_of` translates each recipient [`FilterId`] to its subscriber
+    /// node (the caller owns that mapping — the overlay knows nothing about
+    /// filters). Duplicate nodes are collapsed, the payload size is the
+    /// tuple's wire size, and the recipient list is staged in a buffer
+    /// reused across calls, so sending allocates nothing per emission.
+    ///
+    /// # Errors
+    /// Same as [`multicast`](Self::multicast).
+    pub fn multicast_emission(
+        &mut self,
+        group: GroupId,
+        src: NodeId,
+        emission: &Emission,
+        mut node_of: impl FnMut(FilterId) -> NodeId,
+    ) -> Result<Delivery, NetError> {
+        let mut nodes = std::mem::take(&mut self.scratch_nodes);
+        nodes.clear();
+        nodes.extend(emission.recipients.iter().map(&mut node_of));
+        nodes.sort_unstable();
+        nodes.dedup();
+        let result = self.multicast(group, src, &nodes, emission.tuple.wire_size());
+        nodes.clear();
+        self.scratch_nodes = nodes;
+        result
     }
 
     /// Sends one message point-to-point along the underlay shortest path
@@ -574,5 +609,79 @@ mod tests {
     fn error_display() {
         let e = NetError::NotAMember(NodeId(3));
         assert!(e.to_string().contains("n3"));
+    }
+
+    mod emission_path {
+        use super::*;
+        use gasf_core::bitset::FilterSet;
+        use gasf_core::schema::Schema;
+        use gasf_core::tuple::TupleBuilder;
+        use std::sync::Arc;
+
+        fn emission(filters: &[usize]) -> Emission {
+            let schema = Schema::new(["t"]);
+            let mut b = TupleBuilder::new(&schema);
+            let tuple = b.at_millis(10).set("t", 1.0).build().unwrap();
+            let mut recipients = FilterSet::new();
+            for &f in filters {
+                recipients.insert(FilterId::from_index(f));
+            }
+            Emission {
+                tuple: Arc::new(tuple),
+                recipients,
+                emitted_at: Micros::from_millis(10),
+            }
+        }
+
+        #[test]
+        fn emission_send_matches_explicit_multicast() {
+            let e = emission(&[0, 2]);
+            let nodes = [NodeId(3), NodeId(5), NodeId(1)];
+
+            let mut a = ring7();
+            let g = a.create_group("grp", &all_nodes(7)).unwrap();
+            let via_emission = a
+                .multicast_emission(g, NodeId(0), &e, |f| nodes[f.index()])
+                .unwrap();
+
+            let mut b = ring7();
+            let g = b.create_group("grp", &all_nodes(7)).unwrap();
+            let explicit = b
+                .multicast(g, NodeId(0), &[NodeId(1), NodeId(3)], e.tuple.wire_size())
+                .unwrap();
+
+            assert_eq!(via_emission, explicit);
+            assert_eq!(a.total_bytes(), b.total_bytes());
+        }
+
+        #[test]
+        fn duplicate_recipient_nodes_collapse() {
+            // Two filters living on the same node must cost one delivery.
+            let e = emission(&[0, 1]);
+            let mut o = ring7();
+            let g = o.create_group("grp", &all_nodes(7)).unwrap();
+            let d = o
+                .multicast_emission(g, NodeId(0), &e, |_| NodeId(4))
+                .unwrap();
+            assert_eq!(d.latencies.len(), 1);
+
+            let mut o2 = ring7();
+            let g2 = o2.create_group("grp", &all_nodes(7)).unwrap();
+            let single = o2
+                .multicast(g2, NodeId(0), &[NodeId(4)], e.tuple.wire_size())
+                .unwrap();
+            assert_eq!(d, single);
+        }
+
+        #[test]
+        fn emission_send_surfaces_errors() {
+            let e = emission(&[0]);
+            let mut o = ring7();
+            let g = o.create_group("grp", &[NodeId(0), NodeId(1)]).unwrap();
+            assert_eq!(
+                o.multicast_emission(g, NodeId(0), &e, |_| NodeId(6)),
+                Err(NetError::NotAMember(NodeId(6)))
+            );
+        }
     }
 }

@@ -10,8 +10,13 @@
 //! [`FlowMonitor`] implements that control loop: it compares the measured
 //! per-tuple processing cost against the stream's inter-arrival interval
 //! (an EWMA of both) and recommends one of the paper's remedies once the
-//! utilisation crosses its thresholds.
+//! utilisation crosses its thresholds. Output-side accounting composes
+//! into the sink dataflow via [`Metered`], an
+//! [`EmissionSink`](gasf_core::sink::EmissionSink) adapter that tees every
+//! emission into the monitor on its way to the real destination.
 
+use gasf_core::engine::Emission;
+use gasf_core::sink::EmissionSink;
 use gasf_core::time::Micros;
 use std::time::Duration;
 
@@ -41,6 +46,10 @@ pub struct FlowMonitor {
     last_arrival: Option<Micros>,
     alpha: f64,
     samples: u64,
+    /// Emissions that flowed through the output side (via [`Metered`]).
+    emitted: u64,
+    /// Recipient labels across those emissions (the multicast fan-out).
+    emitted_labels: u64,
 }
 
 impl FlowMonitor {
@@ -57,6 +66,8 @@ impl FlowMonitor {
             last_arrival: None,
             alpha,
             samples: 0,
+            emitted: 0,
+            emitted_labels: 0,
         }
     }
 
@@ -97,6 +108,24 @@ impl FlowMonitor {
         self.samples
     }
 
+    /// Records one released emission (output-side accounting; fed by
+    /// [`Metered`] as emissions stream past).
+    pub fn observe_emission(&mut self, emission: &Emission) {
+        self.emitted += 1;
+        self.emitted_labels += emission.recipients.len() as u64;
+    }
+
+    /// Emissions observed on the output side.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Recipient labels observed on the output side — `emitted_labels /
+    /// emitted` is the mean multicast fan-out.
+    pub fn emitted_labels(&self) -> u64 {
+        self.emitted_labels
+    }
+
     /// The recommended remedy at the current utilisation.
     ///
     /// * `< 0.8` → [`FlowDecision::Ok`]
@@ -119,6 +148,58 @@ impl FlowMonitor {
 impl Default for FlowMonitor {
     fn default() -> Self {
         Self::new(0.2)
+    }
+}
+
+/// An [`EmissionSink`] adapter that tees output-side accounting into a
+/// [`FlowMonitor`] while forwarding every emission to the inner sink.
+///
+/// This is how the pipeline composes flow control into the dataflow: the
+/// monitor sits *next to* the dissemination sink instead of requiring the
+/// engine (or callers) to collect emissions just to count them.
+#[derive(Debug)]
+pub struct Metered<'m, S> {
+    inner: S,
+    monitor: &'m mut FlowMonitor,
+}
+
+impl<'m, S: EmissionSink> Metered<'m, S> {
+    /// Wraps `inner`, accounting every emission into `monitor`.
+    pub fn new(inner: S, monitor: &'m mut FlowMonitor) -> Self {
+        Metered { inner, monitor }
+    }
+
+    /// The monitor (for input-side observations and decisions).
+    pub fn monitor(&mut self) -> &mut FlowMonitor {
+        self.monitor
+    }
+
+    /// The wrapped sink.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: EmissionSink> EmissionSink for Metered<'_, S> {
+    fn accept(&mut self, emission: &Emission) {
+        self.monitor.observe_emission(emission);
+        self.inner.accept(emission);
+    }
+
+    fn accept_batch(&mut self, emissions: &[Emission]) {
+        for e in emissions {
+            self.monitor.observe_emission(e);
+        }
+        self.inner.accept_batch(emissions);
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
     }
 }
 
@@ -178,6 +259,38 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn bad_alpha_panics() {
         let _ = FlowMonitor::new(0.0);
+    }
+
+    #[test]
+    fn metered_tees_emissions_into_monitor() {
+        use gasf_core::bitset::FilterSet;
+        use gasf_core::candidate::FilterId;
+        use gasf_core::schema::Schema;
+        use gasf_core::sink::VecSink;
+        use gasf_core::tuple::TupleBuilder;
+        use std::sync::Arc;
+
+        let schema = Schema::new(["t"]);
+        let mut b = TupleBuilder::new(&schema);
+        let tuple = Arc::new(b.at_millis(10).set("t", 1.0).build().unwrap());
+        let mut recipients = FilterSet::new();
+        recipients.insert(FilterId::from_index(0));
+        recipients.insert(FilterId::from_index(2));
+        let e = Emission {
+            tuple,
+            recipients,
+            emitted_at: Micros::from_millis(10),
+        };
+
+        let mut monitor = FlowMonitor::default();
+        let mut metered = Metered::new(VecSink::new(), &mut monitor);
+        metered.accept(&e);
+        metered.accept_batch(std::slice::from_ref(&e));
+        metered.flush();
+        assert_eq!(metered.inner_mut().len(), 2);
+        assert_eq!(metered.into_inner().len(), 2);
+        assert_eq!(monitor.emitted(), 2);
+        assert_eq!(monitor.emitted_labels(), 4);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!
 //! * [`Middleware`] — pub/sub registry + the group-aware filtering service
 //!   (one [`GroupEngine`](gasf_core::engine::GroupEngine) per source) +
-//!   multicast dissemination with end-to-end accounting,
+//!   multicast dissemination with end-to-end accounting; its data path is
+//!   the sink-based [`Pipeline`] (engine → [`Metered`] flow accounting →
+//!   [`MulticastSink`]),
 //! * [`OperatorGraph`] — quality-spec propagation from applications to
 //!   sources through in-network operators,
 //! * [`FlowMonitor`] — the input-buffer congestion/flow-control logic the
@@ -27,9 +29,10 @@ mod graph;
 mod middleware;
 mod regroup;
 
-pub use flow::{FlowDecision, FlowMonitor};
+pub use flow::{FlowDecision, FlowMonitor, Metered};
 pub use graph::{OpKind, OperatorGraph, OperatorId};
 pub use middleware::{
-    AppId, AppReport, Middleware, MiddlewareConfig, RunReport, SolarError, SourceId,
+    AppId, AppReport, Middleware, MiddlewareConfig, MulticastSink, Pipeline, RunReport, SolarError,
+    SourceId,
 };
 pub use regroup::{is_valid_partition, partition, GroupingStrategy, Partition};

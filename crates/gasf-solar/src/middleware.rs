@@ -8,14 +8,24 @@
 //! * the **global state manager** lives inside the engine,
 //! * the **output scheduler** is the engine's output strategy feeding the
 //!   overlay's tuple-level multicast.
+//!
+//! The data path is a sink-based pipeline (Fig. 4.1 as an API): a
+//! [`Pipeline`] wires source → [`GroupEngine`] → [`MulticastSink`] — the
+//! overlay dissemination implemented as an
+//! [`EmissionSink`](gasf_core::sink::EmissionSink) — with
+//! [`FlowMonitor`] accounting tee'd in via
+//! [`Metered`](crate::flow::Metered). Emissions stream from the engine's
+//! release path straight into the multicast tree without ever being
+//! collected into an intermediate `Vec<Emission>`.
 
-use crate::flow::{FlowDecision, FlowMonitor};
+use crate::flow::{FlowDecision, FlowMonitor, Metered};
 use crate::graph::OperatorGraph;
 use gasf_core::cuts::TimeConstraint;
 use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
 use gasf_core::metrics::EngineMetrics;
 use gasf_core::quality::FilterSpec;
 use gasf_core::schema::Schema;
+use gasf_core::sink::EmissionSink;
 use gasf_core::time::Micros;
 use gasf_core::tuple::Tuple;
 use gasf_net::{GroupId, NodeId, Overlay};
@@ -350,32 +360,65 @@ impl Middleware {
         Ok(())
     }
 
+    /// Wires a source's dataflow — engine → metered multicast sink — and
+    /// returns it ready to push tuples. This is the primary data path:
+    /// emissions stream from the engine's release scratch straight into
+    /// the overlay's multicast trees, with [`FlowMonitor`] accounting
+    /// tee'd in, and no intermediate `Vec<Emission>` is ever built.
+    ///
+    /// # Errors
+    /// [`SolarError::NotDeployed`] / [`SolarError::UnknownId`] /
+    /// [`SolarError::NoSubscribers`].
+    pub fn pipeline(&mut self, source: SourceId) -> Result<Pipeline<'_>, SolarError> {
+        if !self.deployed {
+            return Err(SolarError::NotDeployed);
+        }
+        let s = self
+            .sources
+            .get_mut(source.0)
+            .ok_or_else(|| SolarError::UnknownId(source.to_string()))?;
+        let engine = s
+            .engine
+            .as_mut()
+            .ok_or_else(|| SolarError::NoSubscribers(s.name.clone()))?;
+        let sink = MulticastSink {
+            overlay: &mut self.overlay,
+            apps: &mut self.apps,
+            subscribers: &s.subscribers,
+            group: s.group.expect("deployed source has a group"),
+            src_node: s.node,
+            error: None,
+        };
+        Ok(Pipeline {
+            engine,
+            sink: Metered::new(sink, &mut s.flow),
+        })
+    }
+
     /// Pushes one tuple into a source's filtering service, disseminating
     /// any released outputs.
+    ///
+    /// Thin wrapper over [`pipeline`](Self::pipeline); prefer holding a
+    /// pipeline (or calling [`push_batch`](Self::push_batch)) when feeding
+    /// more than one tuple.
     ///
     /// # Errors
     /// [`SolarError::NotDeployed`], engine errors, network errors.
     pub fn process(&mut self, source: SourceId, tuple: Tuple) -> Result<(), SolarError> {
-        if !self.deployed {
-            return Err(SolarError::NotDeployed);
-        }
-        let emissions = {
-            let s = self
-                .sources
-                .get_mut(source.0)
-                .ok_or_else(|| SolarError::UnknownId(source.to_string()))?;
-            let engine = s
-                .engine
-                .as_mut()
-                .ok_or_else(|| SolarError::NoSubscribers(s.name.clone()))?;
-            let arrival = tuple.timestamp();
-            let cpu_before = engine.metrics().cpu;
-            let emissions = engine.push(tuple)?;
-            let cpu_spent = engine.metrics().cpu.saturating_sub(cpu_before);
-            s.flow.observe(arrival, cpu_spent);
-            emissions
-        };
-        self.disseminate(source, &emissions)
+        self.pipeline(source)?.push(tuple)
+    }
+
+    /// Pushes a batch of tuples through a source's pipeline without
+    /// re-wiring it per tuple.
+    ///
+    /// # Errors
+    /// Same as [`process`](Self::process); stops at the first failure.
+    pub fn push_batch(
+        &mut self,
+        source: SourceId,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<(), SolarError> {
+        self.pipeline(source)?.push_batch(tuples)
     }
 
     /// Ends a source's stream and disseminates the tail.
@@ -383,21 +426,7 @@ impl Middleware {
     /// # Errors
     /// Same as [`process`](Self::process).
     pub fn finish(&mut self, source: SourceId) -> Result<(), SolarError> {
-        if !self.deployed {
-            return Err(SolarError::NotDeployed);
-        }
-        let emissions = {
-            let s = self
-                .sources
-                .get_mut(source.0)
-                .ok_or_else(|| SolarError::UnknownId(source.to_string()))?;
-            let engine = s
-                .engine
-                .as_mut()
-                .ok_or_else(|| SolarError::NoSubscribers(s.name.clone()))?;
-            engine.finish()?
-        };
-        self.disseminate(source, &emissions)
+        self.pipeline(source)?.finish()
     }
 
     /// The flow-control monitor's current advice for a source (§4.8:
@@ -412,48 +441,9 @@ impl Middleware {
             .ok_or_else(|| SolarError::UnknownId(source.to_string()))
     }
 
-    fn disseminate(&mut self, source: SourceId, emissions: &[Emission]) -> Result<(), SolarError> {
-        if emissions.is_empty() {
-            return Ok(());
-        }
-        let (src_node, group, subscribers) = {
-            let s = &self.sources[source.0];
-            (
-                s.node,
-                s.group.expect("deployed source has a group"),
-                s.subscribers.clone(),
-            )
-        };
-        for e in emissions {
-            // Map recipient filter ids (positional) to application nodes.
-            let recipient_apps: Vec<AppId> = e
-                .recipients
-                .iter()
-                .map(|f| subscribers[f.index()])
-                .collect();
-            let nodes: BTreeSet<NodeId> =
-                recipient_apps.iter().map(|a| self.apps[a.0].node).collect();
-            let nodes: Vec<NodeId> = nodes.into_iter().collect();
-            let delivery = self
-                .overlay
-                .multicast(group, src_node, &nodes, e.tuple.wire_size())?;
-            for &app in &recipient_apps {
-                let entry = &mut self.apps[app.0];
-                let net = delivery
-                    .latencies
-                    .get(&entry.node)
-                    .copied()
-                    .unwrap_or(Micros::ZERO);
-                entry.tuples += 1;
-                entry.e2e_latency_us.push((e.latency() + net).as_micros());
-            }
-        }
-        Ok(())
-    }
-
-    /// Runs a full trace through a source and reports the outcome. Resets
-    /// per-app statistics and traffic counters first, so reports from
-    /// consecutive runs are independent.
+    /// Runs a full trace through a source's pipeline and reports the
+    /// outcome. Resets per-app statistics and traffic counters first, so
+    /// reports from consecutive runs are independent.
     ///
     /// # Errors
     /// Propagates any `process`/`finish` error.
@@ -471,10 +461,14 @@ impl Middleware {
             app.tuples = 0;
             app.e2e_latency_us.clear();
         }
-        for t in tuples {
-            self.process(source, t)?;
-        }
-        self.finish(source)?;
+        let mut pipeline = self.pipeline(source)?;
+        pipeline.push_batch(tuples)?;
+        pipeline.finish()?;
+        self.report(source)
+    }
+
+    /// Assembles the [`RunReport`] for a source's most recent run.
+    fn report(&self, source: SourceId) -> Result<RunReport, SolarError> {
         let s = &self.sources[source.0];
         let engine = s
             .engine
@@ -504,6 +498,130 @@ impl Middleware {
             messages: self.overlay.messages(),
             per_app,
         })
+    }
+}
+
+/// Overlay dissemination as an [`EmissionSink`]: every accepted emission
+/// is multicast down the group's tree (pruned to the emission's recipient
+/// subset, via the borrow-based
+/// [`Overlay::multicast_emission`](gasf_net::Overlay::multicast_emission)
+/// path) and per-application delivery statistics are updated in place.
+///
+/// Network failures cannot surface through [`accept`](EmissionSink::accept)
+/// (the sink contract is infallible), so the sink latches the first error
+/// and ignores later emissions; [`Pipeline`] re-raises it after every
+/// engine step. Obtained via [`Middleware::pipeline`].
+#[derive(Debug)]
+pub struct MulticastSink<'a> {
+    overlay: &'a mut Overlay,
+    apps: &'a mut Vec<AppEntry>,
+    subscribers: &'a [AppId],
+    group: GroupId,
+    src_node: NodeId,
+    error: Option<SolarError>,
+}
+
+impl MulticastSink<'_> {
+    /// Re-raises (and clears) the first deferred network error.
+    fn take_error(&mut self) -> Result<(), SolarError> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl EmissionSink for MulticastSink<'_> {
+    fn accept(&mut self, emission: &Emission) {
+        if self.error.is_some() {
+            return;
+        }
+        // Map recipient filter ids (positional) to application nodes; the
+        // overlay dedups nodes and reuses its recipient scratch buffer.
+        let subscribers = self.subscribers;
+        let apps = &*self.apps;
+        let delivery =
+            match self
+                .overlay
+                .multicast_emission(self.group, self.src_node, emission, |f| {
+                    apps[subscribers[f.index()].0].node
+                }) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.error = Some(e.into());
+                    return;
+                }
+            };
+        for f in emission.recipients.iter() {
+            let entry = &mut self.apps[subscribers[f.index()].0];
+            let net = delivery
+                .latencies
+                .get(&entry.node)
+                .copied()
+                .unwrap_or(Micros::ZERO);
+            entry.tuples += 1;
+            entry
+                .e2e_latency_us
+                .push((emission.latency() + net).as_micros());
+        }
+    }
+}
+
+/// A wired dataflow for one source: engine → [`Metered`] flow accounting →
+/// [`MulticastSink`] dissemination (Fig. 4.1 as an API).
+///
+/// Borrow one from [`Middleware::pipeline`], feed it with
+/// [`push`](Pipeline::push)/[`push_batch`](Pipeline::push_batch), and end
+/// the stream with [`finish`](Pipeline::finish). Dropping the pipeline
+/// without finishing leaves the source open for a later pipeline.
+#[derive(Debug)]
+pub struct Pipeline<'m> {
+    engine: &'m mut GroupEngine,
+    sink: Metered<'m, MulticastSink<'m>>,
+}
+
+impl Pipeline<'_> {
+    /// Pushes one tuple through the engine; released emissions are
+    /// multicast as they stream out of the release path.
+    ///
+    /// # Errors
+    /// Engine errors first (ordering violations, finished streams), then
+    /// any network error raised while disseminating this step's emissions.
+    pub fn push(&mut self, tuple: Tuple) -> Result<(), SolarError> {
+        let arrival = tuple.timestamp();
+        let cpu_before = self.engine.metrics().cpu;
+        self.engine.push_into(tuple, &mut self.sink)?;
+        let cpu_spent = self.engine.metrics().cpu.saturating_sub(cpu_before);
+        self.sink.monitor().observe(arrival, cpu_spent);
+        self.sink.inner_mut().take_error()
+    }
+
+    /// Pushes a batch of tuples, stopping at the first failure.
+    ///
+    /// # Errors
+    /// Same as [`push`](Self::push).
+    pub fn push_batch(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<(), SolarError> {
+        for t in tuples {
+            self.push(t)?;
+        }
+        Ok(())
+    }
+
+    /// Ends the stream, disseminating the tail.
+    ///
+    /// # Errors
+    /// Same as [`push`](Self::push).
+    pub fn finish(mut self) -> Result<(), SolarError> {
+        self.engine.finish_into(&mut self.sink)?;
+        self.sink.inner_mut().take_error()
+    }
+
+    /// The engine this pipeline feeds (metrics, watermark, …).
+    pub fn engine(&self) -> &GroupEngine {
+        self.engine
     }
 }
 
@@ -658,6 +776,68 @@ mod tests {
         let r2 = mw.run_trace(src, stream(&schema, 100)).unwrap();
         assert_eq!(r1.per_app[0].tuples, r2.per_app[0].tuples);
         assert_eq!(r1.network_bytes, r2.network_bytes);
+    }
+
+    #[test]
+    fn explicit_pipeline_matches_run_trace() {
+        // Driving the pipeline by hand must be exactly the run_trace path.
+        let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+        let via_run_trace = mw.run_trace(src, stream(&schema, 200)).unwrap();
+
+        let (mut mw2, src2, schema2) = setup(MiddlewareConfig::default());
+        {
+            let mut p = mw2.pipeline(src2).unwrap();
+            for t in stream(&schema2, 200) {
+                p.push(t).unwrap();
+            }
+            assert!(p.engine().metrics().input_tuples == 200);
+            p.finish().unwrap();
+        }
+        let report = mw2.report(src2).unwrap();
+        assert_eq!(via_run_trace.network_bytes, report.network_bytes);
+        assert_eq!(via_run_trace.messages, report.messages);
+        assert_eq!(via_run_trace.per_app, report.per_app);
+        assert_eq!(
+            via_run_trace.engine.output_tuples,
+            report.engine.output_tuples
+        );
+    }
+
+    #[test]
+    fn push_batch_feeds_whole_slice() {
+        let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+        mw.push_batch(src, stream(&schema, 150)).unwrap();
+        mw.finish(src).unwrap();
+        let report = mw.report(src).unwrap();
+        assert_eq!(report.engine.input_tuples, 150);
+        assert!(report.per_app.iter().all(|a| a.tuples > 0));
+    }
+
+    #[test]
+    fn pipeline_requires_deploy_and_known_source() {
+        let overlay = Overlay::new(Topology::ring(3).build());
+        let mut mw = Middleware::new(overlay);
+        let schema = Schema::new(["t"]);
+        let src = mw.register_source("s", NodeId(0), schema.clone()).unwrap();
+        mw.subscribe("a", NodeId(1), src, FilterSpec::delta("t", 1.0, 0.4))
+            .unwrap();
+        assert!(matches!(mw.pipeline(src), Err(SolarError::NotDeployed)));
+        mw.deploy().unwrap();
+        assert!(matches!(
+            mw.pipeline(SourceId(7)),
+            Err(SolarError::UnknownId(_))
+        ));
+        assert!(mw.pipeline(src).is_ok());
+    }
+
+    #[test]
+    fn flow_monitor_sees_emissions_via_metered_sink() {
+        let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+        let report = mw.run_trace(src, stream(&schema, 200)).unwrap();
+        let s = &mw.sources[src.0];
+        assert_eq!(s.flow.emitted(), report.engine.emissions);
+        assert_eq!(s.flow.emitted_labels(), report.engine.recipient_labels);
+        assert_eq!(s.flow.samples(), 200);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! via a regrouping strategy.
 //!
 //! ```text
-//! cargo run -p gasf-examples --bin adaptive_monitoring
+//! cargo run --example adaptive_monitoring
 //! ```
 
 use gasf_core::prelude::*;
@@ -22,7 +22,7 @@ fn assess(label: &str, specs: Vec<FilterSpec>) -> Result<BenefitReport, Error> {
         .algorithm(Algorithm::RegionGreedy)
         .filters(specs)
         .build()?;
-    engine.run(trace.into_tuples())?;
+    engine.run_into(trace.into_tuples(), &mut NullSink)?;
     let report = BenefitMonitor::new().assess(engine.metrics());
     println!("{label}:");
     for f in &report.selectivity {

@@ -5,10 +5,13 @@
 //! fire prediction (finest granularity, tight latency), responder safety
 //! assessment, and a situation-awareness web portal (coarsest). The demo
 //! compares self-interested and group-aware dissemination end to end —
-//! filtering, tuple-level multicast, bandwidth and latency.
+//! filtering, tuple-level multicast, bandwidth and latency — over the
+//! middleware's sink-based pipeline (source → engine → multicast sink):
+//! emissions stream from the filtering engine's release path straight down
+//! the overlay's multicast trees.
 //!
 //! ```text
-//! cargo run -p gasf-examples --bin emergency_response
+//! cargo run --example emergency_response
 //! ```
 
 use gasf_core::engine::Algorithm;

@@ -8,7 +8,7 @@
 //! multiplies with the image size.
 //!
 //! ```text
-//! cargo run -p gasf-examples --bin multimodal_sensing
+//! cargo run --example multimodal_sensing
 //! ```
 
 use gasf_core::prelude::*;
@@ -20,6 +20,30 @@ const IMAGE_BYTES: u64 = 64 * 1024;
 /// Bytes per raw sensor tuple.
 const TUPLE_BYTES: u64 = 88;
 
+/// The image index as a custom [`EmissionSink`]: each distinct output
+/// tuple triggers one image upload; each image is shipped once regardless
+/// of how many applications want it (multicast). Emissions stream straight
+/// from the engine's release path into this accounting — no intermediate
+/// `Vec<Emission>`.
+#[derive(Debug, Default)]
+struct ImageIndex {
+    indexed: BTreeSet<u64>,
+    sensor_tuples: u64,
+}
+
+impl ImageIndex {
+    fn uplink_bytes(&self) -> u64 {
+        self.indexed.len() as u64 * IMAGE_BYTES + self.sensor_tuples * TUPLE_BYTES
+    }
+}
+
+impl EmissionSink for ImageIndex {
+    fn accept(&mut self, emission: &Emission) {
+        self.indexed.insert(emission.tuple.seq());
+        self.sensor_tuples += 1;
+    }
+}
+
 fn run(algorithm: Algorithm) -> Result<(u64, u64), Error> {
     let trace = VolcanoSeismic::new().tuples(8_000).seed(11).generate();
     let s = trace.stats("seis").unwrap().mean_abs_delta * 2.0;
@@ -30,16 +54,9 @@ fn run(algorithm: Algorithm) -> Result<(u64, u64), Error> {
         .filter(FilterSpec::delta("seis", s * 2.2, s * 1.1).with_label("archiver"))
         .build()?;
 
-    // Each distinct output tuple triggers one image upload; each image is
-    // shipped once regardless of how many applications want it (multicast).
-    let mut indexed: BTreeSet<u64> = BTreeSet::new();
-    let mut sensor_tuples = 0u64;
-    for emission in engine.run(trace.into_tuples())? {
-        indexed.insert(emission.tuple.seq());
-        sensor_tuples += 1;
-    }
-    let bytes = indexed.len() as u64 * IMAGE_BYTES + sensor_tuples * TUPLE_BYTES;
-    Ok((indexed.len() as u64, bytes))
+    let mut index = ImageIndex::default();
+    engine.run_into(trace.into_tuples(), &mut index)?;
+    Ok((index.indexed.len() as u64, index.uplink_bytes()))
 }
 
 fn main() -> Result<(), Error> {

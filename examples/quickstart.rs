@@ -6,7 +6,7 @@
 //! filtering needs 6.
 //!
 //! ```text
-//! cargo run -p gasf-examples --bin quickstart
+//! cargo run --example quickstart
 //! ```
 
 use gasf_core::prelude::*;
@@ -20,7 +20,10 @@ fn run(algorithm: Algorithm, tuples: &[Tuple], schema: &Schema) -> Result<(), Er
         .build()?;
 
     println!("--- {algorithm:?} ---");
-    for emission in engine.run(tuples.to_vec())? {
+    // Emissions stream into a sink; VecSink materialises them for printing.
+    let mut out = VecSink::new();
+    engine.run_into(tuples.iter().cloned(), &mut out)?;
+    for emission in out.as_slice() {
         let recipients: Vec<String> = emission
             .recipients
             .iter()

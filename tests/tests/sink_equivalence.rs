@@ -1,0 +1,171 @@
+//! Pins the sink-based streaming path byte-for-byte against the legacy
+//! `push → Vec<Emission>` wrappers, across every `Algorithm` ×
+//! `OutputStrategy` combination, on a deterministic `gasf-sources` trace.
+//!
+//! The wrappers are implemented *via* the sink path (a `VecSink`), so this
+//! is the equivalence proof for the whole redesign: if the scratch-buffer
+//! release, the batching boundaries, or the metrics accounting ever
+//! diverge between the two paths, one of these assertions trips.
+
+use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
+use gasf_core::quality::FilterSpec;
+use gasf_core::sink::{EmissionSink, NullSink, Tee, VecSink};
+use gasf_sources::{NamosBuoy, Trace};
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::RegionGreedy,
+    Algorithm::PerCandidateSet,
+    Algorithm::SelfInterested,
+];
+
+const STRATEGIES: [OutputStrategy; 3] = [
+    OutputStrategy::Earliest,
+    OutputStrategy::PerCandidateSet,
+    OutputStrategy::Batched(7),
+];
+
+fn trace() -> Trace {
+    NamosBuoy::new().tuples(600).seed(42).generate()
+}
+
+fn specs(trace: &Trace) -> Vec<FilterSpec> {
+    let s = trace.stats("tmpr4").unwrap().mean_abs_delta;
+    vec![
+        FilterSpec::delta("tmpr4", s * 2.0, s),
+        FilterSpec::delta("tmpr4", s * 3.0, s * 1.4),
+        FilterSpec::delta("tmpr4", s * 2.5, s * 1.2),
+    ]
+}
+
+fn engine(trace: &Trace, algorithm: Algorithm, strategy: OutputStrategy) -> GroupEngine {
+    GroupEngine::builder(trace.schema().clone())
+        .algorithm(algorithm)
+        .output_strategy(strategy)
+        .filters(specs(trace))
+        .build()
+        .unwrap()
+}
+
+/// Deterministic subset of the metrics (everything but wall-clock CPU).
+fn metric_fingerprint(e: &GroupEngine) -> (u64, u64, u64, u64, u64, Vec<u64>) {
+    let m = e.metrics();
+    (
+        m.input_tuples,
+        m.output_tuples,
+        m.emissions,
+        m.recipient_labels,
+        m.disordered_emissions,
+        m.latencies_us.clone(),
+    )
+}
+
+#[test]
+fn sink_path_equals_legacy_wrappers_for_every_combination() {
+    let trace = trace();
+    for algorithm in ALGORITHMS {
+        for strategy in STRATEGIES {
+            let label = format!("{algorithm:?}/{strategy:?}");
+
+            // Legacy path: per-push Vec wrappers.
+            let mut legacy = engine(&trace, algorithm, strategy);
+            let mut legacy_out: Vec<Emission> = Vec::new();
+            for t in trace.tuples() {
+                legacy_out.extend(legacy.push(t.clone()).unwrap());
+            }
+            legacy_out.extend(legacy.finish().unwrap());
+
+            // Sink path: per-push push_into + finish_into.
+            let mut streamed = engine(&trace, algorithm, strategy);
+            let mut sink = VecSink::new();
+            for t in trace.tuples() {
+                streamed.push_into(t.clone(), &mut sink).unwrap();
+            }
+            streamed.finish_into(&mut sink).unwrap();
+
+            assert_eq!(sink.as_slice(), &legacy_out[..], "{label}: emissions");
+            assert_eq!(
+                metric_fingerprint(&streamed),
+                metric_fingerprint(&legacy),
+                "{label}: metrics"
+            );
+
+            // Batch path: one run_into call over the whole trace.
+            let mut batched = engine(&trace, algorithm, strategy);
+            let mut batch_sink = VecSink::new();
+            batched
+                .run_into(trace.tuples().iter().cloned(), &mut batch_sink)
+                .unwrap();
+            assert_eq!(
+                batch_sink.as_slice(),
+                &legacy_out[..],
+                "{label}: run_into emissions"
+            );
+            assert_eq!(
+                metric_fingerprint(&batched),
+                metric_fingerprint(&legacy),
+                "{label}: run_into metrics"
+            );
+
+            assert!(!legacy_out.is_empty(), "{label}: trace must emit");
+        }
+    }
+}
+
+#[test]
+fn tee_splits_identically_to_a_single_sink() {
+    let trace = trace();
+    for algorithm in ALGORITHMS {
+        let mut single = engine(&trace, algorithm, OutputStrategy::Earliest);
+        let mut single_sink = VecSink::new();
+        single
+            .run_into(trace.tuples().iter().cloned(), &mut single_sink)
+            .unwrap();
+
+        let mut teed = engine(&trace, algorithm, OutputStrategy::Earliest);
+        let mut tee = Tee::new(VecSink::new(), Tee::new(VecSink::new(), NullSink));
+        teed.run_into(trace.tuples().iter().cloned(), &mut tee)
+            .unwrap();
+
+        let (a, rest) = tee.into_inner();
+        let (b, _) = rest.into_inner();
+        assert_eq!(a.as_slice(), single_sink.as_slice());
+        assert_eq!(b.as_slice(), single_sink.as_slice());
+    }
+}
+
+#[test]
+fn custom_sink_observes_the_same_stream_as_vec_sink() {
+    #[derive(Default)]
+    struct Audit {
+        emissions: u64,
+        labels: u64,
+        last_emitted_at: u64,
+        ordered: bool,
+    }
+    impl Audit {
+        fn new() -> Self {
+            Audit {
+                ordered: true,
+                ..Default::default()
+            }
+        }
+    }
+    impl EmissionSink for Audit {
+        fn accept(&mut self, e: &Emission) {
+            self.emissions += 1;
+            self.labels += e.recipients.len() as u64;
+            let at = e.emitted_at.as_micros();
+            self.ordered &= at >= self.last_emitted_at;
+            self.last_emitted_at = at;
+        }
+    }
+
+    let trace = trace();
+    let mut e = engine(&trace, Algorithm::RegionGreedy, OutputStrategy::Earliest);
+    let mut audit = Audit::new();
+    e.run_into(trace.tuples().iter().cloned(), &mut audit)
+        .unwrap();
+    assert_eq!(audit.emissions, e.metrics().emissions);
+    assert_eq!(audit.labels, e.metrics().recipient_labels);
+    assert!(audit.ordered, "release times must be monotone per stream");
+}
