@@ -101,6 +101,7 @@ pub struct GroupEngineBuilder {
     constraint: Option<TimeConstraint>,
     predictor_window: usize,
     overestimate_us: f64,
+    parallelism: usize,
 }
 
 impl GroupEngineBuilder {
@@ -143,6 +144,39 @@ impl GroupEngineBuilder {
         self.predictor_window = window;
         self.overestimate_us = overestimate_us;
         self
+    }
+
+    /// Sets the worker-shard count used by the sharded execution path
+    /// (default 1). [`build`](Self::build) ignores it — a `GroupEngine` is
+    /// always single-threaded — but [`build_sharded`](Self::build_sharded)
+    /// and hosts that accept a builder (e.g. `gasf-solar`'s middleware)
+    /// honour it when instantiating a
+    /// [`ShardedEngine`](crate::shard::ShardedEngine).
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n;
+        self
+    }
+
+    /// The configured worker-shard count (see
+    /// [`parallelism`](Self::parallelism)).
+    pub fn configured_parallelism(&self) -> usize {
+        self.parallelism.max(1)
+    }
+
+    /// Builds this single group behind the sharded execution path: the
+    /// engine runs on a worker thread (fed by a bounded channel) and the
+    /// caller thread only validates ordering and merges emissions, so
+    /// filtering overlaps with whatever the sink does downstream. Output
+    /// is byte-identical to [`build`](Self::build) + the inline path.
+    ///
+    /// # Errors
+    /// Same as [`build`](Self::build).
+    pub fn build_sharded(self) -> Result<crate::shard::ShardedEngine, Error> {
+        let parallelism = self.configured_parallelism();
+        crate::shard::ShardedEngine::builder()
+            .parallelism(parallelism)
+            .route("group0", self)
+            .build()
     }
 
     /// Builds the engine.
@@ -266,6 +300,34 @@ pub struct GroupEngine {
     metrics: EngineMetrics,
 }
 
+/// Validates that `tuple` extends a stream whose last accepted tuple had
+/// `last_ts`/`last_seq`. Shared by the inline ([`GroupEngine::push_into`])
+/// and sharded (`crate::shard`) ingest paths so their eager ordering
+/// contracts cannot drift apart.
+pub(crate) fn validate_stream_order(
+    last_ts: Option<Micros>,
+    last_seq: Option<u64>,
+    tuple: &Tuple,
+) -> Result<(), Error> {
+    if let Some(last) = last_ts {
+        if tuple.timestamp() <= last {
+            return Err(Error::OutOfOrder {
+                last_us: last.as_micros(),
+                got_us: tuple.timestamp().as_micros(),
+            });
+        }
+    }
+    if let Some(last) = last_seq {
+        if tuple.seq() != last + 1 {
+            return Err(Error::NonContiguousSeq {
+                expected: last + 1,
+                got: tuple.seq(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Which pending outputs a release step covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Release {
@@ -286,6 +348,7 @@ impl GroupEngine {
             constraint: None,
             predictor_window: RuntimePredictor::DEFAULT_WINDOW,
             overestimate_us: 0.0,
+            parallelism: 1,
         }
     }
 
@@ -356,22 +419,7 @@ impl GroupEngine {
         if self.finished {
             return Err(Error::Finished);
         }
-        if let Some(last) = self.last_ts {
-            if tuple.timestamp() <= last {
-                return Err(Error::OutOfOrder {
-                    last_us: last.as_micros(),
-                    got_us: tuple.timestamp().as_micros(),
-                });
-            }
-        }
-        if let Some(last) = self.last_seq {
-            if tuple.seq() != last + 1 {
-                return Err(Error::NonContiguousSeq {
-                    expected: last + 1,
-                    got: tuple.seq(),
-                });
-            }
-        }
+        validate_stream_order(self.last_ts, self.last_seq, &tuple)?;
         let now = tuple.timestamp();
         self.last_ts = Some(now);
         self.last_seq = Some(tuple.seq());

@@ -44,6 +44,12 @@
 //! scratch buffer and hands them to the sink by reference, so the
 //! steady-state release path allocates no `Vec<Emission>` per push.
 //!
+//! The same seam hosts the multi-core path: [`shard::ShardedEngine`]
+//! hash-partitions independent filter groups across worker threads fed by
+//! bounded channels and merges their emissions back in deterministic
+//! `(input step, route)` order, so sharded output is byte-identical to
+//! running each group inline.
+//!
 //! ## Quickstart
 //!
 //! ```rust
@@ -100,6 +106,7 @@ pub mod quality;
 pub mod region;
 pub mod schema;
 mod seq_ring;
+pub mod shard;
 pub mod sink;
 pub mod time;
 pub mod tuple;

@@ -64,6 +64,30 @@ pub struct EngineMetrics {
 }
 
 impl EngineMetrics {
+    /// Accumulates another engine's metrics into this one, field-wise.
+    ///
+    /// This is how the sharded execution path aggregates across routes:
+    /// counters and CPU add up, sample vectors concatenate, and the
+    /// per-filter counters append (each route keeps its own filter-id
+    /// space, so the combined vector is indexed by `(route, filter)` in
+    /// route order). Note that `input_tuples` sums each engine's *view* of
+    /// the stream — `G` routes over one stream count it `G` times, which
+    /// keeps `oi_ratio`/`cpu_per_tuple` meaningful as per-engine means.
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.input_tuples += other.input_tuples;
+        self.output_tuples += other.output_tuples;
+        self.emissions += other.emissions;
+        self.recipient_labels += other.recipient_labels;
+        self.disordered_emissions += other.disordered_emissions;
+        self.regions += other.regions;
+        self.regions_cut += other.regions_cut;
+        self.region_sizes.extend_from_slice(&other.region_sizes);
+        self.latencies_us.extend_from_slice(&other.latencies_us);
+        self.cpu += other.cpu;
+        self.greedy_cpu += other.greedy_cpu;
+        self.per_filter.extend_from_slice(&other.per_filter);
+    }
+
     /// Output/input ratio (§4.4); `NaN` when no input was processed.
     pub fn oi_ratio(&self) -> f64 {
         self.output_tuples as f64 / self.input_tuples as f64

@@ -18,6 +18,7 @@ pub use crate::monitor::{BenefitMonitor, BenefitReport, Recommendation};
 pub use crate::quality::{Dependency, FilterKind, FilterSpec, PickDegree, PickSpec, Prescription};
 pub use crate::region::{Region, RegionTracker};
 pub use crate::schema::{AttrId, Schema};
+pub use crate::shard::{ShardedEngine, ShardedEngineBuilder};
 pub use crate::sink::{EmissionSink, NullSink, StreamOperator, Tee, VecSink};
 pub use crate::time::Micros;
 pub use crate::tuple::{series, Tuple, TupleBuilder, TupleId, TuplePool};

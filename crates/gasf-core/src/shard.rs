@@ -1,0 +1,982 @@
+//! Sharded multi-threaded execution behind the sink seam.
+//!
+//! A [`GroupEngine`] is inherently single-threaded: candidate admission is
+//! a sequential scan of the stream and the shared global state (utilities,
+//! regions, pending outputs) is one group's state. What *does* parallelise
+//! is the filter-group population: independent groups share nothing but
+//! the input stream. [`ShardedEngine`] exploits exactly that — it hosts
+//! any number of *routes* (one [`GroupEngine`] each, identified by a
+//! string key), hash-partitions the routes across `N` worker shards, and
+//! fans every input tuple out to the shards that own at least one route.
+//! Each shard is a plain OS thread running its engines single-threaded,
+//! fed by a bounded channel (backpressure, bounded memory), and the
+//! emissions stream back to the caller where they are **merged in
+//! deterministic sequence order** — input step first, route index second —
+//! into any [`EmissionSink`].
+//!
+//! ```text
+//!                      ┌─ shard 0 ── GroupEngine(route 0), GroupEngine(route 3) ─┐
+//!   Tuple ──broadcast──┼─ shard 1 ── GroupEngine(route 1)                        ├─ merge ─▶ EmissionSink
+//!   (bounded channels) └─ shard 2 ── GroupEngine(route 2), GroupEngine(route 4) ─┘ (step, route) order
+//! ```
+//!
+//! Because the merge order depends only on `(input step, route index)` and
+//! never on shard count, timing, or batch boundaries, the output byte
+//! sequence is **identical for every parallelism level** — and for a
+//! single route it is byte-for-byte the output of running that
+//! [`GroupEngine`] directly (`tests/tests/sink_equivalence.rs` pins both
+//! properties across every `Algorithm` × `OutputStrategy` combination).
+//! One qualification: the guarantee covers every configuration in which
+//! the hosted engines are themselves input-deterministic. Under a
+//! [`TimeConstraint`](crate::cuts::TimeConstraint), timely-cut decisions
+//! consult the wall-clock-trained run-time predictor, so *any* two runs —
+//! inline or sharded — may cut at different points; sharding adds no new
+//! nondeterminism, but cannot remove the clock from that path either.
+//!
+//! ## Batching and delivery latency
+//!
+//! Tuples are staged in an input buffer and shipped to the shards in
+//! batches of [`batch_size`](ShardedEngineBuilder::batch_size); up to
+//! [`queue_depth`](ShardedEngineBuilder::queue_depth) batches are kept in
+//! flight per shard before the caller blocks and merges. Emissions for a
+//! step are therefore delivered to the sink up to
+//! `batch_size × (queue_depth + 1)` steps after the push that released
+//! them (and always by [`finish_into`](ShardedEngine::finish_into), which
+//! drains everything). The emission *sequence* is unaffected; only the
+//! sink-call boundaries move.
+//!
+//! ## Errors
+//!
+//! Stream-order violations ([`Error::OutOfOrder`] /
+//! [`Error::NonContiguousSeq`]) and [`Error::Finished`] are validated
+//! eagerly on the caller thread, exactly like [`GroupEngine`]. Errors
+//! raised inside a shard (e.g. [`Error::MissingValue`]) surface on the
+//! next merge — emissions already released by other steps are still
+//! delivered, then the first error in `(step, route)` order is returned
+//! and the engine refuses further input.
+
+use crate::engine::{GroupEngine, GroupEngineBuilder};
+use crate::error::Error;
+use crate::metrics::EngineMetrics;
+use crate::sink::{EmissionSink, StreamOperator};
+use crate::time::Micros;
+use crate::tuple::Tuple;
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One step's worth of emissions from one shard, tagged per route.
+#[derive(Debug, Default)]
+struct StepOut {
+    /// Wall-clock cost of this step on the shard (all of its routes).
+    cpu: Duration,
+    /// Non-empty emission batches, in ascending route order.
+    batches: Vec<(u32, Vec<crate::engine::Emission>)>,
+}
+
+/// Worker → caller reply for one input batch.
+#[derive(Debug)]
+struct BatchReply {
+    /// One entry per tuple of the input batch (empty after an error).
+    steps: Vec<StepOut>,
+    /// First failure, as (step offset in batch, route index, error).
+    error: Option<(usize, u32, Error)>,
+}
+
+/// Worker → caller reply for the finish request.
+#[derive(Debug)]
+struct FinishReply {
+    /// Tail emissions per route, in ascending route order.
+    tail: Vec<(u32, Vec<crate::engine::Emission>)>,
+    /// Final metrics per route, in ascending route order.
+    metrics: Vec<(u32, EngineMetrics)>,
+    /// First failure during finish, as (route index, error).
+    error: Option<(u32, Error)>,
+}
+
+#[derive(Debug)]
+enum ToShard {
+    Batch(Vec<Tuple>),
+    Finish,
+}
+
+#[derive(Debug)]
+enum FromShard {
+    Batch(BatchReply),
+    Finished(FinishReply),
+}
+
+/// The deterministic route-key hash (FNV-1a finished with splitmix64).
+///
+/// Exposed so deployment tooling can predict placement: a route with key
+/// `k` runs on shard `shard_index(k, n)` of an `n`-shard engine.
+pub fn shard_index(key: &str, shards: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    (h % shards.max(1) as u64) as usize
+}
+
+/// Builder for [`ShardedEngine`] (see [`ShardedEngine::builder`]).
+#[derive(Debug, Default)]
+pub struct ShardedEngineBuilder {
+    parallelism: usize,
+    batch_size: usize,
+    queue_depth: usize,
+    track_step_costs: bool,
+    routes: Vec<(String, GroupEngineBuilder)>,
+}
+
+impl ShardedEngineBuilder {
+    /// Adds a filter group as a route. The key determines shard placement
+    /// (via [`shard_index`]) and must be unique; the route's index — its
+    /// position in insertion order — determines its slot in the merged
+    /// output order.
+    pub fn route(mut self, key: impl Into<String>, engine: GroupEngineBuilder) -> Self {
+        self.routes.push((key.into(), engine));
+        self
+    }
+
+    /// Number of worker shards (default 1). Shards that end up owning no
+    /// route are never spawned, so `n` larger than the route count costs
+    /// nothing.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n;
+        self
+    }
+
+    /// Tuples per batch shipped to the shards (default 128). Larger
+    /// batches amortise channel traffic; smaller ones reduce delivery
+    /// latency.
+    pub fn batch_size(mut self, tuples: usize) -> Self {
+        self.batch_size = tuples;
+        self
+    }
+
+    /// Batches kept in flight per shard before a push blocks and merges
+    /// (default 2). This bounds the engine's buffering to
+    /// `batch_size × (queue_depth + 1)` tuples per shard.
+    pub fn queue_depth(mut self, batches: usize) -> Self {
+        self.queue_depth = batches;
+        self
+    }
+
+    /// Record per-step `(arrival timestamp, CPU cost)` samples, summed
+    /// across shards, for the caller to drain via
+    /// [`ShardedEngine::take_step_costs`] (default off). Middleware uses
+    /// this to feed flow-control monitors without touching the data path.
+    pub fn track_step_costs(mut self, on: bool) -> Self {
+        self.track_step_costs = on;
+        self
+    }
+
+    /// Builds the engines, partitions them across shards and spawns the
+    /// worker threads.
+    ///
+    /// # Errors
+    /// * [`Error::InvalidConfig`] without routes or with duplicate keys,
+    /// * any [`GroupEngineBuilder::build`] error from a route.
+    pub fn build(self) -> Result<ShardedEngine, Error> {
+        if self.routes.is_empty() {
+            return Err(Error::InvalidConfig {
+                reason: "a sharded engine needs at least one route".into(),
+            });
+        }
+        for (i, (key, _)) in self.routes.iter().enumerate() {
+            if self.routes[..i].iter().any(|(k, _)| k == key) {
+                return Err(Error::InvalidConfig {
+                    reason: format!("duplicate route key `{key}`"),
+                });
+            }
+        }
+        let parallelism = self.parallelism.max(1);
+        let batch_size = if self.batch_size == 0 {
+            128
+        } else {
+            self.batch_size
+        };
+        let queue_depth = self.queue_depth.max(1);
+
+        // Partition routes across shards by key hash; a shard owns its
+        // routes in ascending route-index order.
+        let mut assignment: Vec<Vec<(u32, GroupEngineBuilder)>> = Vec::new();
+        assignment.resize_with(parallelism, Vec::new);
+        let n_routes = self.routes.len();
+        for (idx, (key, builder)) in self.routes.into_iter().enumerate() {
+            assignment[shard_index(&key, parallelism)].push((idx as u32, builder));
+        }
+
+        let mut shards = Vec::new();
+        for (shard_no, slots) in assignment.into_iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            let mut engines: Vec<(u32, GroupEngine)> = Vec::with_capacity(slots.len());
+            for (idx, builder) in slots {
+                engines.push((idx, builder.build()?));
+            }
+            // Capacities chosen so a worker can always park one more reply
+            // than the caller keeps in flight: the worker never blocks on
+            // its reply channel, therefore always drains its input channel,
+            // therefore the caller's send never deadlocks.
+            let (tx, rx) = sync_channel::<ToShard>(queue_depth + 1);
+            let (reply_tx, reply_rx) = sync_channel::<FromShard>(queue_depth + 2);
+            let join = std::thread::Builder::new()
+                .name(format!("gasf-shard-{shard_no}"))
+                .spawn(move || shard_worker(engines, rx, reply_tx))
+                .map_err(|e| Error::InvalidConfig {
+                    reason: format!("failed to spawn shard worker: {e}"),
+                })?;
+            shards.push(ShardHandle {
+                tx: Some(tx),
+                rx: reply_rx,
+                join: Some(join),
+            });
+        }
+        Ok(ShardedEngine {
+            shards,
+            n_routes,
+            batch_size,
+            queue_depth,
+            track_step_costs: self.track_step_costs,
+            buf: Vec::with_capacity(batch_size),
+            in_flight: VecDeque::new(),
+            input_tuples: 0,
+            last_ts: None,
+            last_seq: None,
+            finished: false,
+            poisoned: None,
+            route_metrics: Vec::new(),
+            step_costs: Vec::new(),
+            merge_scratch: Vec::new(),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct ShardHandle {
+    /// `None` once the engine shuts down (dropping it closes the worker).
+    tx: Option<SyncSender<ToShard>>,
+    rx: Receiver<FromShard>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A hash-partitioned, multi-threaded host for independent filter groups,
+/// with deterministic in-order emission merging.
+///
+/// See the [module documentation](self) for the execution model. Built via
+/// [`ShardedEngine::builder`] (several routes) or
+/// [`GroupEngineBuilder::build_sharded`] (one group moved onto a worker
+/// thread).
+///
+/// ```rust
+/// use gasf_core::prelude::*;
+///
+/// # fn main() -> Result<(), gasf_core::Error> {
+/// let schema = Schema::new(["t"]);
+/// let group = |delta: f64| {
+///     GroupEngine::builder(schema.clone())
+///         .filter(FilterSpec::delta("t", delta, delta * 0.4))
+///         .filter(FilterSpec::delta("t", delta * 1.5, delta * 0.6))
+/// };
+/// let mut engine = ShardedEngine::builder()
+///     .parallelism(2)
+///     .route("coarse", group(4.0))
+///     .route("fine", group(2.0))
+///     .build()?;
+///
+/// let mut b = TupleBuilder::new(&schema);
+/// let tuples = (0..200).map(|i| {
+///     b.at_millis(10 * (i + 1)).set("t", (i as f64 * 0.7).sin() * 6.0).build().unwrap()
+/// });
+/// let mut out = VecSink::new();
+/// engine.run_into(tuples, &mut out)?;
+/// assert!(!out.is_empty());
+/// assert_eq!(engine.metrics().input_tuples, 2 * 200); // both routes saw the stream
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<ShardHandle>,
+    n_routes: usize,
+    batch_size: usize,
+    queue_depth: usize,
+    track_step_costs: bool,
+    /// Input staging buffer (dispatched when `batch_size` is reached).
+    buf: Vec<Tuple>,
+    /// Arrival timestamps of each dispatched-but-unmerged batch.
+    in_flight: VecDeque<Vec<Micros>>,
+    input_tuples: u64,
+    last_ts: Option<Micros>,
+    last_seq: Option<u64>,
+    finished: bool,
+    /// First shard-side error observed; once set the engine refuses
+    /// further input (only [`finish_into`](ShardedEngine::finish_into)
+    /// remains, to drain and join the workers).
+    poisoned: Option<Error>,
+    /// Per-route final metrics, in route order (populated at finish).
+    route_metrics: Vec<EngineMetrics>,
+    /// Undrained `(arrival, cpu)` samples when tracking is on.
+    step_costs: Vec<(Micros, Duration)>,
+    /// Reused per-step merge buffer.
+    merge_scratch: Vec<(u32, Vec<crate::engine::Emission>)>,
+}
+
+impl ShardedEngine {
+    /// Starts building a sharded engine.
+    pub fn builder() -> ShardedEngineBuilder {
+        ShardedEngineBuilder::default()
+    }
+
+    /// Number of routes (filter groups) hosted.
+    pub fn routes(&self) -> usize {
+        self.n_routes
+    }
+
+    /// Number of worker shards actually spawned (shards owning no route
+    /// are elided, so this is `min(parallelism, routes)` or less).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total input tuples accepted so far.
+    pub fn input_tuples(&self) -> u64 {
+        self.input_tuples
+    }
+
+    /// Aggregated metrics across every route, summed field-wise.
+    ///
+    /// Per-route metrics live on the worker threads while the stream is
+    /// open, so before [`finish_into`](Self::finish_into) only
+    /// `input_tuples` is populated (counting each route's view of the
+    /// stream); after finish the aggregate is complete.
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut total = EngineMetrics::default();
+        if self.route_metrics.is_empty() {
+            total.input_tuples = self.input_tuples * self.n_routes as u64;
+            return total;
+        }
+        for m in &self.route_metrics {
+            total.merge(m);
+        }
+        total
+    }
+
+    /// Final per-route metrics, in route order. Empty until
+    /// [`finish_into`](Self::finish_into) completes.
+    pub fn route_metrics(&self) -> &[EngineMetrics] {
+        &self.route_metrics
+    }
+
+    /// Drains the per-step `(arrival timestamp, CPU cost)` samples merged
+    /// since the last call. CPU is the wall-clock filtering cost of the
+    /// step summed across shards. Always empty unless the engine was built
+    /// with [`track_step_costs`](ShardedEngineBuilder::track_step_costs).
+    pub fn take_step_costs(&mut self) -> Vec<(Micros, Duration)> {
+        std::mem::take(&mut self.step_costs)
+    }
+
+    /// Feeds the next stream tuple, writing any *merged* emissions that
+    /// became available into `sink`.
+    ///
+    /// Ordering is validated eagerly, but the tuple itself is staged and
+    /// shipped in batches — emissions released by this step may reach the
+    /// sink on a later call (see the [module docs](self) on batching).
+    ///
+    /// # Errors
+    /// Same as [`GroupEngine::push_into`]; shard-side errors surface on
+    /// the merge that observes them and poison the engine — every
+    /// subsequent push returns the same error.
+    pub fn push_into<S: EmissionSink>(&mut self, tuple: Tuple, sink: &mut S) -> Result<(), Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        crate::engine::validate_stream_order(self.last_ts, self.last_seq, &tuple)?;
+        self.last_ts = Some(tuple.timestamp());
+        self.last_seq = Some(tuple.seq());
+        self.input_tuples += 1;
+        self.buf.push(tuple);
+        if self.buf.len() >= self.batch_size {
+            if let Err(e) = self.dispatch(sink) {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Feeds a batch of tuples (the slice-friendly entry point).
+    ///
+    /// # Errors
+    /// Stops at (and returns) the first tuple that fails, like
+    /// [`push_into`](Self::push_into).
+    pub fn push_batch<S: EmissionSink>(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+        sink: &mut S,
+    ) -> Result<(), Error> {
+        for t in tuples {
+            self.push_into(t, sink)?;
+        }
+        Ok(())
+    }
+
+    /// Ends the stream on every route: drains all in-flight batches,
+    /// force-closes and merges each route's tail in route order, collects
+    /// the final per-route metrics, flushes `sink` and joins the workers.
+    ///
+    /// # Errors
+    /// Returns [`Error::Finished`] if called twice; otherwise the first
+    /// pending shard error.
+    pub fn finish_into<S: EmissionSink>(&mut self, sink: &mut S) -> Result<(), Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        self.finished = true;
+        let mut first_err = self.poisoned.take();
+        if first_err.is_none() && !self.buf.is_empty() {
+            first_err = self.dispatch_batch(sink).err();
+        }
+        while !self.in_flight.is_empty() {
+            if let Err(e) = self.merge_oldest(sink) {
+                first_err.get_or_insert(e);
+            }
+        }
+        for shard in &self.shards {
+            let tx = shard.tx.as_ref().expect("senders live until shutdown");
+            if tx.send(ToShard::Finish).is_err() {
+                first_err.get_or_insert(Error::InvalidConfig {
+                    reason: "shard worker terminated early".into(),
+                });
+            }
+        }
+        // Collect every shard's tail, then merge across shards by route.
+        // On the degraded path (a worker died or errored mid-stream) a
+        // shard's channel may still hold batch replies that were never
+        // merged; drain past them — their emissions are dropped, which is
+        // fine because an error is already being reported.
+        let mut tails: Vec<(u32, Vec<crate::engine::Emission>)> = Vec::new();
+        let mut metrics: Vec<(u32, EngineMetrics)> = Vec::new();
+        for shard in &self.shards {
+            loop {
+                match shard.rx.recv() {
+                    Ok(FromShard::Finished(reply)) => {
+                        tails.extend(reply.tail);
+                        metrics.extend(reply.metrics);
+                        if let Some((_, e)) = reply.error {
+                            first_err.get_or_insert(e);
+                        }
+                        break;
+                    }
+                    Ok(FromShard::Batch(stale)) => {
+                        debug_assert!(
+                            first_err.is_some(),
+                            "stale batch replies only exist on the error path"
+                        );
+                        if let Some((_, _, e)) = stale.error {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                    Err(_) => {
+                        first_err.get_or_insert(Error::InvalidConfig {
+                            reason: "shard worker terminated early".into(),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        tails.sort_unstable_by_key(|&(route, _)| route);
+        for (_, batch) in &tails {
+            if !batch.is_empty() {
+                sink.accept_batch(batch);
+            }
+        }
+        sink.flush();
+        metrics.sort_unstable_by_key(|&(route, _)| route);
+        self.route_metrics = metrics.into_iter().map(|(_, m)| m).collect();
+        self.shutdown();
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs an entire stream through every route into `sink`
+    /// ([`push_batch`](Self::push_batch) then
+    /// [`finish_into`](Self::finish_into)).
+    ///
+    /// # Errors
+    /// Propagates any push/finish error.
+    pub fn run_into<S: EmissionSink>(
+        &mut self,
+        stream: impl IntoIterator<Item = Tuple>,
+        sink: &mut S,
+    ) -> Result<(), Error> {
+        self.push_batch(stream, sink)?;
+        self.finish_into(sink)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    /// Ships the staged buffer and keeps `in_flight` at `queue_depth`.
+    fn dispatch<S: EmissionSink>(&mut self, sink: &mut S) -> Result<(), Error> {
+        self.dispatch_batch(sink)?;
+        while self.in_flight.len() > self.queue_depth {
+            self.merge_oldest(sink)?;
+        }
+        Ok(())
+    }
+
+    /// Broadcasts the staged buffer to every shard (the last shard takes
+    /// the original allocation; `Tuple` clones are `Arc` bumps).
+    fn dispatch_batch<S: EmissionSink>(&mut self, _sink: &mut S) -> Result<(), Error> {
+        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch_size));
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let stamps: Vec<Micros> = if self.track_step_costs {
+            batch.iter().map(|t| t.timestamp()).collect()
+        } else {
+            Vec::new()
+        };
+        let last = self.shards.len() - 1;
+        let mut batch = Some(batch);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let payload = if i == last {
+                batch.take().expect("one shard takes the original")
+            } else {
+                batch.as_ref().expect("original kept until last").clone()
+            };
+            let tx = shard.tx.as_ref().expect("senders live until shutdown");
+            tx.send(ToShard::Batch(payload))
+                .map_err(|_| Error::InvalidConfig {
+                    reason: "shard worker terminated early".into(),
+                })?;
+        }
+        self.in_flight.push_back(stamps);
+        Ok(())
+    }
+
+    /// Receives the oldest in-flight batch's reply from every shard and
+    /// feeds the merged emissions to the sink in `(step, route)` order.
+    fn merge_oldest<S: EmissionSink>(&mut self, sink: &mut S) -> Result<(), Error> {
+        let stamps = self
+            .in_flight
+            .pop_front()
+            .expect("merge_oldest called with a batch in flight");
+        let mut replies: Vec<BatchReply> = Vec::with_capacity(self.shards.len());
+        let mut first_err: Option<(usize, u32, Error)> = None;
+        let mut dead_shard = false;
+        for shard in &self.shards {
+            match shard.rx.recv() {
+                Ok(FromShard::Batch(reply)) => {
+                    if let Some(e) = &reply.error {
+                        if first_err.as_ref().is_none_or(|f| (e.0, e.1) < (f.0, f.1)) {
+                            first_err = Some(e.clone());
+                        }
+                    }
+                    replies.push(reply);
+                }
+                // A worker only sends Finished in response to Finish, which
+                // is only sent after every batch is merged — so this arm can
+                // only fire for a worker that died and whose channel
+                // disconnected after a racing reply; treat both as dead.
+                Ok(FromShard::Finished(_)) | Err(_) => {
+                    dead_shard = true;
+                }
+            }
+        }
+        // Merge whatever arrived before reporting a dead shard, so healthy
+        // routes' emissions for this batch are still delivered.
+        let steps = replies.iter().map(|r| r.steps.len()).max().unwrap_or(0);
+        for step in 0..steps {
+            let mut cpu = Duration::ZERO;
+            let mut merged = std::mem::take(&mut self.merge_scratch);
+            for reply in &mut replies {
+                if let Some(out) = reply.steps.get_mut(step) {
+                    cpu += out.cpu;
+                    merged.append(&mut out.batches);
+                }
+            }
+            merged.sort_unstable_by_key(|&(route, _)| route);
+            for (_, batch) in &merged {
+                sink.accept_batch(batch);
+            }
+            if self.track_step_costs {
+                if let Some(&ts) = stamps.get(step) {
+                    self.step_costs.push((ts, cpu));
+                }
+            }
+            merged.clear();
+            self.merge_scratch = merged;
+        }
+        match first_err {
+            Some((_, _, e)) => Err(e),
+            None if dead_shard => Err(Error::InvalidConfig {
+                reason: "shard worker terminated early".into(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Closes the input channels and joins the workers.
+    fn shutdown(&mut self) {
+        for shard in &mut self.shards {
+            shard.tx = None; // dropping the sender ends the worker loop
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The sharded engine is a [`StreamOperator`] like the engine it hosts —
+/// pipelines swap one for the other without caller changes (the seam the
+/// sink redesign was built for).
+impl StreamOperator for ShardedEngine {
+    fn process(&mut self, tuple: Tuple, sink: &mut impl EmissionSink) -> Result<(), Error> {
+        self.push_into(tuple, sink)
+    }
+
+    fn finish(&mut self, sink: &mut impl EmissionSink) -> Result<(), Error> {
+        self.finish_into(sink)
+    }
+}
+
+/// The shard thread: feed every tuple of every batch through this shard's
+/// engines (in ascending route order), replying with per-step, per-route
+/// emission batches. After an error the shard stops filtering and replies
+/// with the same error until finish.
+fn shard_worker(
+    mut engines: Vec<(u32, GroupEngine)>,
+    rx: Receiver<ToShard>,
+    tx: SyncSender<FromShard>,
+) {
+    let mut poisoned: Option<(usize, u32, Error)> = None;
+    let mut collector = crate::sink::VecSink::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Batch(tuples) => {
+                let mut reply = BatchReply {
+                    steps: Vec::with_capacity(tuples.len()),
+                    error: poisoned.clone(),
+                };
+                if poisoned.is_none() {
+                    'batch: for (offset, tuple) in tuples.into_iter().enumerate() {
+                        let start = Instant::now();
+                        let mut out = StepOut::default();
+                        for (route, engine) in &mut engines {
+                            match engine.push_into(tuple.clone(), &mut collector) {
+                                Ok(()) => {
+                                    let emissions = collector.drain_vec();
+                                    if !emissions.is_empty() {
+                                        out.batches.push((*route, emissions));
+                                    }
+                                }
+                                Err(e) => {
+                                    poisoned = Some((offset, *route, e));
+                                    out.cpu = start.elapsed();
+                                    reply.steps.push(out);
+                                    reply.error = poisoned.clone();
+                                    break 'batch;
+                                }
+                            }
+                        }
+                        out.cpu = start.elapsed();
+                        reply.steps.push(out);
+                    }
+                }
+                if tx.send(FromShard::Batch(reply)).is_err() {
+                    return; // caller went away
+                }
+            }
+            ToShard::Finish => {
+                let mut reply = FinishReply {
+                    tail: Vec::with_capacity(engines.len()),
+                    metrics: Vec::with_capacity(engines.len()),
+                    error: poisoned.as_ref().map(|(_, r, e)| (*r, e.clone())),
+                };
+                for (route, engine) in &mut engines {
+                    if poisoned.is_none() {
+                        match engine.finish_into(&mut collector) {
+                            Ok(()) => reply.tail.push((*route, collector.drain_vec())),
+                            Err(e) => {
+                                if reply.error.is_none() {
+                                    reply.error = Some((*route, e));
+                                }
+                            }
+                        }
+                    }
+                    reply.metrics.push((*route, engine.metrics().clone()));
+                }
+                let _ = tx.send(FromShard::Finished(reply));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Algorithm, GroupEngine};
+    use crate::quality::FilterSpec;
+    use crate::schema::Schema;
+    use crate::sink::VecSink;
+    use crate::tuple::TupleBuilder;
+
+    fn schema() -> Schema {
+        Schema::new(["t"])
+    }
+
+    fn group(schema: &Schema, scale: f64) -> GroupEngineBuilder {
+        GroupEngine::builder(schema.clone())
+            .filter(FilterSpec::delta("t", 2.0 * scale, 0.9 * scale))
+            .filter(FilterSpec::delta("t", 3.0 * scale, 1.4 * scale))
+    }
+
+    fn stream(schema: &Schema, n: usize) -> Vec<Tuple> {
+        let mut b = TupleBuilder::new(schema);
+        (0..n)
+            .map(|i| {
+                let v = (i as f64 * 0.7).sin() * 8.0 + (i as f64 * 0.05);
+                b.at_millis(10 * (i as u64 + 1))
+                    .set("t", v)
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_route_matches_group_engine() {
+        let s = schema();
+        let mut reference = group(&s, 1.0).build().unwrap();
+        let mut expected = VecSink::new();
+        reference.run_into(stream(&s, 500), &mut expected).unwrap();
+
+        for n in [1usize, 2, 4] {
+            let mut sharded = ShardedEngine::builder()
+                .parallelism(n)
+                .batch_size(17) // deliberately odd to cross batch edges
+                .route("only", group(&s, 1.0))
+                .build()
+                .unwrap();
+            let mut out = VecSink::new();
+            sharded.run_into(stream(&s, 500), &mut out).unwrap();
+            assert_eq!(out.as_slice(), expected.as_slice(), "n={n}");
+            assert_eq!(
+                sharded.metrics().output_tuples,
+                reference.metrics().output_tuples
+            );
+        }
+    }
+
+    #[test]
+    fn merge_order_is_invariant_to_parallelism() {
+        let s = schema();
+        let run = |parallelism: usize, batch: usize| {
+            let mut e = ShardedEngine::builder()
+                .parallelism(parallelism)
+                .batch_size(batch)
+                .route("a", group(&s, 1.0))
+                .route("b", group(&s, 0.5))
+                .route("c", group(&s, 2.0))
+                .route("d", group(&s, 1.5).algorithm(Algorithm::SelfInterested))
+                .build()
+                .unwrap();
+            let mut out = VecSink::new();
+            e.run_into(stream(&s, 400), &mut out).unwrap();
+            (out.into_vec(), e.metrics())
+        };
+        let (base_out, base_metrics) = run(1, 128);
+        for (n, batch) in [(2usize, 128usize), (4, 31), (8, 1), (3, 400)] {
+            let (out, metrics) = run(n, batch);
+            assert_eq!(out, base_out, "n={n} batch={batch}");
+            assert_eq!(metrics.output_tuples, base_metrics.output_tuples);
+            assert_eq!(metrics.emissions, base_metrics.emissions);
+            assert_eq!(metrics.input_tuples, base_metrics.input_tuples);
+        }
+    }
+
+    #[test]
+    fn route_metrics_cover_every_route() {
+        let s = schema();
+        let mut e = ShardedEngine::builder()
+            .parallelism(3)
+            .route("a", group(&s, 1.0))
+            .route("b", group(&s, 0.7))
+            .build()
+            .unwrap();
+        assert_eq!(e.routes(), 2);
+        assert!(e.shards() <= 2);
+        e.run_into(stream(&s, 200), &mut crate::sink::NullSink)
+            .unwrap();
+        assert_eq!(e.route_metrics().len(), 2);
+        for m in e.route_metrics() {
+            assert_eq!(m.input_tuples, 200);
+            assert!(m.output_tuples > 0);
+        }
+        assert_eq!(e.metrics().input_tuples, 400);
+    }
+
+    #[test]
+    fn eager_validation_matches_group_engine() {
+        let s = schema();
+        let mut e = ShardedEngine::builder()
+            .route("a", group(&s, 1.0))
+            .build()
+            .unwrap();
+        let mut sink = VecSink::new();
+        let tuples = stream(&s, 3);
+        e.push_into(tuples[1].clone(), &mut sink).unwrap();
+        // same timestamp → out of order, detected before any batch ships
+        assert!(matches!(
+            e.push_into(tuples[1].clone(), &mut sink),
+            Err(Error::OutOfOrder { .. })
+        ));
+        // seq gap → non-contiguous
+        let mut b = TupleBuilder::new(&s);
+        let _ = b.at_millis(1).set("t", 0.0).build().unwrap();
+        let _ = b.at_millis(2).set("t", 0.0).build().unwrap();
+        let _ = b.at_millis(3).set("t", 0.0).build().unwrap();
+        let skipped = b.at_millis(500).set("t", 0.0).build().unwrap();
+        assert!(matches!(
+            e.push_into(skipped, &mut sink),
+            Err(Error::NonContiguousSeq { .. })
+        ));
+        e.finish_into(&mut sink).unwrap();
+        assert!(matches!(e.finish_into(&mut sink), Err(Error::Finished)));
+        assert!(matches!(
+            e.push_into(tuples[2].clone(), &mut sink),
+            Err(Error::Finished)
+        ));
+    }
+
+    #[test]
+    fn shard_side_errors_surface() {
+        let s = Schema::new(["t", "u"]);
+        let mut e = ShardedEngine::builder()
+            .batch_size(4)
+            .route(
+                "needs-u",
+                GroupEngine::builder(s.clone()).filter(FilterSpec::delta("u", 2.0, 0.9)),
+            )
+            .build()
+            .unwrap();
+        let mut b = TupleBuilder::new(&s);
+        let mut sink = VecSink::new();
+        let mut saw_error = false;
+        for i in 0..20u64 {
+            // `u` is never set, so every shard-side push fails.
+            let t = b.at_millis(10 * (i + 1)).set("t", 0.0).build().unwrap();
+            match e.push_into(t, &mut sink) {
+                Ok(()) => {}
+                Err(Error::MissingValue { .. }) => {
+                    saw_error = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        if saw_error {
+            // the engine is poisoned: further input is refused with the
+            // same error, and finish still drains/joins cleanly
+            let t = b.at_millis(10_000).set("t", 0.0).build().unwrap();
+            assert!(matches!(
+                e.push_into(t, &mut sink),
+                Err(Error::MissingValue { .. })
+            ));
+            assert!(matches!(
+                e.finish_into(&mut sink),
+                Err(Error::MissingValue { .. })
+            ));
+        } else {
+            assert!(matches!(
+                e.finish_into(&mut sink),
+                Err(Error::MissingValue { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn builder_rejects_empty_and_duplicate_routes() {
+        assert!(matches!(
+            ShardedEngine::builder().build(),
+            Err(Error::InvalidConfig { .. })
+        ));
+        let s = schema();
+        assert!(matches!(
+            ShardedEngine::builder()
+                .route("x", group(&s, 1.0))
+                .route("x", group(&s, 2.0))
+                .build(),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn step_costs_drain_when_tracked() {
+        let s = schema();
+        let mut e = ShardedEngine::builder()
+            .track_step_costs(true)
+            .batch_size(8)
+            .route("a", group(&s, 1.0))
+            .build()
+            .unwrap();
+        e.run_into(stream(&s, 64), &mut crate::sink::NullSink)
+            .unwrap();
+        let samples = e.take_step_costs();
+        assert_eq!(samples.len(), 64);
+        // arrival stamps are the tuples' own timestamps, in order
+        assert!(samples.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(e.take_step_costs().is_empty(), "drained");
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_bounded() {
+        for n in 1..9 {
+            for key in ["a", "b", "G1 (DC1 fluoro)", ""] {
+                let i = shard_index(key, n);
+                assert!(i < n);
+                assert_eq!(i, shard_index(key, n));
+            }
+        }
+        assert_eq!(shard_index("anything", 1), 0);
+    }
+
+    #[test]
+    fn build_sharded_from_group_builder() {
+        let s = schema();
+        let mut reference = group(&s, 1.0).build().unwrap();
+        let mut expected = VecSink::new();
+        reference.run_into(stream(&s, 300), &mut expected).unwrap();
+
+        let mut sharded = group(&s, 1.0).parallelism(2).build_sharded().unwrap();
+        let mut out = VecSink::new();
+        sharded.run_into(stream(&s, 300), &mut out).unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+    }
+}

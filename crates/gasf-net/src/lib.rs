@@ -16,7 +16,12 @@
 //! * per-link byte accounting and end-to-end latency modelling
 //!   (store-and-forward: software delay per overlay hop + transmission +
 //!   propagation per link), calibrated so a small overlay shows the
-//!   ~130 ms software-dominated multicast delay the paper measured.
+//!   ~130 ms software-dominated multicast delay the paper measured,
+//! * [`ShardedGroup`] — **shard-aware** multicast for sources whose
+//!   filtering runs on a sharded engine: one independent rendezvous tree
+//!   per producer shard over the same membership, selected
+//!   deterministically per tuple, so parallel shards do not serialise
+//!   through a single root.
 //!
 //! The paper explicitly scopes out network dynamics (§1.2), so the
 //! simulator is analytic (no queuing/congestion model) — delays and byte
@@ -28,5 +33,5 @@
 pub mod multicast;
 pub mod topology;
 
-pub use multicast::{Delivery, GroupId, NetError, Overlay, OverlayConfig};
+pub use multicast::{Delivery, GroupId, NetError, Overlay, OverlayConfig, ShardedGroup};
 pub use topology::{LinkSpec, NodeId, Topology, TopologyBuilder};

@@ -14,7 +14,11 @@
 //!   (one [`GroupEngine`](gasf_core::engine::GroupEngine) per source) +
 //!   multicast dissemination with end-to-end accounting; its data path is
 //!   the sink-based [`Pipeline`] (engine → [`Metered`] flow accounting →
-//!   [`MulticastSink`]),
+//!   [`MulticastSink`]). With [`MiddlewareConfig::parallelism`] above one
+//!   the engine side runs behind
+//!   [`ShardedEngine`](gasf_core::shard::ShardedEngine) — filtering on
+//!   worker threads, byte-identical output, [`FlowMonitor`] samples
+//!   aggregated across the shards,
 //! * [`OperatorGraph`] — quality-spec propagation from applications to
 //!   sources through in-network operators,
 //! * [`FlowMonitor`] — the input-buffer congestion/flow-control logic the

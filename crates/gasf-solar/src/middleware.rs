@@ -25,6 +25,7 @@ use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
 use gasf_core::metrics::EngineMetrics;
 use gasf_core::quality::FilterSpec;
 use gasf_core::schema::Schema;
+use gasf_core::shard::ShardedEngine;
 use gasf_core::sink::EmissionSink;
 use gasf_core::time::Micros;
 use gasf_core::tuple::Tuple;
@@ -117,6 +118,17 @@ pub struct MiddlewareConfig {
     pub strategy: OutputStrategy,
     /// Optional group time constraint (timely cuts).
     pub constraint: Option<TimeConstraint>,
+    /// Worker shards per source engine (default 1 = inline). With more
+    /// than one, [`Middleware::deploy`] hosts each source's group behind a
+    /// [`ShardedEngine`], moving filtering off the caller thread so it
+    /// overlaps with multicast dissemination; output (and therefore all
+    /// delivery accounting) is byte-identical to the inline path, and
+    /// [`FlowMonitor`] samples are aggregated across the shards. (The
+    /// byte-identical guarantee holds whenever the engine itself is
+    /// input-deterministic; with a `constraint` set, timely-cut timing
+    /// depends on measured wall clock on *both* paths, so no two runs —
+    /// inline or sharded — are guaranteed identical there.)
+    pub parallelism: usize,
 }
 
 impl Default for MiddlewareConfig {
@@ -125,6 +137,26 @@ impl Default for MiddlewareConfig {
             algorithm: Algorithm::RegionGreedy,
             strategy: OutputStrategy::Earliest,
             constraint: None,
+            parallelism: 1,
+        }
+    }
+}
+
+/// A source's filtering engine: inline, or behind the sharded path.
+#[derive(Debug)]
+enum EngineHost {
+    Single(Box<GroupEngine>),
+    Sharded(Box<ShardedEngine>),
+}
+
+impl EngineHost {
+    /// Engine metrics — aggregated across shards on the parallel path
+    /// (complete once the stream is finished; see
+    /// [`ShardedEngine::metrics`]).
+    fn metrics(&self) -> EngineMetrics {
+        match self {
+            EngineHost::Single(e) => e.metrics().clone(),
+            EngineHost::Sharded(e) => e.metrics(),
         }
     }
 }
@@ -135,7 +167,7 @@ struct SourceEntry {
     node: NodeId,
     schema: Schema,
     subscribers: Vec<AppId>,
-    engine: Option<GroupEngine>,
+    engine: Option<EngineHost>,
     group: Option<GroupId>,
     flow: FlowMonitor,
 }
@@ -346,7 +378,17 @@ impl Middleware {
             for &app in &s.subscribers {
                 builder = builder.filter(self.apps[app.0].spec.clone());
             }
-            s.engine = Some(builder.build()?);
+            s.engine = Some(if self.config.parallelism > 1 {
+                EngineHost::Sharded(Box::new(
+                    ShardedEngine::builder()
+                        .parallelism(self.config.parallelism)
+                        .track_step_costs(true)
+                        .route(format!("src:{i}:{}", s.name), builder)
+                        .build()?,
+                ))
+            } else {
+                EngineHost::Single(Box::new(builder.build()?))
+            });
             let mut members: BTreeSet<NodeId> =
                 s.subscribers.iter().map(|a| self.apps[a.0].node).collect();
             members.insert(s.node); // the source proxy is always a member
@@ -470,7 +512,7 @@ impl Middleware {
     /// Assembles the [`RunReport`] for a source's most recent run.
     fn report(&self, source: SourceId) -> Result<RunReport, SolarError> {
         let s = &self.sources[source.0];
-        let engine = s
+        let host = s
             .engine
             .as_ref()
             .ok_or_else(|| SolarError::NoSubscribers(s.name.clone()))?;
@@ -493,7 +535,7 @@ impl Middleware {
             })
             .collect();
         Ok(RunReport {
-            engine: engine.metrics().clone(),
+            engine: host.metrics(),
             network_bytes: self.overlay.total_bytes(),
             messages: self.overlay.messages(),
             per_app,
@@ -574,9 +616,16 @@ impl EmissionSink for MulticastSink<'_> {
 /// [`push`](Pipeline::push)/[`push_batch`](Pipeline::push_batch), and end
 /// the stream with [`finish`](Pipeline::finish). Dropping the pipeline
 /// without finishing leaves the source open for a later pipeline.
+///
+/// With [`MiddlewareConfig::parallelism`] above one, the engine side is a
+/// [`ShardedEngine`]: filtering runs on worker threads and this pipeline's
+/// caller thread only merges emissions and disseminates them — note that
+/// on that path emissions released by a push may be multicast on a later
+/// push (they are staged in shard batches), with
+/// [`finish`](Pipeline::finish) always draining everything.
 #[derive(Debug)]
 pub struct Pipeline<'m> {
-    engine: &'m mut GroupEngine,
+    engine: &'m mut EngineHost,
     sink: Metered<'m, MulticastSink<'m>>,
 }
 
@@ -588,11 +637,21 @@ impl Pipeline<'_> {
     /// Engine errors first (ordering violations, finished streams), then
     /// any network error raised while disseminating this step's emissions.
     pub fn push(&mut self, tuple: Tuple) -> Result<(), SolarError> {
-        let arrival = tuple.timestamp();
-        let cpu_before = self.engine.metrics().cpu;
-        self.engine.push_into(tuple, &mut self.sink)?;
-        let cpu_spent = self.engine.metrics().cpu.saturating_sub(cpu_before);
-        self.sink.monitor().observe(arrival, cpu_spent);
+        match self.engine {
+            EngineHost::Single(ref mut engine) => {
+                let arrival = tuple.timestamp();
+                let cpu_before = engine.metrics().cpu;
+                engine.push_into(tuple, &mut self.sink)?;
+                let cpu_spent = engine.metrics().cpu.saturating_sub(cpu_before);
+                self.sink.monitor().observe(arrival, cpu_spent);
+            }
+            EngineHost::Sharded(ref mut engine) => {
+                engine.push_into(tuple, &mut self.sink)?;
+                for (arrival, cpu) in engine.take_step_costs() {
+                    self.sink.monitor().observe(arrival, cpu);
+                }
+            }
+        }
         self.sink.inner_mut().take_error()
     }
 
@@ -615,13 +674,24 @@ impl Pipeline<'_> {
     /// # Errors
     /// Same as [`push`](Self::push).
     pub fn finish(mut self) -> Result<(), SolarError> {
-        self.engine.finish_into(&mut self.sink)?;
+        match self.engine {
+            EngineHost::Single(ref mut engine) => {
+                engine.finish_into(&mut self.sink)?;
+            }
+            EngineHost::Sharded(ref mut engine) => {
+                engine.finish_into(&mut self.sink)?;
+                for (arrival, cpu) in engine.take_step_costs() {
+                    self.sink.monitor().observe(arrival, cpu);
+                }
+            }
+        }
         self.sink.inner_mut().take_error()
     }
 
-    /// The engine this pipeline feeds (metrics, watermark, …).
-    pub fn engine(&self) -> &GroupEngine {
-        self.engine
+    /// Metrics of the engine this pipeline feeds (aggregated across
+    /// shards on the parallel path).
+    pub fn metrics(&self) -> EngineMetrics {
+        self.engine.metrics()
     }
 }
 
@@ -790,7 +860,7 @@ mod tests {
             for t in stream(&schema2, 200) {
                 p.push(t).unwrap();
             }
-            assert!(p.engine().metrics().input_tuples == 200);
+            assert!(p.metrics().input_tuples == 200);
             p.finish().unwrap();
         }
         let report = mw2.report(src2).unwrap();
@@ -838,6 +908,48 @@ mod tests {
         assert_eq!(s.flow.emitted(), report.engine.emissions);
         assert_eq!(s.flow.emitted_labels(), report.engine.recipient_labels);
         assert_eq!(s.flow.samples(), 200);
+    }
+
+    #[test]
+    fn sharded_pipeline_is_byte_identical_to_inline() {
+        // Deliveries, byte counts and per-app stats must not change when
+        // the engine moves onto the sharded path — only who runs it does.
+        let inline = {
+            let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+            mw.run_trace(src, stream(&schema, 400)).unwrap()
+        };
+        for parallelism in [2usize, 4] {
+            let sharded = {
+                let (mut mw, src, schema) = setup(MiddlewareConfig {
+                    parallelism,
+                    ..Default::default()
+                });
+                mw.run_trace(src, stream(&schema, 400)).unwrap()
+            };
+            assert_eq!(sharded.per_app, inline.per_app, "n={parallelism}");
+            assert_eq!(sharded.network_bytes, inline.network_bytes);
+            assert_eq!(sharded.messages, inline.messages);
+            assert_eq!(sharded.engine.output_tuples, inline.engine.output_tuples);
+            assert_eq!(sharded.engine.emissions, inline.engine.emissions);
+            assert_eq!(sharded.engine.latencies_us, inline.engine.latencies_us);
+        }
+    }
+
+    #[test]
+    fn sharded_flow_monitor_aggregates_across_shards() {
+        let (mut mw, src, schema) = setup(MiddlewareConfig {
+            parallelism: 2,
+            ..Default::default()
+        });
+        let report = mw.run_trace(src, stream(&schema, 200)).unwrap();
+        let s = &mw.sources[src.0];
+        // output-side accounting flows through the same Metered sink …
+        assert_eq!(s.flow.emitted(), report.engine.emissions);
+        assert_eq!(s.flow.emitted_labels(), report.engine.recipient_labels);
+        // … and the input side sees one (arrival, cpu) sample per tuple,
+        // reconstructed from the shards' step costs.
+        assert_eq!(s.flow.samples(), 200);
+        assert_eq!(mw.flow_decision(src).unwrap(), FlowDecision::Ok);
     }
 
     #[test]

@@ -7,6 +7,19 @@
 //! downwind of a continuous release using a sequence of Gaussian puffs
 //! advected past the sensor: the concentration rises as each puff arrives,
 //! falls as it disperses, and puff strength varies with a gusty wind.
+//!
+//! ## Knobs
+//!
+//! * [`ChlorinePlume::tuples`] — trace length,
+//! * [`ChlorinePlume::interval`] — inter-tuple spacing (default 10 ms,
+//!   matching the exercise's rate),
+//! * [`ChlorinePlume::wind`] — mean wind speed, which sets how sharply
+//!   puffs sweep past the sensor (faster wind → steeper ramps → larger
+//!   deltas),
+//! * [`ChlorinePlume::seed`] — RNG seed (deterministic replay).
+//!
+//! The `emergency_response` example drives the full middleware stack with
+//! this source.
 
 use crate::trace::Trace;
 use gasf_core::schema::Schema;

@@ -5,6 +5,16 @@
 //! animal moves. We model it as a two-state (resting/active) Markov chain:
 //! resting emits tiny jitter, active emits a burst of larger steps, with
 //! the orientation clamped to the observed 810–817 band.
+//!
+//! ## Knobs
+//!
+//! * [`CowOrientation::tuples`] — trace length,
+//! * [`CowOrientation::interval`] — inter-tuple spacing,
+//! * [`CowOrientation::seed`] — RNG seed (deterministic replay).
+//!
+//! The burstiness is what this source is *for*: long flat stretches give
+//! delta filters nothing to emit, then activity clusters stress the
+//! timely-cut machinery (Fig. 4.21's discussion).
 
 use crate::trace::Trace;
 use gasf_core::schema::Schema;

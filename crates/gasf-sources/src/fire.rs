@@ -5,6 +5,15 @@
 //! quasi-steady burning phase and a decay — with small measurement noise.
 //! This "relatively smooth curve" is what made group-aware filtering save
 //! the most bandwidth (60 % of SI) in the paper's comparison.
+//!
+//! ## Knobs
+//!
+//! * [`FireHrr::tuples`] — trace length (the growth/steady/decay phases
+//!   stretch with it, so the curve shape is length-invariant),
+//! * [`FireHrr::interval`] — inter-tuple spacing,
+//! * [`FireHrr::peak`] — peak heat-release rate (default ≈ 3.5, the
+//!   figure's scale),
+//! * [`FireHrr::seed`] — measurement-noise seed (deterministic replay).
 
 use crate::trace::Trace;
 use gasf_core::schema::Schema;

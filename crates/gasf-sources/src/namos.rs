@@ -6,6 +6,14 @@
 //! wandering sensor jitter around a drifting sinusoidal baseline — lake
 //! temperature and chlorophyll dwell near a level and move smoothly, which
 //! is what makes delta compression with slack effective (see `generate`).
+//!
+//! ## Knobs
+//!
+//! * [`NamosBuoy::tuples`] — trace length,
+//! * [`NamosBuoy::interval`] — inter-tuple spacing (default 10 ms, the
+//!   paper's ~100 Hz),
+//! * [`NamosBuoy::seed`] — RNG seed; the same seed always reproduces the
+//!   same trace, which every equivalence test in this workspace relies on.
 
 use crate::trace::Trace;
 use gasf_core::schema::Schema;

@@ -1,4 +1,20 @@
 //! In-memory traces: a schema plus time-ordered tuples.
+//!
+//! [`Trace`] is the unit every generator produces and every experiment
+//! consumes — an immutable, schema-aligned, strictly time-ordered tuple
+//! sequence. Beyond iteration it provides the derivations the paper's
+//! methodology needs:
+//!
+//! * [`Trace::stats`] — per-attribute [`SourceStats`], the
+//!   `srcStatistics` quantity filter deltas are calibrated from (§4.3),
+//! * [`Trace::series_of`] — a `(timestamp, value)` series for an
+//!   attribute, used to derive trend (DC2) statistics,
+//! * [`Trace::truncate`] / [`Trace::mean_interval`] — workload sizing
+//!   helpers for the bench harness.
+//!
+//! Construction validates ordering ([`Trace::new`] rejects non-monotone
+//! timestamps or non-contiguous sequence numbers), so a `Trace` can always
+//! be replayed through an engine without ordering errors.
 
 use crate::stats::SourceStats;
 use gasf_core::error::Error;

@@ -4,6 +4,16 @@
 //! band (±0.004 in the paper's plot) with occasional higher-energy swarms.
 //! We superpose a few low-frequency sinusoids with small Gaussian noise,
 //! plus exponentially decaying event bursts arriving at random times.
+//!
+//! ## Knobs
+//!
+//! * [`VolcanoSeismic::tuples`] — trace length,
+//! * [`VolcanoSeismic::interval`] — inter-tuple spacing,
+//! * [`VolcanoSeismic::seed`] — RNG seed (deterministic replay; also
+//!   varies when and how strongly the event swarms hit).
+//!
+//! The `multimodal_sensing` example uses this source as the cheap index
+//! stream that decides which expensive images to ship (§5.5.2).
 
 use crate::trace::Trace;
 use gasf_core::schema::Schema;

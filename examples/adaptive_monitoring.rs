@@ -1,11 +1,17 @@
 //! Adaptive monitoring: the paper's §4.8/§6.2 control loop.
 //!
-//! Group-aware filtering only pays when applications' candidate sets
-//! overlap. This demo runs two groups — a healthy one and one polluted by
-//! a "bad" filter that wants most of the source — and shows the online
-//! [`BenefitMonitor`] cost model recommending what the paper's future-work
-//! section proposes: keep group-awareness, or isolate the greedy consumer
+//! **Paper scenario:** the §4.8 overhead discussion and §6.2 future-work
+//! proposal — monitor whether group-awareness still pays, and regroup
+//! when it does not. Group-aware filtering only pays when applications'
+//! candidate sets overlap. This demo runs two groups — a healthy one and
+//! one polluted by a "bad" filter that wants most of the source — and
+//! shows the online [`BenefitMonitor`] cost model recommending what the
+//! paper proposes: keep group-awareness, or isolate the greedy consumer
 //! via a regrouping strategy.
+//!
+//! **Knobs exercised:** `BenefitMonitor::assess` over engine metrics,
+//! selectivity/benefit thresholds, and `gasf_solar::partition` with each
+//! `GroupingStrategy`.
 //!
 //! ```text
 //! cargo run --example adaptive_monitoring

@@ -1,5 +1,7 @@
 //! Emergency response: the §5.5.1 chlorine train-derailment scenario.
 //!
+//! **Paper scenario:** §5.5.1's Baton Rouge train-derailment exercise
+//! (chlorine release), run through the full Fig. 4.1 middleware stack.
 //! A chlorine-concentration source (Gaussian-puff plume model) feeds three
 //! command-and-control applications over a wireless-mesh overlay:
 //! fire prediction (finest granularity, tight latency), responder safety
@@ -9,6 +11,10 @@
 //! middleware's sink-based pipeline (source → engine → multicast sink):
 //! emissions stream from the filtering engine's release path straight down
 //! the overlay's multicast trees.
+//!
+//! **Knobs exercised:** `Middleware` registration/subscription/deploy,
+//! `MiddlewareConfig::algorithm`, per-filter latency tolerances, and a
+//! bandwidth-constrained `Topology::grid` overlay.
 //!
 //! ```text
 //! cargo run --example emergency_response

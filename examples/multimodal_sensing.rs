@@ -1,11 +1,16 @@
 //! Multi-modal sensing: cheap sensors index expensive imagers (§5.5.2).
 //!
-//! A surveillance site bundles low-cost motion/seismic sensors with a
-//! high-cost imager (Fig. 5.5). The cheap sensors sample fast; their
+//! **Paper scenario:** §5.5.2 / Fig. 5.5, on the §4.7.4 volcano-shaped
+//! seismic trace. A surveillance site bundles low-cost motion/seismic
+//! sensors with a high-cost imager. The cheap sensors sample fast; their
 //! *filtered* output acts as an **index** selecting which images are worth
 //! shipping over the constrained network. The smaller the group-aware
 //! output, the fewer images transmitted — so the group-aware saving
 //! multiplies with the image size.
+//!
+//! **Knobs exercised:** a custom `EmissionSink` implementation (the image
+//! index) fed straight from the engine's release path, plus the
+//! group-aware vs self-interested `Algorithm` comparison.
 //!
 //! ```text
 //! cargo run --example multimodal_sensing

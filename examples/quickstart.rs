@@ -1,9 +1,15 @@
 //! Quickstart: the paper's §2.1 running example, end to end.
 //!
+//! **Paper scenario:** the nine-tuple temperature sequence of §2.1.1
+//! (Fig. 2.1), the worked example the whole dissertation builds on.
 //! Three applications share a temperature source. A tolerates 10-unit
 //! slack at 50-unit granularity, B tolerates 5 at 40, C tolerates 25 at
 //! 80. Group-aware filtering needs 3 tuples where self-interested
 //! filtering needs 6.
+//!
+//! **Knobs exercised:** all three `Algorithm` variants over the same
+//! fixture, `FilterSpec::delta` (granularity + slack), labelled specs,
+//! and the sink-based `run_into` + `VecSink` collection path.
 //!
 //! ```text
 //! cargo run --example quickstart

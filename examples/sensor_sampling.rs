@@ -1,10 +1,17 @@
 //! Sensor sampling for multiple queries (§5.5.3) — heterogeneous filter
 //! types in one group.
 //!
+//! **Paper scenario:** Ch. 5's heterogeneous filter taxonomy applied to
+//! the §5.5.3 sensor-sampling use case, on a §4.2-shaped NAMOS trace.
 //! Three analysis queries share one buoy thermistor: a delta-compression
 //! state tracker, a trend watcher and a stratified sampler that samples
 //! high-dynamics windows harder. Group-aware filtering coordinates their
 //! picks so the union shipped off the sensor shrinks.
+//!
+//! **Knobs exercised:** mixed `FilterSpec` kinds in one group (DC1
+//! `delta`, DC2 `trend_delta`, SS `stratified_sample`), the
+//! per-candidate-set algorithm stateful filters require, and
+//! trace-derived srcStatistics calibration (§4.3).
 //!
 //! ```text
 //! cargo run --example sensor_sampling

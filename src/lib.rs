@@ -3,8 +3,9 @@
 //! This crate re-exports the member crates of the GASF workspace so the
 //! examples (and downstream quick starts) can depend on a single name:
 //!
-//! * [`core`] — tuples, candidate sets, hitting-set solvers, regions and
-//!   the [`core::engine::GroupEngine`] two-stage filtering engines,
+//! * [`core`] — tuples, candidate sets, hitting-set solvers, regions,
+//!   the [`core::engine::GroupEngine`] two-stage filtering engines and
+//!   the multi-threaded [`core::shard::ShardedEngine`],
 //! * [`net`] — the overlay topology and tuple-level multicast substrate,
 //! * [`solar`] — the Solar-like pub/sub middleware tying engines to the
 //!   overlay,

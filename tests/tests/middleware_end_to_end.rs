@@ -23,6 +23,7 @@ fn build(
             algorithm,
             strategy: OutputStrategy::Earliest,
             constraint: Some(TimeConstraint::max_delay(Micros::from_millis(200))),
+            ..Default::default()
         },
     );
     let src = mw
@@ -130,6 +131,7 @@ fn all_algorithms_and_strategies_deliver_everything() {
                     algorithm,
                     strategy,
                     constraint: None,
+                    ..Default::default()
                 },
             );
             let src = mw
@@ -215,6 +217,7 @@ fn tighter_constraints_cut_more_and_lower_latency() {
                 algorithm: Algorithm::RegionGreedy,
                 strategy: OutputStrategy::Earliest,
                 constraint: Some(TimeConstraint::max_delay(Micros::from_millis(deadline_ms))),
+                ..Default::default()
             },
         );
         let src = mw

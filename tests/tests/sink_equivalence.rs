@@ -9,8 +9,10 @@
 
 use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
 use gasf_core::quality::FilterSpec;
+use gasf_core::shard::ShardedEngine;
 use gasf_core::sink::{EmissionSink, NullSink, Tee, VecSink};
 use gasf_sources::{NamosBuoy, Trace};
+use proptest::prelude::*;
 
 const ALGORITHMS: [Algorithm; 3] = [
     Algorithm::RegionGreedy,
@@ -107,6 +109,143 @@ fn sink_path_equals_legacy_wrappers_for_every_combination() {
             );
 
             assert!(!legacy_out.is_empty(), "{label}: trace must emit");
+        }
+    }
+}
+
+/// The sharded engine's headline guarantee, exhaustively: a single route
+/// at any parallelism is byte-for-byte the plain `GroupEngine`, for every
+/// `Algorithm` × `OutputStrategy` combination.
+#[test]
+fn sharded_engine_equals_group_engine_for_every_combination() {
+    let trace = trace();
+    for algorithm in ALGORITHMS {
+        for strategy in STRATEGIES {
+            let label = format!("{algorithm:?}/{strategy:?}");
+
+            let mut reference = engine(&trace, algorithm, strategy);
+            let mut expected = VecSink::new();
+            reference
+                .run_into(trace.tuples().iter().cloned(), &mut expected)
+                .unwrap();
+
+            for n in [1usize, 2, 4] {
+                let mut sharded = ShardedEngine::builder()
+                    .parallelism(n)
+                    .batch_size(23) // off the trace length, so batches straddle
+                    .route(
+                        "group",
+                        GroupEngine::builder(trace.schema().clone())
+                            .algorithm(algorithm)
+                            .output_strategy(strategy)
+                            .filters(specs(&trace)),
+                    )
+                    .build()
+                    .unwrap();
+                let mut out = VecSink::new();
+                sharded
+                    .run_into(trace.tuples().iter().cloned(), &mut out)
+                    .unwrap();
+                assert_eq!(out.as_slice(), expected.as_slice(), "{label}: n={n}");
+                let merged = sharded.metrics();
+                let m = reference.metrics();
+                assert_eq!(merged.output_tuples, m.output_tuples, "{label}: n={n}");
+                assert_eq!(merged.emissions, m.emissions, "{label}: n={n}");
+                assert_eq!(merged.latencies_us, m.latencies_us, "{label}: n={n}");
+                assert_eq!(
+                    merged.disordered_emissions, m.disordered_emissions,
+                    "{label}: n={n}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomised version of the pin: random filter parameters, trace
+    /// seed, batch size and `Algorithm` × `OutputStrategy` draw — the
+    /// sharded single-route output must equal `GroupEngine` byte for byte
+    /// at every parallelism in {1, 2, 4}.
+    #[test]
+    fn sharded_output_is_deterministic_across_parallelism(
+        seed in 0u64..1_000,
+        delta_pct in 150u64..400,
+        slack_pct in 20u64..50,
+        batch in 1usize..40,
+        algo_idx in 0usize..3,
+        strat_idx in 0usize..3,
+    ) {
+        let algorithm = ALGORITHMS[algo_idx];
+        let strategy = STRATEGIES[strat_idx];
+        let trace = NamosBuoy::new().tuples(300).seed(seed).generate();
+        let s = trace.stats("tmpr4").unwrap().mean_abs_delta;
+        let delta = s * delta_pct as f64 / 100.0;
+        let specs = vec![
+            FilterSpec::delta("tmpr4", delta, delta * slack_pct as f64 / 100.0),
+            FilterSpec::delta("tmpr4", delta * 1.5, delta * 0.6),
+        ];
+        let group = || {
+            GroupEngine::builder(trace.schema().clone())
+                .algorithm(algorithm)
+                .output_strategy(strategy)
+                .filters(specs.clone())
+        };
+
+        let mut reference = group().build().unwrap();
+        let mut expected = VecSink::new();
+        reference
+            .run_into(trace.tuples().iter().cloned(), &mut expected)
+            .unwrap();
+
+        for n in [1usize, 2, 4] {
+            let mut sharded = ShardedEngine::builder()
+                .parallelism(n)
+                .batch_size(batch)
+                .route("group", group())
+                .build()
+                .unwrap();
+            let mut out = VecSink::new();
+            sharded
+                .run_into(trace.tuples().iter().cloned(), &mut out)
+                .unwrap();
+            prop_assert_eq!(out.as_slice(), expected.as_slice());
+        }
+    }
+
+    /// Multi-route merges are equally deterministic: the `(step, route)`
+    /// merge order never depends on shard count or batch size.
+    #[test]
+    fn multi_route_merge_is_invariant_to_parallelism(
+        seed in 0u64..1_000,
+        routes in 2usize..5,
+        batch in 1usize..40,
+    ) {
+        let trace = NamosBuoy::new().tuples(250).seed(seed).generate();
+        let s = trace.stats("tmpr4").unwrap().mean_abs_delta;
+        let build = |n: usize, batch: usize| {
+            let mut builder = ShardedEngine::builder().parallelism(n).batch_size(batch);
+            for r in 0..routes {
+                let delta = s * (1.5 + r as f64 * 0.7);
+                builder = builder.route(
+                    format!("route-{r}"),
+                    GroupEngine::builder(trace.schema().clone())
+                        .filter(FilterSpec::delta("tmpr4", delta, delta * 0.4)),
+                );
+            }
+            builder.build().unwrap()
+        };
+        let mut base_sink = VecSink::new();
+        build(1, 64)
+            .run_into(trace.tuples().iter().cloned(), &mut base_sink)
+            .unwrap();
+        for n in [2usize, 4] {
+            let mut out = VecSink::new();
+            build(n, batch)
+                .run_into(trace.tuples().iter().cloned(), &mut out)
+                .unwrap();
+            prop_assert_eq!(out.as_slice(), base_sink.as_slice());
         }
     }
 }
