@@ -1,0 +1,126 @@
+//! Subscription-churn throughput: lifecycle ops interleaved with
+//! streaming, at 1 and 4 worker shards.
+//!
+//! `churn/lifecycle/<n>shards` replays the shared NAMOS trace through a
+//! deployed middleware while churning the roster every 250 tuples —
+//! subscribe a new app, retune another, unsubscribe the newcomer again —
+//! plus one `BySelectivity` regroup at mid-stream. One iteration is the
+//! full run (build + stream + churn + finish), so the mean tracks the
+//! end-to-end cost of a *living* deployment; compare against
+//! `scaling/...` for the churn-free baseline shape. `churn/engine_ops`
+//! isolates the core control plane: a `GroupEngine` crossing an epoch
+//! boundary (add + remove + update, drain, filter rebuild) every 50
+//! tuples with no overlay attached.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_core::prelude::*;
+use gasf_net::{NodeId, Overlay, Topology};
+use gasf_solar::{GroupingStrategy, Middleware, MiddlewareConfig};
+use std::hint::black_box;
+
+fn lifecycle_run(trace: &gasf_sources::Trace, s: f64, parallelism: usize) -> u64 {
+    let mut mw = Middleware::with_config(
+        Overlay::new(Topology::ring(9).build()),
+        MiddlewareConfig {
+            parallelism,
+            ..Default::default()
+        },
+    );
+    let src = mw
+        .register_source("buoy", NodeId(0), trace.schema().clone())
+        .unwrap();
+    for (i, node) in [2u32, 4, 6].into_iter().enumerate() {
+        let _ = mw
+            .subscribe(
+                format!("app{i}"),
+                NodeId(node),
+                src,
+                FilterSpec::delta(
+                    "tmpr4",
+                    s * (2.0 + i as f64 * 0.5),
+                    s * (0.9 + i as f64 * 0.2),
+                ),
+            )
+            .unwrap();
+    }
+    mw.deploy().unwrap();
+    let tuples = trace.tuples();
+    let half = tuples.len() / 2;
+    let mut retune = 0u64;
+    for (k, chunk) in tuples.chunks(250).enumerate() {
+        mw.push_batch(src, chunk.to_vec()).unwrap();
+        if (k + 1) * 250 == half {
+            mw.regroup(src, GroupingStrategy::BySelectivity { isolate_above: 0.6 })
+                .unwrap();
+            continue;
+        }
+        let joiner = mw
+            .subscribe(
+                format!("churn{k}"),
+                NodeId((k as u32 % 8) + 1),
+                src,
+                FilterSpec::delta("tmpr4", s * 1.8, s * 0.8),
+            )
+            .unwrap();
+        let first = mw.subscriptions(src).unwrap()[0];
+        retune += 1;
+        mw.resubscribe(
+            first,
+            FilterSpec::delta("tmpr4", s * (2.0 + (retune % 3) as f64), s),
+        )
+        .unwrap();
+        mw.unsubscribe(joiner).unwrap();
+    }
+    mw.finish(src).unwrap();
+    mw.report(src).unwrap().engine.emissions
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = common::trace();
+    let s = trace.stats("tmpr4").unwrap().mean_abs_delta;
+    let mut g = c.benchmark_group("churn");
+
+    for shards in [1usize, 4] {
+        let id = BenchmarkId::new("lifecycle", format!("{shards}shards"));
+        g.bench_with_input(id, &shards, |b, &shards| {
+            b.iter(|| black_box(lifecycle_run(&trace, s, shards)))
+        });
+    }
+
+    g.bench_function("engine_ops", |b| {
+        b.iter(|| {
+            let mut engine = GroupEngine::builder(trace.schema().clone())
+                .filter(FilterSpec::delta("tmpr4", s * 2.0, s))
+                .filter(FilterSpec::delta("tmpr4", s * 3.0, s * 1.4))
+                .build()
+                .unwrap();
+            let mut boundaries = 0u64;
+            for chunk in trace.tuples().chunks(50) {
+                let id = engine
+                    .add_filter(FilterSpec::delta("tmpr4", s * 1.7, s * 0.7))
+                    .unwrap();
+                engine
+                    .update_filter(
+                        FilterId::from_index(0),
+                        FilterSpec::delta("tmpr4", s * 2.2, s),
+                    )
+                    .unwrap();
+                engine.push_batch(chunk.to_vec(), &mut NullSink).unwrap();
+                engine.remove_filter(id).unwrap();
+                boundaries += 1;
+            }
+            engine.finish_into(&mut NullSink).unwrap();
+            black_box((boundaries, engine.epoch()))
+        })
+    });
+
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

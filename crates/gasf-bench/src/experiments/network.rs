@@ -28,13 +28,14 @@ fn deploy(
         .register_source("src", NodeId(0), schema)
         .expect("source registers");
     for (i, spec) in specs.iter().enumerate() {
-        mw.subscribe(
-            format!("app{i}"),
-            NodeId((2 + i as u32 * 2) % 7),
-            src,
-            spec.clone(),
-        )
-        .expect("subscription");
+        let _ = mw
+            .subscribe(
+                format!("app{i}"),
+                NodeId((2 + i as u32 * 2) % 7),
+                src,
+                spec.clone(),
+            )
+            .expect("subscription");
     }
     mw.deploy().expect("deploy");
     (mw, src)

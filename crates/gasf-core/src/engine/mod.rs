@@ -17,6 +17,33 @@
 //! [`push`](GroupEngine::push) / [`finish`](GroupEngine::finish) /
 //! [`run`](GroupEngine::run) remain as thin [`VecSink`]-backed
 //! compatibility wrappers.
+//!
+//! ## The subscription control plane (epochs)
+//!
+//! The filter group is no longer frozen at build time:
+//! [`GroupEngine::add_filter`] / [`GroupEngine::remove_filter`] /
+//! [`GroupEngine::update_filter`] queue roster changes that are applied at
+//! the next **safe point** — the boundary before the next pushed tuple,
+//! where every open candidate set is force-closed, every region completed
+//! and everything pending released (exactly what
+//! [`finish_into`](GroupEngine::finish_into) does, without ending the
+//! stream). Each application starts a new **epoch**:
+//!
+//! * [`FilterId`]s are stable for the lifetime of the engine — ids are
+//!   never reused or renumbered, removal leaves a *vacant slot*, and
+//!   recipient [`FilterSet`] labels simply skip vacancies;
+//! * retained filters restart from a fresh state, so a run with churn
+//!   applied at epoch `E` is **byte-identical** to stopping at `E`,
+//!   rebuilding statically with the post-churn roster (see
+//!   [`GroupEngineBuilder::filter_at`]) and continuing — the contract
+//!   `tests/tests/churn_equivalence.rs` pins across every
+//!   `Algorithm` × `OutputStrategy` × parallelism;
+//! * [`metrics`](GroupEngine::metrics) covers the current epoch only;
+//!   completed epochs are archived in
+//!   [`epoch_metrics`](GroupEngine::epoch_metrics) (so a removed filter's
+//!   stats survive it) and
+//!   [`lifetime_metrics`](GroupEngine::lifetime_metrics) folds them back
+//!   together, per-filter counters aligned by id.
 
 mod decide;
 #[cfg(test)]
@@ -96,6 +123,7 @@ impl Emission {
 pub struct GroupEngineBuilder {
     schema: Schema,
     specs: Vec<FilterSpec>,
+    pinned: Vec<(FilterId, FilterSpec)>,
     algorithm: Algorithm,
     strategy: OutputStrategy,
     constraint: Option<TimeConstraint>,
@@ -114,6 +142,21 @@ impl GroupEngineBuilder {
     /// Adds several filter specifications.
     pub fn filters<I: IntoIterator<Item = FilterSpec>>(mut self, specs: I) -> Self {
         self.specs.extend(specs);
+        self
+    }
+
+    /// Adds a filter pinned to an explicit [`FilterId`] slot.
+    ///
+    /// This is the *static rebuild* counterpart of the dynamic control
+    /// plane: after churn a roster may contain vacancies (e.g. ids
+    /// `{0, 2, 3}` once filter 1 was removed), and rebuilding that roster
+    /// statically must reproduce the same ids so recipient labels — and
+    /// therefore the whole emission stream — are byte-identical. Ids not
+    /// pinned here are assigned to [`filter`](Self::filter) specs in the
+    /// lowest free slots, in insertion order. Pinning the same slot twice
+    /// fails at [`build`](Self::build).
+    pub fn filter_at(mut self, id: FilterId, spec: FilterSpec) -> Self {
+        self.pinned.push((id, spec));
         self
     }
 
@@ -179,62 +222,71 @@ impl GroupEngineBuilder {
             .build()
     }
 
-    /// Builds the engine.
-    ///
-    /// # Errors
-    /// * [`Error::InvalidConfig`] if the group is empty, or stateful
-    ///   filters are combined with the region-based algorithm.
-    /// * [`Error::InvalidSpec`] / [`Error::UnknownAttribute`] from filter
-    ///   instantiation.
-    pub fn build(self) -> Result<GroupEngine, Error> {
-        if self.specs.is_empty() {
+    /// The stream schema this builder targets.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The configured second-stage algorithm.
+    pub fn configured_algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Resolves the roster this builder would instantiate: pinned specs in
+    /// their explicit slots, then plain [`filter`](Self::filter) specs in
+    /// the lowest free slots, insertion order preserved.
+    pub(crate) fn resolve_roster(&self) -> Result<Vec<(FilterId, FilterSpec)>, Error> {
+        let mut slots: BTreeMap<u32, FilterSpec> = BTreeMap::new();
+        for (id, spec) in &self.pinned {
+            if slots.insert(id.0, spec.clone()).is_some() {
+                return Err(Error::InvalidConfig {
+                    reason: format!("filter slot {id} pinned twice"),
+                });
+            }
+        }
+        let mut next = 0u32;
+        for spec in &self.specs {
+            while slots.contains_key(&next) {
+                next += 1;
+            }
+            slots.insert(next, spec.clone());
+            next += 1;
+        }
+        if slots.is_empty() {
             return Err(Error::InvalidConfig {
                 reason: "a group needs at least one filter".into(),
             });
         }
-        let mut filters: Vec<Box<dyn GroupFilter>> = Vec::with_capacity(self.specs.len());
-        for (i, spec) in self.specs.iter().enumerate() {
-            if spec.is_stateful() && self.algorithm == Algorithm::RegionGreedy {
-                return Err(Error::InvalidConfig {
-                    reason: format!(
-                        "filter #{i} is stateful; stateful candidate sets require \
-                         Algorithm::PerCandidateSet"
-                    ),
-                });
-            }
-            // Under the self-interested baseline the chosen output *is* the
-            // reference, so stateful and stateless bases coincide: build a
-            // stateless twin.
-            let effective = if spec.is_stateful() && self.algorithm == Algorithm::SelfInterested {
-                let mut s = spec.clone();
-                if let crate::quality::FilterKind::Delta { dependency, .. } = &mut s.kind {
-                    *dependency = crate::quality::Dependency::Stateless;
-                }
-                s
-            } else {
-                spec.clone()
-            };
-            filters.push(build_filter(
-                &effective,
-                FilterId::from_index(i),
-                &self.schema,
-            )?);
+        Ok(slots.into_iter().map(|(i, s)| (FilterId(i), s)).collect())
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    /// * [`Error::InvalidConfig`] if the group is empty, a slot is pinned
+    ///   twice, or stateful filters are combined with the region-based
+    ///   algorithm.
+    /// * [`Error::InvalidSpec`] / [`Error::UnknownAttribute`] from filter
+    ///   instantiation.
+    pub fn build(self) -> Result<GroupEngine, Error> {
+        let roster = self.resolve_roster()?;
+        let width = roster.last().map_or(0, |(id, _)| id.index() + 1);
+        let mut slots: Vec<Option<FilterSlot>> = Vec::new();
+        slots.resize_with(width, || None);
+        for (id, spec) in roster {
+            let filter = instantiate_filter(&spec, id, &self.schema, self.algorithm)?;
+            slots[id.index()] = Some(FilterSlot { spec, filter });
         }
-        let constraint = self.constraint.or_else(|| {
-            self.specs
-                .iter()
-                .filter_map(|s| s.latency_tolerance)
-                .min()
-                .map(TimeConstraint::max_delay)
-        });
-        let n = filters.len();
+        let constraint = effective_constraint(self.constraint, &slots);
         Ok(GroupEngine {
             schema: self.schema,
-            specs: self.specs,
-            filters,
+            slots,
             algorithm: self.algorithm,
             strategy: self.strategy,
+            explicit_constraint: self.constraint,
             constraint,
+            predictor_window: self.predictor_window,
+            overestimate_us: self.overestimate_us,
             predictor: RuntimePredictor::with_window(self.predictor_window, self.overestimate_us),
             utility: GroupUtility::new(),
             tracker: RegionTracker::new(),
@@ -250,12 +302,82 @@ impl GroupEngineBuilder {
             last_seq: None,
             finished: false,
             scratch: Vec::new(),
+            control_queue: Vec::new(),
+            next_filter_id: width as u32,
+            epoch: 0,
+            past_epochs: Vec::new(),
             metrics: EngineMetrics {
-                per_filter: vec![FilterMetrics::default(); n],
+                per_filter: vec![FilterMetrics::default(); width],
                 ..Default::default()
             },
         })
     }
+}
+
+/// Instantiates one filter, enforcing the algorithm/statefulness rules the
+/// whole control plane shares (build time, live adds and live updates).
+pub(crate) fn instantiate_filter(
+    spec: &FilterSpec,
+    id: FilterId,
+    schema: &Schema,
+    algorithm: Algorithm,
+) -> Result<Box<dyn GroupFilter>, Error> {
+    if spec.is_stateful() && algorithm == Algorithm::RegionGreedy {
+        return Err(Error::InvalidConfig {
+            reason: format!(
+                "filter {id} is stateful; stateful candidate sets require \
+                 Algorithm::PerCandidateSet"
+            ),
+        });
+    }
+    // Under the self-interested baseline the chosen output *is* the
+    // reference, so stateful and stateless bases coincide: build a
+    // stateless twin.
+    let effective = if spec.is_stateful() && algorithm == Algorithm::SelfInterested {
+        let mut s = spec.clone();
+        if let crate::quality::FilterKind::Delta { dependency, .. } = &mut s.kind {
+            *dependency = crate::quality::Dependency::Stateless;
+        }
+        s
+    } else {
+        spec.clone()
+    };
+    build_filter(&effective, id, schema)
+}
+
+/// The group time constraint in effect for a roster: the explicit one, or
+/// the minimum of the occupied filters' latency tolerances.
+fn effective_constraint(
+    explicit: Option<TimeConstraint>,
+    slots: &[Option<FilterSlot>],
+) -> Option<TimeConstraint> {
+    explicit.or_else(|| {
+        slots
+            .iter()
+            .flatten()
+            .filter_map(|s| s.spec.latency_tolerance)
+            .min()
+            .map(TimeConstraint::max_delay)
+    })
+}
+
+/// One occupied filter slot: the live filter plus the spec it was built
+/// from (kept so epochs can rebuild retained filters from scratch).
+#[derive(Debug)]
+struct FilterSlot {
+    spec: FilterSpec,
+    filter: Box<dyn GroupFilter>,
+}
+
+/// A queued roster change, applied at the next safe point.
+#[derive(Debug, Clone)]
+pub(crate) enum ControlOp {
+    /// Install `spec` in the (brand-new) slot `id`.
+    Add(FilterId, FilterSpec),
+    /// Vacate slot `id`.
+    Remove(FilterId),
+    /// Replace the spec in slot `id`.
+    Update(FilterId, FilterSpec),
 }
 
 /// A group-aware stream-filtering engine for one source shared by a group
@@ -265,11 +387,17 @@ impl GroupEngineBuilder {
 #[derive(Debug)]
 pub struct GroupEngine {
     schema: Schema,
-    specs: Vec<FilterSpec>,
-    filters: Vec<Box<dyn GroupFilter>>,
+    /// Filter slots indexed by [`FilterId`]; `None` marks a vacancy left
+    /// by a removed filter (ids are never reused or renumbered).
+    slots: Vec<Option<FilterSlot>>,
     algorithm: Algorithm,
     strategy: OutputStrategy,
+    /// The constraint the caller set explicitly (kept so the effective
+    /// constraint can be recomputed when the roster changes).
+    explicit_constraint: Option<TimeConstraint>,
     constraint: Option<TimeConstraint>,
+    predictor_window: usize,
+    overestimate_us: f64,
     predictor: RuntimePredictor,
     utility: GroupUtility,
     tracker: RegionTracker,
@@ -297,6 +425,14 @@ pub struct GroupEngine {
     /// batch handed to the sink — so downstream cost never pollutes engine
     /// CPU metrics and the hot path allocates no `Vec<Emission>`.
     scratch: Vec<Emission>,
+    /// Queued roster changes, applied together at the next safe point.
+    control_queue: Vec<ControlOp>,
+    /// The next never-used filter id (monotone; ids are never recycled).
+    next_filter_id: u32,
+    /// Epochs completed so far (bumped by every control-op application).
+    epoch: u64,
+    /// Archived metrics of completed epochs, oldest first.
+    past_epochs: Vec<EngineMetrics>,
     metrics: EngineMetrics,
 }
 
@@ -343,6 +479,7 @@ impl GroupEngine {
         GroupEngineBuilder {
             schema,
             specs: Vec::new(),
+            pinned: Vec::new(),
             algorithm: Algorithm::RegionGreedy,
             strategy: OutputStrategy::Earliest,
             constraint: None,
@@ -357,9 +494,33 @@ impl GroupEngine {
         &self.schema
     }
 
-    /// The filter specifications of the group, in [`FilterId`] order.
-    pub fn specs(&self) -> &[FilterSpec] {
-        &self.specs
+    /// The live filter specifications of the group, in [`FilterId`] order
+    /// (vacated slots are skipped; see [`roster`](Self::roster) for the
+    /// ids).
+    pub fn specs(&self) -> Vec<FilterSpec> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.spec.clone())
+            .collect()
+    }
+
+    /// The live roster: `(id, spec)` for every occupied slot, ascending by
+    /// id. Queued control ops are *not* reflected until they apply.
+    pub fn roster(&self) -> Vec<(FilterId, FilterSpec)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.as_ref()
+                    .map(|s| (FilterId::from_index(i), s.spec.clone()))
+            })
+            .collect()
+    }
+
+    /// Number of live filters in the group.
+    pub fn group_size(&self) -> usize {
+        self.slots.iter().flatten().count()
     }
 
     /// The configured second-stage algorithm.
@@ -372,9 +533,40 @@ impl GroupEngine {
         self.constraint
     }
 
-    /// Metrics accumulated so far.
+    /// Metrics accumulated in the **current epoch** (since the last
+    /// applied roster change, or since construction). See
+    /// [`epoch_metrics`](Self::epoch_metrics) and
+    /// [`lifetime_metrics`](Self::lifetime_metrics) for history.
     pub fn metrics(&self) -> &EngineMetrics {
         &self.metrics
+    }
+
+    /// Number of completed epochs (control-op applications so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Archived metrics of completed epochs, oldest first. A filter
+    /// removed in epoch `k` keeps its counters in entries `0..=k`.
+    pub fn epoch_metrics(&self) -> &[EngineMetrics] {
+        &self.past_epochs
+    }
+
+    /// Metrics folded over every epoch plus the current one, per-filter
+    /// counters aligned by stable [`FilterId`]
+    /// ([`EngineMetrics::absorb`]).
+    pub fn lifetime_metrics(&self) -> EngineMetrics {
+        let mut total = EngineMetrics::default();
+        for m in &self.past_epochs {
+            total.absorb(m);
+        }
+        total.absorb(&self.metrics);
+        total
+    }
+
+    /// Number of queued control ops awaiting the next safe point.
+    pub fn pending_control_ops(&self) -> usize {
+        self.control_queue.len()
     }
 
     /// Number of tuples currently interned by the engine (live window +
@@ -395,9 +587,191 @@ impl GroupEngine {
         self.watermark
     }
 
-    /// Consumes the engine, returning the final metrics.
+    /// Consumes the engine, returning the final lifetime metrics (every
+    /// epoch folded together; see
+    /// [`lifetime_metrics`](Self::lifetime_metrics)).
     pub fn into_metrics(self) -> EngineMetrics {
-        self.metrics
+        self.lifetime_metrics()
+    }
+
+    // ------------------------------------------------------------------
+    // subscription control plane
+    // ------------------------------------------------------------------
+
+    /// Queues a new filter for the group, returning its stable
+    /// [`FilterId`] immediately. The filter joins at the next safe point
+    /// (before the next pushed tuple); until then it sees no input.
+    ///
+    /// # Errors
+    /// [`Error::Finished`] after the stream ended, or any spec/algorithm
+    /// validation error ([`GroupEngineBuilder::build`]'s rules).
+    pub fn add_filter(&mut self, spec: FilterSpec) -> Result<FilterId, Error> {
+        let id = FilterId(self.next_filter_id);
+        self.queue_add_at(id, spec)?;
+        Ok(id)
+    }
+
+    /// Queues an add into an explicit, never-used slot (the sharded
+    /// engine mirrors id assignment on the caller thread and replays it
+    /// here).
+    pub(crate) fn queue_add_at(&mut self, id: FilterId, spec: FilterSpec) -> Result<(), Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        if id.0 < self.next_filter_id {
+            return Err(Error::InvalidConfig {
+                reason: format!("filter id {id} was already assigned; ids are never reused"),
+            });
+        }
+        instantiate_filter(&spec, id, &self.schema, self.algorithm)?;
+        self.next_filter_id = id.0 + 1;
+        self.control_queue.push(ControlOp::Add(id, spec));
+        Ok(())
+    }
+
+    /// Queues the removal of a filter. Applied at the next safe point: the
+    /// filter's open candidate set is closed with everything else at the
+    /// epoch boundary, its pending outputs are released, its slot becomes
+    /// a vacancy and its metrics survive in
+    /// [`epoch_metrics`](Self::epoch_metrics).
+    ///
+    /// # Errors
+    /// [`Error::Finished`], [`Error::UnknownFilter`] for ids that are not
+    /// live (counting queued ops), or [`Error::InvalidConfig`] when the
+    /// removal would leave the group empty.
+    pub fn remove_filter(&mut self, id: FilterId) -> Result<(), Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        let live = self.projected_roster();
+        if !live.contains(&id.0) {
+            return Err(Error::UnknownFilter { id });
+        }
+        if live.len() == 1 {
+            return Err(Error::InvalidConfig {
+                reason: format!("removing {id} would leave the group empty"),
+            });
+        }
+        self.control_queue.push(ControlOp::Remove(id));
+        Ok(())
+    }
+
+    /// Queues a spec replacement for a live filter (same [`FilterId`], new
+    /// quality requirement). At the safe point the filter restarts from a
+    /// fresh state under the new spec.
+    ///
+    /// # Errors
+    /// [`Error::Finished`], [`Error::UnknownFilter`], or spec validation
+    /// errors.
+    pub fn update_filter(&mut self, id: FilterId, spec: FilterSpec) -> Result<(), Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        if !self.projected_roster().contains(&id.0) {
+            return Err(Error::UnknownFilter { id });
+        }
+        instantiate_filter(&spec, id, &self.schema, self.algorithm)?;
+        self.control_queue.push(ControlOp::Update(id, spec));
+        Ok(())
+    }
+
+    /// The roster as it will look once the queued ops apply.
+    fn projected_roster(&self) -> BTreeSet<u32> {
+        let mut live: BTreeSet<u32> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| i as u32)
+            .collect();
+        for op in &self.control_queue {
+            match op {
+                ControlOp::Add(id, _) => {
+                    live.insert(id.0);
+                }
+                ControlOp::Remove(id) => {
+                    live.remove(&id.0);
+                }
+                ControlOp::Update(..) => {}
+            }
+        }
+        live
+    }
+
+    /// Crosses the epoch boundary: drains all open state (exactly like
+    /// [`finish_into`](Self::finish_into), without ending the stream),
+    /// hands the tail to the sink, archives the epoch's metrics and
+    /// applies the queued roster changes. Retained filters restart fresh,
+    /// so the continuation is byte-identical to a static rebuild with the
+    /// post-churn roster.
+    fn apply_control_ops<S: EmissionSink>(&mut self, sink: &mut S) {
+        let start = Instant::now();
+        let now = self.last_ts.unwrap_or(Micros::ZERO);
+        self.drain_open_state(now);
+        self.metrics.cpu += start.elapsed();
+        self.drain_scratch(sink);
+        self.advance_epoch();
+    }
+
+    /// Applies the queued ops to the roster and resets all per-epoch
+    /// state. Must only run with the engine fully drained.
+    fn advance_epoch(&mut self) {
+        debug_assert!(self.pending.is_empty() && self.releasable.is_empty());
+        let mut specs: Vec<Option<FilterSpec>> = self
+            .slots
+            .iter()
+            .map(|s| s.as_ref().map(|s| s.spec.clone()))
+            .collect();
+        for op in std::mem::take(&mut self.control_queue) {
+            match op {
+                ControlOp::Add(id, spec) => {
+                    if id.index() >= specs.len() {
+                        specs.resize(id.index() + 1, None);
+                    }
+                    specs[id.index()] = Some(spec);
+                }
+                ControlOp::Remove(id) => specs[id.index()] = None,
+                ControlOp::Update(id, spec) => specs[id.index()] = Some(spec),
+            }
+        }
+        self.slots = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                spec.map(|spec| {
+                    let filter = instantiate_filter(
+                        &spec,
+                        FilterId::from_index(i),
+                        &self.schema,
+                        self.algorithm,
+                    )
+                    .expect("control ops are validated when queued");
+                    FilterSlot { spec, filter }
+                })
+            })
+            .collect();
+        self.constraint = effective_constraint(self.explicit_constraint, &self.slots);
+        // Per-epoch state restarts exactly like a freshly built engine
+        // (the determinism contract depends on it). The pool is already
+        // empty — the drain released everything — and the watermark is
+        // monotone stream time, so both carry over.
+        self.predictor = RuntimePredictor::with_window(self.predictor_window, self.overestimate_us);
+        self.utility = GroupUtility::new();
+        self.tracker = RegionTracker::new();
+        self.recently_decided.clear();
+        self.emitted_ids.clear();
+        self.batch_counter = 0;
+        self.max_emitted_id = None;
+        let width = self.slots.len();
+        let done = std::mem::replace(
+            &mut self.metrics,
+            EngineMetrics {
+                per_filter: vec![FilterMetrics::default(); width],
+                ..Default::default()
+            },
+        );
+        self.past_epochs.push(done);
+        self.epoch += 1;
     }
 
     /// Feeds the next stream tuple, writing the emissions released by this
@@ -415,11 +789,19 @@ impl GroupEngine {
     /// * [`Error::MissingValue`] when the tuple lacks an attribute a filter
     ///   needs.
     pub fn push_into<S: EmissionSink>(&mut self, tuple: Tuple, sink: &mut S) -> Result<(), Error> {
-        let start = Instant::now();
         if self.finished {
             return Err(Error::Finished);
         }
+        // Ordering is validated *before* the safe point: a rejected tuple
+        // must not advance the epoch (the queued ops stay queued and apply
+        // on the next accepted tuple's boundary instead).
         validate_stream_order(self.last_ts, self.last_seq, &tuple)?;
+        // Safe point: queued roster changes apply on the boundary before
+        // this tuple (draining the previous epoch's tail into the sink).
+        if !self.control_queue.is_empty() {
+            self.apply_control_ops(sink);
+        }
+        let start = Instant::now();
         let now = tuple.timestamp();
         self.last_ts = Some(now);
         self.last_seq = Some(tuple.seq());
@@ -435,9 +817,12 @@ impl GroupEngine {
             self.per_filter_cuts(now);
         }
 
-        // First stage: candidate admission.
-        for i in 0..self.filters.len() {
-            let action = self.filters[i].process(&tuple)?;
+        // First stage: candidate admission (vacant slots are skipped).
+        for i in 0..self.slots.len() {
+            let Some(slot) = self.slots[i].as_mut() else {
+                continue;
+            };
+            let action = slot.filter.process(&tuple)?;
             self.apply_action(i, id, now, action);
         }
 
@@ -478,15 +863,12 @@ impl GroupEngine {
             return Err(Error::Finished);
         }
         self.finished = true;
+        // Control ops still queued at end-of-stream never apply: the
+        // stream has no further safe point (a rebuilt roster would close
+        // immediately without seeing input anyway).
+        self.control_queue.clear();
         let now = self.last_ts.unwrap_or(Micros::ZERO);
-        for i in 0..self.filters.len() {
-            let outcome = self.filters[i].force_close(CloseCause::EndOfStream);
-            self.handle_force_outcome(i, now, outcome);
-        }
-        for region in self.tracker.drain_all() {
-            self.complete_region(region, now);
-        }
-        self.release_to_scratch(now, Release::All);
+        self.drain_open_state(now);
         self.metrics.cpu += start.elapsed();
         self.drain_scratch(sink);
         sink.flush();
@@ -573,24 +955,53 @@ impl GroupEngine {
     // internals
     // ------------------------------------------------------------------
 
+    /// Force-closes every open candidate set, completes the remaining
+    /// regions and stages everything pending into the scratch buffer —
+    /// the shared tail-drain of [`finish_into`](Self::finish_into) and
+    /// the epoch boundary.
+    fn drain_open_state(&mut self, now: Micros) {
+        for i in 0..self.slots.len() {
+            let Some(slot) = self.slots[i].as_mut() else {
+                continue;
+            };
+            let outcome = slot.filter.force_close(CloseCause::EndOfStream);
+            self.handle_force_outcome(i, now, outcome);
+        }
+        for region in self.tracker.drain_all() {
+            self.complete_region(region, now);
+        }
+        self.release_to_scratch(now, Release::All);
+    }
+
     fn per_filter_cuts(&mut self, now: Micros) {
-        for i in 0..self.filters.len() {
-            let budget = self.specs[i]
+        for i in 0..self.slots.len() {
+            let Some(slot) = self.slots[i].as_ref() else {
+                continue;
+            };
+            let budget = slot
+                .spec
                 .latency_tolerance
                 .or(self.constraint.map(|c| c.max_delay));
-            let (Some(budget), Some(cover)) = (budget, self.filters[i].open_cover()) else {
+            let (Some(budget), Some(cover)) = (budget, slot.filter.open_cover()) else {
                 continue;
             };
             if now.saturating_sub(cover.min) >= budget {
-                let outcome = self.filters[i].force_close(CloseCause::Cut);
+                let outcome = self.slots[i]
+                    .as_mut()
+                    .expect("slot checked occupied above")
+                    .filter
+                    .force_close(CloseCause::Cut);
                 self.handle_force_outcome(i, now, outcome);
             }
         }
     }
 
     fn cut_all(&mut self, now: Micros) {
-        for i in 0..self.filters.len() {
-            let outcome = self.filters[i].force_close(CloseCause::Cut);
+        for i in 0..self.slots.len() {
+            let Some(slot) = self.slots[i].as_mut() else {
+                continue;
+            };
+            let outcome = slot.filter.force_close(CloseCause::Cut);
             self.handle_force_outcome(i, now, outcome);
         }
     }
@@ -610,7 +1021,7 @@ impl GroupEngine {
         if action.reference {
             self.metrics.per_filter[i].references += 1;
             if self.algorithm == Algorithm::SelfInterested
-                && self.filters[i].si_emits_at_reference()
+                && self.slot_filter(i).si_emits_at_reference()
             {
                 self.enqueue(id, FilterId::from_index(i));
                 self.metrics.per_filter[i].chosen += 1;
@@ -637,7 +1048,7 @@ impl GroupEngine {
         }
         match self.algorithm {
             Algorithm::SelfInterested => {
-                if !self.filters[i].si_emits_at_reference() {
+                if !self.slot_filter(i).si_emits_at_reference() {
                     for &id in &set.si_choice {
                         self.enqueue(id, FilterId::from_index(i));
                         self.metrics.per_filter[i].chosen += 1;
@@ -653,7 +1064,7 @@ impl GroupEngine {
             Algorithm::PerCandidateSet => {
                 let chosen = decide::decide_outputs(&set, &self.utility, &self.recently_decided);
                 self.metrics.per_filter[i].chosen += chosen.len() as u64;
-                if self.filters[i].is_stateful() {
+                if self.slot_filter(i).is_stateful() {
                     if let Some(&first) = chosen.first() {
                         let key = set
                             .candidates
@@ -661,7 +1072,11 @@ impl GroupEngine {
                             .find(|c| c.id == first)
                             .map(|c| c.key)
                             .unwrap_or_default();
-                        self.filters[i].output_chosen(first, key);
+                        self.slots[i]
+                            .as_mut()
+                            .expect("closed sets come from occupied slots")
+                            .filter
+                            .output_chosen(first, key);
                     }
                 }
                 for &id in &chosen {
@@ -680,9 +1095,23 @@ impl GroupEngine {
         }
     }
 
+    /// The live filter in slot `i` (panics on vacancies — callers only
+    /// reach here for ids that produced an event this epoch).
+    fn slot_filter(&self, i: usize) -> &dyn GroupFilter {
+        self.slots[i]
+            .as_ref()
+            .expect("events only come from occupied slots")
+            .filter
+            .as_ref()
+    }
+
     fn drain_regions(&mut self, now: Micros) {
-        let open_covers: Vec<TimeCover> =
-            self.filters.iter().filter_map(|f| f.open_cover()).collect();
+        let open_covers: Vec<TimeCover> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter_map(|s| s.filter.open_cover())
+            .collect();
         for region in self.tracker.drain_ready(&open_covers, now) {
             self.complete_region(region, now);
         }
@@ -825,9 +1254,10 @@ impl GroupEngine {
 
     fn oldest_pending_candidate(&self) -> Option<Micros> {
         let open_min = self
-            .filters
+            .slots
             .iter()
-            .filter_map(|f| f.open_cover())
+            .flatten()
+            .filter_map(|s| s.filter.open_cover())
             .map(|c| c.min)
             .min();
         match (self.tracker.earliest_pending(), open_min) {
@@ -837,7 +1267,13 @@ impl GroupEngine {
     }
 
     fn pending_candidates(&self) -> usize {
-        self.tracker.pending_candidates() + self.filters.iter().map(|f| f.open_len()).sum::<usize>()
+        self.tracker.pending_candidates()
+            + self
+                .slots
+                .iter()
+                .flatten()
+                .map(|s| s.filter.open_len())
+                .sum::<usize>()
     }
 }
 

@@ -695,3 +695,317 @@ fn batched_strategy_batches_through_sink() {
         "batches group emissions, never split them"
     );
 }
+
+// ---------------------------------------------------------------------
+// subscription control plane (epochs)
+// ---------------------------------------------------------------------
+
+mod control_plane {
+    use super::*;
+    use crate::metrics::EngineMetrics;
+    use crate::sink::VecSink;
+
+    fn long_stream(n: usize) -> (Schema, Vec<Tuple>) {
+        let schema = Schema::new(["t"]);
+        let pts: Vec<(u64, f64)> = (0..n)
+            .map(|i| {
+                (
+                    (i as u64 + 1) * 10,
+                    (i as f64 * 0.7).sin() * 40.0 + i as f64 * 0.3,
+                )
+            })
+            .collect();
+        let tuples = series(&schema, "t", &pts);
+        (schema, tuples)
+    }
+
+    fn fingerprint(m: &EngineMetrics) -> (u64, u64, u64, u64, Vec<u64>) {
+        (
+            m.input_tuples,
+            m.output_tuples,
+            m.emissions,
+            m.recipient_labels,
+            m.latencies_us.clone(),
+        )
+    }
+
+    #[test]
+    fn ids_are_stable_and_never_reused() {
+        let (schema, tuples) = long_stream(40);
+        let mut e = GroupEngine::builder(schema)
+            .filters(abc_specs())
+            .build()
+            .unwrap();
+        let mut sink = VecSink::new();
+        e.push_batch(tuples[..10].to_vec(), &mut sink).unwrap();
+        let d = e.add_filter(FilterSpec::delta("t", 30.0, 10.0)).unwrap();
+        assert_eq!(d.index(), 3);
+        e.remove_filter(FilterId::from_index(1)).unwrap();
+        assert_eq!(e.pending_control_ops(), 2);
+        e.push_batch(tuples[10..20].to_vec(), &mut sink).unwrap();
+        assert_eq!(e.pending_control_ops(), 0);
+        assert_eq!(e.epoch(), 1);
+        // the vacated slot is never handed out again
+        let d2 = e.add_filter(FilterSpec::delta("t", 25.0, 8.0)).unwrap();
+        assert_eq!(d2.index(), 4);
+        e.push_batch(tuples[20..].to_vec(), &mut sink).unwrap();
+        let roster: Vec<usize> = e.roster().iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(roster, vec![0, 2, 3, 4]);
+        assert_eq!(e.group_size(), 4);
+        e.finish_into(&mut sink).unwrap();
+    }
+
+    #[test]
+    fn control_op_validation() {
+        let (schema, tuples) = long_stream(10);
+        let mut e = GroupEngine::builder(schema)
+            .filter(FilterSpec::delta("t", 40.0, 5.0))
+            .build()
+            .unwrap();
+        // unknown id / unknown attribute / empty-group guard
+        assert!(matches!(
+            e.remove_filter(FilterId::from_index(7)),
+            Err(Error::UnknownFilter { .. })
+        ));
+        assert!(matches!(
+            e.remove_filter(FilterId::from_index(0)),
+            Err(Error::InvalidConfig { .. }),
+        ));
+        assert!(e.add_filter(FilterSpec::delta("nope", 1.0, 0.1)).is_err());
+        assert!(matches!(
+            e.update_filter(FilterId::from_index(3), FilterSpec::delta("t", 1.0, 0.1)),
+            Err(Error::UnknownFilter { .. })
+        ));
+        // a queued add makes its id a valid remove target, and removing
+        // the only *remaining* filter is still rejected
+        let id = e.add_filter(FilterSpec::delta("t", 20.0, 4.0)).unwrap();
+        e.remove_filter(FilterId::from_index(0)).unwrap();
+        assert!(matches!(
+            e.remove_filter(id),
+            Err(Error::InvalidConfig { .. })
+        ));
+        let mut sink = VecSink::new();
+        e.run_into(tuples, &mut sink).unwrap();
+        // after finish every op errors
+        assert!(matches!(
+            e.add_filter(FilterSpec::delta("t", 9.0, 1.0)),
+            Err(Error::Finished)
+        ));
+    }
+
+    #[test]
+    fn rejected_push_does_not_cross_the_epoch_boundary() {
+        // A tuple that fails stream-order validation must leave the
+        // engine exactly as it was: no epoch advance, no boundary drain,
+        // ops still queued for the next accepted tuple.
+        let (schema, tuples) = long_stream(20);
+        let mut e = GroupEngine::builder(schema)
+            .filters(abc_specs())
+            .build()
+            .unwrap();
+        let mut sink = VecSink::new();
+        e.push_batch(tuples[..10].to_vec(), &mut sink).unwrap();
+        e.add_filter(FilterSpec::delta("t", 30.0, 10.0)).unwrap();
+        let emitted_before = sink.len();
+        // replaying an old tuple is rejected before the safe point
+        assert!(matches!(
+            e.push_into(tuples[3].clone(), &mut sink),
+            Err(Error::OutOfOrder { .. })
+        ));
+        assert_eq!(e.epoch(), 0, "failed push must not advance the epoch");
+        assert_eq!(e.pending_control_ops(), 1, "ops stay queued");
+        assert_eq!(sink.len(), emitted_before, "no boundary drain leaked");
+        // the next accepted tuple crosses the boundary normally
+        e.push_into(tuples[10].clone(), &mut sink).unwrap();
+        assert_eq!(e.epoch(), 1);
+        assert_eq!(e.pending_control_ops(), 0);
+        e.finish_into(&mut sink).unwrap();
+    }
+
+    #[test]
+    fn stateful_add_rejected_under_region_greedy() {
+        let (schema, _) = long_stream(4);
+        let mut e = GroupEngine::builder(schema)
+            .filter(FilterSpec::delta("t", 40.0, 5.0))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            e.add_filter(FilterSpec::stateful_delta("t", 20.0, 4.0)),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn churn_is_byte_identical_to_static_rebuild() {
+        // The determinism contract, in miniature (the cross-crate
+        // `churn_equivalence` suite covers the full matrix): dynamic
+        // add/remove/update at a boundary == stop + rebuild (with
+        // `filter_at` pinning the surviving ids) + continue.
+        let (schema, tuples) = long_stream(60);
+        let retuned = FilterSpec::delta("t", 35.0, 12.0);
+        let added = FilterSpec::delta("t", 28.0, 9.0);
+
+        let mut dynamic = GroupEngine::builder(schema.clone())
+            .filters(abc_specs())
+            .build()
+            .unwrap();
+        let mut dyn_sink = VecSink::new();
+        dynamic
+            .push_batch(tuples[..30].to_vec(), &mut dyn_sink)
+            .unwrap();
+        dynamic.add_filter(added.clone()).unwrap();
+        dynamic.remove_filter(FilterId::from_index(1)).unwrap();
+        dynamic
+            .update_filter(FilterId::from_index(2), retuned.clone())
+            .unwrap();
+        dynamic
+            .push_batch(tuples[30..].to_vec(), &mut dyn_sink)
+            .unwrap();
+        dynamic.finish_into(&mut dyn_sink).unwrap();
+
+        // Static composite: epoch 0 engine over the prefix…
+        let mut epoch0 = GroupEngine::builder(schema.clone())
+            .filters(abc_specs())
+            .build()
+            .unwrap();
+        let mut static_sink = VecSink::new();
+        epoch0
+            .push_batch(tuples[..30].to_vec(), &mut static_sink)
+            .unwrap();
+        epoch0.finish_into(&mut static_sink).unwrap();
+        // …then a fresh engine with the post-churn roster on the suffix.
+        let specs = abc_specs();
+        let mut epoch1 = GroupEngine::builder(schema)
+            .filter_at(FilterId::from_index(0), specs[0].clone())
+            .filter_at(FilterId::from_index(2), retuned)
+            .filter_at(FilterId::from_index(3), added)
+            .build()
+            .unwrap();
+        epoch1
+            .push_batch(tuples[30..].to_vec(), &mut static_sink)
+            .unwrap();
+        epoch1.finish_into(&mut static_sink).unwrap();
+
+        assert_eq!(dyn_sink.as_slice(), static_sink.as_slice());
+        // per-epoch metrics match the per-segment engines, and the
+        // removed filter's stats survive in the archive
+        assert_eq!(dynamic.epoch(), 1);
+        assert_eq!(dynamic.epoch_metrics().len(), 1);
+        assert_eq!(
+            fingerprint(&dynamic.epoch_metrics()[0]),
+            fingerprint(epoch0.metrics())
+        );
+        assert_eq!(
+            fingerprint(dynamic.metrics()),
+            fingerprint(epoch1.metrics())
+        );
+        let lifetime = dynamic.lifetime_metrics();
+        assert_eq!(
+            lifetime.per_filter[1].sets_closed,
+            epoch0.metrics().per_filter[1].sets_closed,
+            "removed filter's stats survive"
+        );
+        assert_eq!(
+            lifetime.input_tuples,
+            epoch0.metrics().input_tuples + epoch1.metrics().input_tuples
+        );
+    }
+
+    #[test]
+    fn builder_rejects_double_pinned_slot() {
+        let schema = Schema::new(["t"]);
+        assert!(matches!(
+            GroupEngine::builder(schema)
+                .filter_at(FilterId::from_index(1), FilterSpec::delta("t", 2.0, 0.5))
+                .filter_at(FilterId::from_index(1), FilterSpec::delta("t", 3.0, 0.5))
+                .build(),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn unpinned_specs_fill_lowest_free_slots() {
+        let schema = Schema::new(["t"]);
+        let e = GroupEngine::builder(schema)
+            .filter_at(FilterId::from_index(1), FilterSpec::delta("t", 2.0, 0.5))
+            .filter(FilterSpec::delta("t", 3.0, 0.5))
+            .filter(FilterSpec::delta("t", 4.0, 0.5))
+            .build()
+            .unwrap();
+        let ids: Vec<usize> = e.roster().iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sharded_control_ops_match_inline() {
+        let (schema, tuples) = long_stream(80);
+        let added = FilterSpec::delta("t", 28.0, 9.0);
+
+        let mut inline = GroupEngine::builder(schema.clone())
+            .filters(abc_specs())
+            .build()
+            .unwrap();
+        let mut expected = VecSink::new();
+        inline
+            .push_batch(tuples[..40].to_vec(), &mut expected)
+            .unwrap();
+        let inline_id = inline.add_filter(added.clone()).unwrap();
+        inline.remove_filter(FilterId::from_index(0)).unwrap();
+        inline
+            .push_batch(tuples[40..].to_vec(), &mut expected)
+            .unwrap();
+        inline.finish_into(&mut expected).unwrap();
+
+        for n in [1usize, 2, 4] {
+            let mut sharded = crate::shard::ShardedEngine::builder()
+                .parallelism(n)
+                .batch_size(17)
+                .route(
+                    "group",
+                    GroupEngine::builder(schema.clone()).filters(abc_specs()),
+                )
+                .build()
+                .unwrap();
+            let mut out = VecSink::new();
+            sharded.push_batch(tuples[..40].to_vec(), &mut out).unwrap();
+            let id = sharded.add_filter(0, added.clone()).unwrap();
+            assert_eq!(id, inline_id, "mirrored id assignment");
+            sharded.remove_filter(0, FilterId::from_index(0)).unwrap();
+            sharded.push_batch(tuples[40..].to_vec(), &mut out).unwrap();
+            sharded.finish_into(&mut out).unwrap();
+            assert_eq!(out.as_slice(), expected.as_slice(), "n={n}");
+            assert_eq!(
+                sharded.metrics().output_tuples,
+                inline.lifetime_metrics().output_tuples,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_control_op_validation_mirrors_inline() {
+        let (schema, _) = long_stream(4);
+        let mut e = crate::shard::ShardedEngine::builder()
+            .route(
+                "group",
+                GroupEngine::builder(schema).filter(FilterSpec::delta("t", 40.0, 5.0)),
+            )
+            .build()
+            .unwrap();
+        assert!(matches!(
+            e.remove_filter(0, FilterId::from_index(0)),
+            Err(Error::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            e.remove_filter(0, FilterId::from_index(5)),
+            Err(Error::UnknownFilter { .. })
+        ));
+        assert!(matches!(
+            e.update_filter(1, FilterId::from_index(0), FilterSpec::delta("t", 1.0, 0.1)),
+            Err(Error::InvalidConfig { .. })
+        ));
+        assert!(e
+            .add_filter(0, FilterSpec::delta("nope", 1.0, 0.1))
+            .is_err());
+    }
+}

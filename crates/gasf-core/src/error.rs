@@ -48,6 +48,12 @@ pub enum Error {
     },
     /// `push` was called after `finish`.
     Finished,
+    /// A filter id does not name a live member of the group (never
+    /// assigned, or already removed by the subscription control plane).
+    UnknownFilter {
+        /// The unknown or vacated filter id.
+        id: crate::candidate::FilterId,
+    },
     /// A tuple was missing a value for an attribute a filter needs.
     MissingValue {
         /// The attribute index whose value was NaN/absent.
@@ -79,6 +85,7 @@ impl fmt::Display for Error {
             Error::InvalidSpec { reason } => write!(f, "invalid filter spec: {reason}"),
             Error::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
             Error::Finished => write!(f, "engine already finished"),
+            Error::UnknownFilter { id } => write!(f, "unknown filter {id}"),
             Error::MissingValue { attr, seq } => {
                 write!(f, "tuple {seq} has no value for attribute #{attr}")
             }

@@ -50,6 +50,14 @@
 //! `(input step, route)` order, so sharded output is byte-identical to
 //! running each group inline.
 //!
+//! Filter groups are **live**: `add_filter`/`remove_filter`/
+//! `update_filter` (on both engines; the sharded one ships them as
+//! control messages interleaved with the data channel) queue roster
+//! changes that apply at the next epoch boundary, with stable
+//! never-reused [`candidate::FilterId`]s, vacancy-tolerant recipient
+//! bitsets and per-epoch metrics — and churn is byte-identical to a
+//! static rebuild with the post-churn roster (see the engine docs).
+//!
 //! ## Quickstart
 //!
 //! ```rust

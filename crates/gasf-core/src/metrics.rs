@@ -30,6 +30,19 @@ pub struct FilterMetrics {
     pub dismissed: u64,
 }
 
+impl FilterMetrics {
+    /// Adds another set of counters for the *same* filter into this one
+    /// (used by the per-epoch metrics fold).
+    pub fn absorb(&mut self, other: &FilterMetrics) {
+        self.references += other.references;
+        self.chosen += other.chosen;
+        self.sets_closed += other.sets_closed;
+        self.sets_cut += other.sets_cut;
+        self.admitted += other.admitted;
+        self.dismissed += other.dismissed;
+    }
+}
+
 /// Metrics accumulated by a [`GroupEngine`](crate::engine::GroupEngine) run.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct EngineMetrics {
@@ -74,6 +87,31 @@ impl EngineMetrics {
     /// the stream — `G` routes over one stream count it `G` times, which
     /// keeps `oi_ratio`/`cpu_per_tuple` meaningful as per-engine means.
     pub fn merge(&mut self, other: &EngineMetrics) {
+        self.accumulate_scalars(other);
+        self.per_filter.extend_from_slice(&other.per_filter);
+    }
+
+    /// Accumulates another *epoch of the same engine* into this one.
+    ///
+    /// Counters, samples and CPU add up exactly like
+    /// [`merge`](Self::merge), but `per_filter` is added element-wise by
+    /// filter id instead of appended: epochs of one engine share a stable
+    /// [`FilterId`](crate::candidate::FilterId) space, so slot `i` is
+    /// filter `i` in every epoch (vacant slots contribute zeros and the
+    /// vector grows to the larger id space). This is how
+    /// `GroupEngine::lifetime_metrics` folds the per-epoch archive.
+    pub fn absorb(&mut self, other: &EngineMetrics) {
+        self.accumulate_scalars(other);
+        if self.per_filter.len() < other.per_filter.len() {
+            self.per_filter
+                .resize(other.per_filter.len(), FilterMetrics::default());
+        }
+        for (dst, src) in self.per_filter.iter_mut().zip(&other.per_filter) {
+            dst.absorb(src);
+        }
+    }
+
+    fn accumulate_scalars(&mut self, other: &EngineMetrics) {
         self.input_tuples += other.input_tuples;
         self.output_tuples += other.output_tuples;
         self.emissions += other.emissions;
@@ -85,7 +123,6 @@ impl EngineMetrics {
         self.latencies_us.extend_from_slice(&other.latencies_us);
         self.cpu += other.cpu;
         self.greedy_cpu += other.greedy_cpu;
-        self.per_filter.extend_from_slice(&other.per_filter);
     }
 
     /// Output/input ratio (§4.4); `NaN` when no input was processed.
@@ -260,6 +297,53 @@ mod tests {
         assert_eq!(m.mean_region_size(), 0.0);
         assert_eq!(m.cpu_per_tuple(), Duration::ZERO);
         assert!(m.oi_ratio().is_nan());
+    }
+
+    #[test]
+    fn absorb_aligns_per_filter_by_id_while_merge_appends() {
+        let a = EngineMetrics {
+            input_tuples: 10,
+            per_filter: vec![
+                FilterMetrics {
+                    chosen: 1,
+                    ..Default::default()
+                },
+                FilterMetrics {
+                    chosen: 2,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        let b = EngineMetrics {
+            input_tuples: 5,
+            per_filter: vec![
+                FilterMetrics {
+                    chosen: 10,
+                    ..Default::default()
+                },
+                FilterMetrics {
+                    chosen: 20,
+                    ..Default::default()
+                },
+                FilterMetrics {
+                    chosen: 30,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.input_tuples, 15);
+        assert_eq!(merged.per_filter.len(), 5, "merge concatenates");
+
+        let mut folded = a.clone();
+        folded.absorb(&b);
+        assert_eq!(folded.input_tuples, 15);
+        assert_eq!(folded.per_filter.len(), 3, "absorb aligns by id");
+        let chosen: Vec<u64> = folded.per_filter.iter().map(|f| f.chosen).collect();
+        assert_eq!(chosen, vec![11, 22, 30]);
     }
 
     #[test]

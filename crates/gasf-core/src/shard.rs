@@ -55,13 +55,16 @@
 //! delivered, then the first error in `(step, route)` order is returned
 //! and the engine refuses further input.
 
-use crate::engine::{GroupEngine, GroupEngineBuilder};
+use crate::candidate::FilterId;
+use crate::engine::{ControlOp, GroupEngine, GroupEngineBuilder};
 use crate::error::Error;
 use crate::metrics::EngineMetrics;
-use crate::sink::{EmissionSink, StreamOperator};
+use crate::quality::FilterSpec;
+use crate::schema::Schema;
+use crate::sink::{EmissionSink, StreamOperator, VecSink};
 use crate::time::Micros;
 use crate::tuple::Tuple;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -98,7 +101,26 @@ struct FinishReply {
 #[derive(Debug)]
 enum ToShard {
     Batch(Vec<Tuple>),
+    /// A control-plane op for one route, interleaved with the data
+    /// batches so it lands at the exact stream position it was issued at
+    /// (the caller flushes its partial batch first). The worker queues it
+    /// on the route's engine, which applies it at its next safe point —
+    /// identical to the inline path.
+    Control(u32, ControlOp),
     Finish,
+}
+
+/// Caller-side mirror of one route's roster, used to validate control ops
+/// and assign stable [`FilterId`]s without a round-trip to the worker.
+#[derive(Debug)]
+struct RouteControl {
+    schema: Schema,
+    algorithm: crate::engine::Algorithm,
+    /// Live filter ids (as the worker's engine will see them once every
+    /// queued op applies).
+    live: BTreeSet<u32>,
+    /// The next never-used filter id on this route.
+    next_id: u32,
 }
 
 #[derive(Debug)]
@@ -204,20 +226,38 @@ impl ShardedEngineBuilder {
         };
         let queue_depth = self.queue_depth.max(1);
 
+        // Caller-side roster mirrors, so control ops validate and assign
+        // ids without a worker round-trip.
+        let mut controls = Vec::with_capacity(self.routes.len());
+        for (_, builder) in &self.routes {
+            let roster = builder.resolve_roster()?;
+            controls.push(RouteControl {
+                schema: builder.schema().clone(),
+                algorithm: builder.configured_algorithm(),
+                live: roster.iter().map(|(id, _)| id.index() as u32).collect(),
+                next_id: roster.last().map_or(0, |(id, _)| id.index() as u32 + 1),
+            });
+        }
+
         // Partition routes across shards by key hash; a shard owns its
         // routes in ascending route-index order.
         let mut assignment: Vec<Vec<(u32, GroupEngineBuilder)>> = Vec::new();
         assignment.resize_with(parallelism, Vec::new);
         let n_routes = self.routes.len();
+        let mut shard_of_route = vec![0usize; n_routes];
         for (idx, (key, builder)) in self.routes.into_iter().enumerate() {
-            assignment[shard_index(&key, parallelism)].push((idx as u32, builder));
+            let shard = shard_index(&key, parallelism);
+            shard_of_route[idx] = shard;
+            assignment[shard].push((idx as u32, builder));
         }
 
         let mut shards = Vec::new();
+        let mut handle_of_shard: Vec<Option<usize>> = vec![None; parallelism];
         for (shard_no, slots) in assignment.into_iter().enumerate() {
             if slots.is_empty() {
                 continue;
             }
+            handle_of_shard[shard_no] = Some(shards.len());
             let mut engines: Vec<(u32, GroupEngine)> = Vec::with_capacity(slots.len());
             for (idx, builder) in slots {
                 engines.push((idx, builder.build()?));
@@ -240,6 +280,10 @@ impl ShardedEngineBuilder {
                 join: Some(join),
             });
         }
+        let route_shard: Vec<usize> = shard_of_route
+            .into_iter()
+            .map(|s| handle_of_shard[s].expect("every route's shard was spawned"))
+            .collect();
         Ok(ShardedEngine {
             shards,
             n_routes,
@@ -253,6 +297,9 @@ impl ShardedEngineBuilder {
             last_seq: None,
             finished: false,
             poisoned: None,
+            controls,
+            route_shard,
+            staged: VecSink::new(),
             route_metrics: Vec::new(),
             step_costs: Vec::new(),
             merge_scratch: Vec::new(),
@@ -322,6 +369,15 @@ pub struct ShardedEngine {
     /// further input (only [`finish_into`](ShardedEngine::finish_into)
     /// remains, to drain and join the workers).
     poisoned: Option<Error>,
+    /// Caller-side roster mirror per route (control-op validation and
+    /// [`FilterId`] assignment).
+    controls: Vec<RouteControl>,
+    /// Which spawned shard handle owns each route.
+    route_shard: Vec<usize>,
+    /// Emissions merged while servicing a control op (the caller has no
+    /// sink at that moment); delivered at the start of the next
+    /// push/finish, preserving the emission sequence exactly.
+    staged: VecSink,
     /// Per-route final metrics, in route order (populated at finish).
     route_metrics: Vec<EngineMetrics>,
     /// Undrained `(arrival, cpu)` samples when tracking is on.
@@ -384,6 +440,124 @@ impl ShardedEngine {
         std::mem::take(&mut self.step_costs)
     }
 
+    // ------------------------------------------------------------------
+    // subscription control plane
+    // ------------------------------------------------------------------
+
+    /// Queues a new filter on route `route`, returning its stable
+    /// [`FilterId`] immediately (ids are assigned on the caller thread
+    /// from a mirror of the route's roster, and replayed to the worker as
+    /// a control message interleaved with the data batches). The filter
+    /// joins at the route engine's next safe point — the stream position
+    /// at which this call was made — exactly like
+    /// [`GroupEngine::add_filter`] inline.
+    ///
+    /// # Errors
+    /// [`Error::Finished`], a pending shard error, an unknown route
+    /// ([`Error::InvalidConfig`]), or spec validation errors.
+    pub fn add_filter(&mut self, route: usize, spec: FilterSpec) -> Result<FilterId, Error> {
+        self.control_guard(route)?;
+        let ctl = &self.controls[route];
+        let id = FilterId::from_index(ctl.next_id as usize);
+        crate::engine::instantiate_filter(&spec, id, &ctl.schema, ctl.algorithm)?;
+        self.send_control(route, ControlOp::Add(id, spec))?;
+        let ctl = &mut self.controls[route];
+        ctl.live.insert(ctl.next_id);
+        ctl.next_id += 1;
+        Ok(id)
+    }
+
+    /// Queues the removal of a filter from route `route` (see
+    /// [`GroupEngine::remove_filter`] for the boundary semantics).
+    ///
+    /// # Errors
+    /// [`Error::Finished`], a pending shard error,
+    /// [`Error::UnknownFilter`], or [`Error::InvalidConfig`] when the
+    /// removal would empty the route.
+    pub fn remove_filter(&mut self, route: usize, id: FilterId) -> Result<(), Error> {
+        self.control_guard(route)?;
+        let ctl = &self.controls[route];
+        if !ctl.live.contains(&(id.index() as u32)) {
+            return Err(Error::UnknownFilter { id });
+        }
+        if ctl.live.len() == 1 {
+            return Err(Error::InvalidConfig {
+                reason: format!("removing {id} would leave the route empty"),
+            });
+        }
+        self.send_control(route, ControlOp::Remove(id))?;
+        self.controls[route].live.remove(&(id.index() as u32));
+        Ok(())
+    }
+
+    /// Queues a spec replacement for a live filter of route `route` (see
+    /// [`GroupEngine::update_filter`]).
+    ///
+    /// # Errors
+    /// [`Error::Finished`], a pending shard error,
+    /// [`Error::UnknownFilter`], or spec validation errors.
+    pub fn update_filter(
+        &mut self,
+        route: usize,
+        id: FilterId,
+        spec: FilterSpec,
+    ) -> Result<(), Error> {
+        self.control_guard(route)?;
+        let ctl = &self.controls[route];
+        if !ctl.live.contains(&(id.index() as u32)) {
+            return Err(Error::UnknownFilter { id });
+        }
+        crate::engine::instantiate_filter(&spec, id, &ctl.schema, ctl.algorithm)?;
+        self.send_control(route, ControlOp::Update(id, spec))
+    }
+
+    fn control_guard(&self, route: usize) -> Result<(), Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if route >= self.n_routes {
+            return Err(Error::InvalidConfig {
+                reason: format!("unknown route index {route} (have {})", self.n_routes),
+            });
+        }
+        Ok(())
+    }
+
+    /// Ships a control op to the route's shard at the current stream
+    /// position: the partially staged batch is flushed first so the op
+    /// lands between the tuples it was issued between, and the in-flight
+    /// window is merged down (into the staging buffer — the caller has no
+    /// sink here) so channel capacities are never exceeded.
+    fn send_control(&mut self, route: usize, op: ControlOp) -> Result<(), Error> {
+        if !self.buf.is_empty() {
+            self.dispatch_batch()?;
+        }
+        while self.in_flight.len() > self.queue_depth {
+            let mut staged = std::mem::take(&mut self.staged);
+            let merged = self.merge_oldest(&mut staged);
+            self.staged = staged;
+            merged.inspect_err(|e| self.poisoned = Some((*e).clone()))?;
+        }
+        let shard = &self.shards[self.route_shard[route]];
+        let tx = shard.tx.as_ref().expect("senders live until shutdown");
+        tx.send(ToShard::Control(route as u32, op))
+            .map_err(|_| Error::InvalidConfig {
+                reason: "shard worker terminated early".into(),
+            })
+    }
+
+    /// Delivers emissions merged during control ops (kept in sequence
+    /// ahead of anything this call merges).
+    fn deliver_staged<S: EmissionSink>(&mut self, sink: &mut S) {
+        if !self.staged.is_empty() {
+            sink.accept_batch(self.staged.as_slice());
+            self.staged.clear();
+        }
+    }
+
     /// Feeds the next stream tuple, writing any *merged* emissions that
     /// became available into `sink`.
     ///
@@ -399,6 +573,7 @@ impl ShardedEngine {
         if self.finished {
             return Err(Error::Finished);
         }
+        self.deliver_staged(sink);
         if let Some(e) = &self.poisoned {
             return Err(e.clone());
         }
@@ -444,9 +619,10 @@ impl ShardedEngine {
             return Err(Error::Finished);
         }
         self.finished = true;
+        self.deliver_staged(sink);
         let mut first_err = self.poisoned.take();
         if first_err.is_none() && !self.buf.is_empty() {
-            first_err = self.dispatch_batch(sink).err();
+            first_err = self.dispatch_batch().err();
         }
         while !self.in_flight.is_empty() {
             if let Err(e) = self.merge_oldest(sink) {
@@ -534,7 +710,7 @@ impl ShardedEngine {
 
     /// Ships the staged buffer and keeps `in_flight` at `queue_depth`.
     fn dispatch<S: EmissionSink>(&mut self, sink: &mut S) -> Result<(), Error> {
-        self.dispatch_batch(sink)?;
+        self.dispatch_batch()?;
         while self.in_flight.len() > self.queue_depth {
             self.merge_oldest(sink)?;
         }
@@ -543,7 +719,7 @@ impl ShardedEngine {
 
     /// Broadcasts the staged buffer to every shard (the last shard takes
     /// the original allocation; `Tuple` clones are `Arc` bumps).
-    fn dispatch_batch<S: EmissionSink>(&mut self, _sink: &mut S) -> Result<(), Error> {
+    fn dispatch_batch(&mut self) -> Result<(), Error> {
         let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch_size));
         if batch.is_empty() {
             return Ok(());
@@ -712,6 +888,25 @@ fn shard_worker(
                     return; // caller went away
                 }
             }
+            ToShard::Control(route, op) => {
+                // Queue the op on the route's engine; it applies at the
+                // engine's next safe point (the first tuple of the next
+                // batch), matching the inline path's boundary exactly.
+                // Ops are validated on the caller thread, so a failure
+                // here poisons the shard like any engine error.
+                if poisoned.is_none() {
+                    if let Some((_, engine)) = engines.iter_mut().find(|(r, _)| *r == route) {
+                        let result = match op {
+                            ControlOp::Add(id, spec) => engine.queue_add_at(id, spec),
+                            ControlOp::Remove(id) => engine.remove_filter(id),
+                            ControlOp::Update(id, spec) => engine.update_filter(id, spec),
+                        };
+                        if let Err(e) = result {
+                            poisoned = Some((0, route, e));
+                        }
+                    }
+                }
+            }
             ToShard::Finish => {
                 let mut reply = FinishReply {
                     tail: Vec::with_capacity(engines.len()),
@@ -729,7 +924,9 @@ fn shard_worker(
                             }
                         }
                     }
-                    reply.metrics.push((*route, engine.metrics().clone()));
+                    // Lifetime metrics, so filters removed by control ops
+                    // keep their per-epoch stats in the aggregate.
+                    reply.metrics.push((*route, engine.lifetime_metrics()));
                 }
                 let _ = tx.send(FromShard::Finished(reply));
                 return;

@@ -190,6 +190,11 @@ impl VecSink {
     pub fn drain_vec(&mut self) -> Vec<Emission> {
         std::mem::take(&mut self.emissions)
     }
+
+    /// Drops the collected emissions, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.emissions.clear();
+    }
 }
 
 impl EmissionSink for VecSink {

@@ -296,6 +296,132 @@ impl Overlay {
             .ok_or(NetError::UnknownGroup(group))
     }
 
+    /// Removes a multicast group entirely, dropping its tree state.
+    /// Subsequent sends on the id fail with [`NetError::UnknownGroup`].
+    /// This is how a control plane retires a tree it replaced (e.g. after
+    /// regrouping) so long-lived deployments don't accumulate dead groups.
+    ///
+    /// # Errors
+    /// Returns [`NetError::UnknownGroup`] for unknown ids.
+    pub fn remove_group(&mut self, group: GroupId) -> Result<(), NetError> {
+        self.groups
+            .remove(&group)
+            .map(|_| ())
+            .ok_or(NetError::UnknownGroup(group))
+    }
+
+    /// The current members of a group.
+    ///
+    /// # Errors
+    /// Returns [`NetError::UnknownGroup`] for unknown ids.
+    pub fn group_members(&self, group: GroupId) -> Result<&[NodeId], NetError> {
+        self.groups
+            .get(&group)
+            .map(|g| g.members.as_slice())
+            .ok_or(NetError::UnknownGroup(group))
+    }
+
+    /// Adds a member to an existing group — the Scribe join: the node
+    /// routes toward the rendezvous root and grafts onto the first tree
+    /// node its join route meets. Paths of existing members are untouched,
+    /// so deliveries they were receiving are bit-for-bit unaffected.
+    /// Joining twice is a no-op.
+    ///
+    /// # Errors
+    /// [`NetError::UnknownGroup`] / [`NetError::UnknownNode`].
+    pub fn join_group(&mut self, group: GroupId, node: NodeId) -> Result<(), NetError> {
+        if node.index() >= self.topology.len() {
+            return Err(NetError::UnknownNode(node));
+        }
+        let root = self.group_root(group)?;
+        if self
+            .groups
+            .get(&group)
+            .is_some_and(|g| g.members.contains(&node))
+        {
+            return Ok(());
+        }
+        let route = self.overlay_route(node, root);
+        let g = self
+            .groups
+            .get_mut(&group)
+            .expect("group_root proved the group exists");
+        g.members.push(node);
+        for pair in route.windows(2) {
+            if g.parent.contains_key(&pair[0]) || pair[0] == root {
+                break;
+            }
+            g.parent.insert(pair[0], pair[1]);
+        }
+        Ok(())
+    }
+
+    /// Removes a member from a group — the Scribe leave: the departing
+    /// node's branch is pruned only as far as no remaining member depends
+    /// on it, and every surviving member keeps its exact path (no tree
+    /// rebuild). The group may become empty; multicasting to an empty
+    /// recipient set is well-defined, and a later
+    /// [`join_group`](Self::join_group) revives it.
+    ///
+    /// # Errors
+    /// [`NetError::UnknownGroup`], or [`NetError::NotAMember`] when the
+    /// node is not currently a member.
+    pub fn leave_group(&mut self, group: GroupId, node: NodeId) -> Result<(), NetError> {
+        let g = self
+            .groups
+            .get_mut(&group)
+            .ok_or(NetError::UnknownGroup(group))?;
+        let Some(pos) = g.members.iter().position(|&m| m == node) else {
+            return Err(NetError::NotAMember(node));
+        };
+        g.members.remove(pos);
+        // Prune: keep exactly the chains the remaining members stand on.
+        let mut needed: HashSet<NodeId> = HashSet::new();
+        for &m in &g.members {
+            let mut cur = m;
+            while cur != g.root && needed.insert(cur) {
+                cur = *g
+                    .parent
+                    .get(&cur)
+                    .expect("tree connects every member to the root");
+            }
+        }
+        g.parent.retain(|child, _| needed.contains(child));
+        Ok(())
+    }
+
+    /// Joins a node to every shard tree of a [`ShardedGroup`]. Each tree
+    /// grafts independently; sibling trees are never rebuilt.
+    ///
+    /// # Errors
+    /// Same as [`join_group`](Self::join_group).
+    pub fn join_sharded_group(
+        &mut self,
+        group: &ShardedGroup,
+        node: NodeId,
+    ) -> Result<(), NetError> {
+        for &id in group.ids() {
+            self.join_group(id, node)?;
+        }
+        Ok(())
+    }
+
+    /// Removes a node from every shard tree of a [`ShardedGroup`],
+    /// pruning each tree independently.
+    ///
+    /// # Errors
+    /// Same as [`leave_group`](Self::leave_group).
+    pub fn leave_sharded_group(
+        &mut self,
+        group: &ShardedGroup,
+        node: NodeId,
+    ) -> Result<(), NetError> {
+        for &id in group.ids() {
+            self.leave_group(id, node)?;
+        }
+        Ok(())
+    }
+
     /// Sends one message of `payload_bytes` from `src` to a subset of the
     /// group. The message travels src → root, then down the tree pruned to
     /// the recipients; every link carries it at most once.
@@ -689,6 +815,143 @@ mod tests {
     fn error_display() {
         let e = NetError::NotAMember(NodeId(3));
         assert!(e.to_string().contains("n3"));
+    }
+
+    mod membership {
+        use super::*;
+
+        #[test]
+        fn join_grafts_without_touching_existing_paths() {
+            // Existing members' deliveries must be bit-for-bit unaffected
+            // by someone else joining.
+            let mut grown = ring7();
+            let g1 = grown.create_group("grp", &[NodeId(0), NodeId(2)]).unwrap();
+            let before = grown.multicast(g1, NodeId(0), &[NodeId(2)], 100).unwrap();
+            assert_eq!(
+                grown.multicast(g1, NodeId(0), &[NodeId(5)], 100),
+                Err(NetError::NotAMember(NodeId(5)))
+            );
+            grown.join_group(g1, NodeId(5)).unwrap();
+            grown.join_group(g1, NodeId(5)).unwrap(); // idempotent
+            assert_eq!(grown.group_members(g1).unwrap().len(), 3);
+            let after = grown.multicast(g1, NodeId(0), &[NodeId(2)], 100).unwrap();
+            assert_eq!(before.latencies, after.latencies);
+            assert_eq!(before.bytes_on_wire, after.bytes_on_wire);
+            // …and the joiner is reachable
+            let d = grown.multicast(g1, NodeId(0), &[NodeId(5)], 100).unwrap();
+            assert_eq!(d.latencies.len(), 1);
+        }
+
+        #[test]
+        fn join_equals_create_with_full_membership() {
+            // Creating {a, b} then joining c must behave like creating
+            // {a, b, c} (same join-route algorithm, same order).
+            let mut grown = ring7();
+            let g1 = grown.create_group("grp", &[NodeId(1), NodeId(3)]).unwrap();
+            grown.join_group(g1, NodeId(6)).unwrap();
+
+            let mut fresh = ring7();
+            let g2 = fresh
+                .create_group("grp", &[NodeId(1), NodeId(3), NodeId(6)])
+                .unwrap();
+
+            let recipients = [NodeId(1), NodeId(3), NodeId(6)];
+            let a = grown.multicast(g1, NodeId(0), &recipients, 64).unwrap();
+            let b = fresh.multicast(g2, NodeId(0), &recipients, 64).unwrap();
+            assert_eq!(a, b);
+        }
+
+        #[test]
+        fn leave_prunes_only_the_orphan_branch() {
+            let mut o = ring7();
+            let members = all_nodes(7);
+            let g = o.create_group("grp", &members).unwrap();
+            let survivors: Vec<NodeId> = members.iter().copied().filter(|n| n.0 != 4).collect();
+            let before = o.multicast(g, NodeId(0), &survivors[1..], 80).unwrap();
+            o.leave_group(g, NodeId(4)).unwrap();
+            assert_eq!(o.group_members(g).unwrap().len(), 6);
+            let after = o.multicast(g, NodeId(0), &survivors[1..], 80).unwrap();
+            assert_eq!(before, after, "survivors keep their exact paths");
+            assert_eq!(
+                o.multicast(g, NodeId(0), &[NodeId(4)], 80),
+                Err(NetError::NotAMember(NodeId(4)))
+            );
+            assert_eq!(
+                o.leave_group(g, NodeId(4)),
+                Err(NetError::NotAMember(NodeId(4)))
+            );
+        }
+
+        #[test]
+        fn leave_then_rejoin_round_trips() {
+            let mut o = ring7();
+            let g = o
+                .create_group("grp", &[NodeId(0), NodeId(3), NodeId(5)])
+                .unwrap();
+            o.leave_group(g, NodeId(3)).unwrap();
+            o.join_group(g, NodeId(3)).unwrap();
+            let d = o.multicast(g, NodeId(0), &[NodeId(3)], 50).unwrap();
+            assert_eq!(d.latencies.len(), 1);
+        }
+
+        #[test]
+        fn sharded_membership_updates_spare_sibling_trees() {
+            let mut o = ring7();
+            let sg = o
+                .create_sharded_group("grp", &[NodeId(0), NodeId(2)], 3)
+                .unwrap();
+            o.join_sharded_group(&sg, NodeId(6)).unwrap();
+            for &id in sg.ids() {
+                assert!(o.group_members(id).unwrap().contains(&NodeId(6)));
+            }
+            // existing member's delivery unchanged on every tree
+            let mut fresh = ring7();
+            let sg2 = fresh
+                .create_sharded_group("grp", &[NodeId(0), NodeId(2)], 3)
+                .unwrap();
+            for (&id, &id2) in sg.ids().iter().zip(sg2.ids()) {
+                let a = o.multicast(id, NodeId(0), &[NodeId(2)], 90).unwrap();
+                let b = fresh.multicast(id2, NodeId(0), &[NodeId(2)], 90).unwrap();
+                assert_eq!(a.latencies, b.latencies);
+            }
+            o.leave_sharded_group(&sg, NodeId(6)).unwrap();
+            for &id in sg.ids() {
+                assert!(!o.group_members(id).unwrap().contains(&NodeId(6)));
+            }
+        }
+
+        #[test]
+        fn remove_group_reclaims_the_id() {
+            let mut o = ring7();
+            let g = o.create_group("grp", &[NodeId(0), NodeId(1)]).unwrap();
+            o.remove_group(g).unwrap();
+            assert_eq!(o.remove_group(g), Err(NetError::UnknownGroup(g)));
+            assert_eq!(
+                o.multicast(g, NodeId(0), &[NodeId(1)], 10),
+                Err(NetError::UnknownGroup(g))
+            );
+            // same name can be created again afterwards
+            let g2 = o.create_group("grp", &[NodeId(0), NodeId(1)]).unwrap();
+            assert_eq!(g, g2);
+        }
+
+        #[test]
+        fn join_rejects_unknown_targets() {
+            let mut o = ring7();
+            let g = o.create_group("grp", &[NodeId(0)]).unwrap();
+            assert_eq!(
+                o.join_group(g, NodeId(99)),
+                Err(NetError::UnknownNode(NodeId(99)))
+            );
+            assert_eq!(
+                o.join_group(GroupId(42), NodeId(1)),
+                Err(NetError::UnknownGroup(GroupId(42)))
+            );
+            assert_eq!(
+                o.leave_group(GroupId(42), NodeId(1)),
+                Err(NetError::UnknownGroup(GroupId(42)))
+            );
+        }
     }
 
     mod emission_path {

@@ -11,14 +11,20 @@
 //! This crate rebuilds that middleware over the [`gasf_net`] overlay:
 //!
 //! * [`Middleware`] — pub/sub registry + the group-aware filtering service
-//!   (one [`GroupEngine`](gasf_core::engine::GroupEngine) per source) +
-//!   multicast dissemination with end-to-end accounting; its data path is
-//!   the sink-based [`Pipeline`] (engine → [`Metered`] flow accounting →
-//!   [`MulticastSink`]). With [`MiddlewareConfig::parallelism`] above one
-//!   the engine side runs behind
-//!   [`ShardedEngine`](gasf_core::shard::ShardedEngine) — filtering on
-//!   worker threads, byte-identical output, [`FlowMonitor`] samples
-//!   aggregated across the shards,
+//!   (one or more [`GroupEngine`](gasf_core::engine::GroupEngine)s per
+//!   source) + multicast dissemination with end-to-end accounting; its
+//!   data path is the sink-based [`Pipeline`] (engine → [`Metered`] flow
+//!   accounting → [`MulticastSink`]). With
+//!   [`MiddlewareConfig::parallelism`] above one the engine side runs
+//!   behind [`ShardedEngine`](gasf_core::shard::ShardedEngine) —
+//!   filtering on worker threads, byte-identical output, [`FlowMonitor`]
+//!   samples aggregated across the shards,
+//! * a **live subscription control plane** — [`Middleware::subscribe`] /
+//!   [`Middleware::unsubscribe`] / [`Middleware::resubscribe`] work after
+//!   deployment and return stable [`SubscriptionHandle`]s, and
+//!   [`Middleware::regroup`] re-partitions a source's live subscribers
+//!   (via [`partition`]) across engines at an epoch boundary — §4.8/§6.2's
+//!   regrouping, running inside the system instead of on paper,
 //! * [`OperatorGraph`] — quality-spec propagation from applications to
 //!   sources through in-network operators,
 //! * [`FlowMonitor`] — the input-buffer congestion/flow-control logic the
@@ -36,7 +42,7 @@ mod regroup;
 pub use flow::{FlowDecision, FlowMonitor, Metered};
 pub use graph::{OpKind, OperatorGraph, OperatorId};
 pub use middleware::{
-    AppId, AppReport, Middleware, MiddlewareConfig, MulticastSink, Pipeline, RunReport, SolarError,
-    SourceId,
+    AppReport, Middleware, MiddlewareConfig, MulticastSink, Pipeline, RunReport, SolarError,
+    SourceId, SubscriptionHandle,
 };
 pub use regroup::{is_valid_partition, partition, GroupingStrategy, Partition};

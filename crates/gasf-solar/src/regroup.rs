@@ -5,9 +5,11 @@
 //! develop strategies for (re)grouping the filters. Grouping applications
 //! according to their locations (within the network topology) may reduce
 //! multicast overhead"*, and greedy consumers should be isolated from the
-//! group. This module provides those partitioning strategies; feed the
-//! resulting partitions back into [`Middleware`](crate::Middleware) by
-//! deploying one engine per part.
+//! group. This module provides those partitioning strategies;
+//! [`Middleware::regroup`](crate::Middleware::regroup) applies them to a
+//! *live* source — it calls [`partition`] over the current subscribers
+//! (feeding it measured per-filter reference rates) and migrates the
+//! filters across engines at an epoch boundary, no teardown required.
 
 use gasf_net::{NodeId, Topology};
 

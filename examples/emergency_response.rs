@@ -44,20 +44,20 @@ fn scenario(algorithm: Algorithm) -> Result<RunReport, SolarError> {
     let s = stats.mean_abs_delta * 2.0;
 
     let src = mw.register_source("chlorine-sensors", NodeId(0), trace.schema().clone())?;
-    mw.subscribe(
+    let _ = mw.subscribe(
         "fire-prediction",
         NodeId(8),
         src,
         FilterSpec::delta("chlorine", s * 1.5, s * 0.7)
             .with_latency_tolerance(Micros::from_millis(100)),
     )?;
-    mw.subscribe(
+    let _ = mw.subscribe(
         "responder-safety",
         NodeId(4),
         src,
         FilterSpec::delta("chlorine", s * 2.5, s * 1.2),
     )?;
-    mw.subscribe(
+    let _ = mw.subscribe(
         "situation-portal",
         NodeId(6),
         src,

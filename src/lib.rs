@@ -22,3 +22,9 @@ pub use gasf_core as core;
 pub use gasf_net as net;
 pub use gasf_solar as solar;
 pub use gasf_sources as sources;
+
+/// Filter (re)grouping strategies, re-exported at the facade root:
+/// deployments drive the live control plane —
+/// [`solar::Middleware::regroup`] and the subscribe/unsubscribe/
+/// resubscribe lifecycle — without naming the member crate.
+pub use gasf_solar::{GroupingStrategy, Partition, SubscriptionHandle};

@@ -30,13 +30,14 @@ fn build(
         .register_source("s", NodeId(0), trace.schema().clone())
         .unwrap();
     for (i, spec) in specs.iter().enumerate() {
-        mw.subscribe(
-            format!("app{i}"),
-            NodeId(app_nodes[i % app_nodes.len()]),
-            src,
-            spec.clone(),
-        )
-        .unwrap();
+        let _ = mw
+            .subscribe(
+                format!("app{i}"),
+                NodeId(app_nodes[i % app_nodes.len()]),
+                src,
+                spec.clone(),
+            )
+            .unwrap();
     }
     mw.deploy().unwrap();
     (mw, src)
@@ -137,9 +138,11 @@ fn all_algorithms_and_strategies_deliver_everything() {
             let src = mw
                 .register_source("c", NodeId(0), trace.schema().clone())
                 .unwrap();
-            mw.subscribe("a0", NodeId(2), src, specs[0].clone())
+            let _ = mw
+                .subscribe("a0", NodeId(2), src, specs[0].clone())
                 .unwrap();
-            mw.subscribe("a1", NodeId(4), src, specs[1].clone())
+            let _ = mw
+                .subscribe("a1", NodeId(4), src, specs[1].clone())
                 .unwrap();
             mw.deploy().unwrap();
             let report = mw.run_trace(src, trace.tuples().to_vec()).unwrap();
@@ -224,7 +227,8 @@ fn tighter_constraints_cut_more_and_lower_latency() {
             .register_source("s", NodeId(0), trace.schema().clone())
             .unwrap();
         for (i, spec) in specs.iter().enumerate() {
-            mw.subscribe(format!("a{i}"), NodeId(1 + i as u32), src, spec.clone())
+            let _ = mw
+                .subscribe(format!("a{i}"), NodeId(1 + i as u32), src, spec.clone())
                 .unwrap();
         }
         mw.deploy().unwrap();
