@@ -1,0 +1,91 @@
+//! Fault-tolerance cost: checkpoint barriers and crash-replay
+//! throughput, at 1 and 4 worker shards.
+//!
+//! `recovery/checkpoint/<n>shards` replays the shared NAMOS trace
+//! through a `ShardedEngine` while taking a safe-point checkpoint every
+//! 500 tuples — one iteration is the full run (build + stream + 4
+//! barriers + finish), so the mean against `scaling/...`'s
+//! checkpoint-free shape is the end-to-end price of durability.
+//! `recovery/replay/<n>shards` checkpoints once at mid-stream, kills
+//! every worker shard at the three-quarter mark and lets the transparent
+//! respawn replay the logged suffix — the mean tracks crash-recovery
+//! throughput (restore + replay of ~500 tuples + the remaining stream).
+//! Byte-identical output is asserted in `tests/`; here only the cost is
+//! measured.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_core::prelude::*;
+use std::hint::black_box;
+
+fn engine(trace: &gasf_sources::Trace, s: f64, shards: usize) -> ShardedEngine {
+    GroupEngine::builder(trace.schema().clone())
+        .filter(FilterSpec::delta("tmpr4", s * 2.0, s))
+        .filter(FilterSpec::delta("tmpr4", s * 3.0, s * 1.4))
+        .filter(FilterSpec::delta("tmpr4", s * 2.5, s * 1.2))
+        .parallelism(shards)
+        .build_sharded()
+        .unwrap()
+}
+
+/// Full run with a checkpoint barrier every `every` tuples.
+fn checkpointed_run(trace: &gasf_sources::Trace, s: f64, shards: usize, every: usize) -> u64 {
+    let mut e = engine(trace, s, shards);
+    let mut out = VecSink::new();
+    let mut checkpoints = 0u64;
+    for chunk in trace.tuples().chunks(every) {
+        e.push_batch(chunk.to_vec(), &mut out).unwrap();
+        e.checkpoint(&mut out).unwrap();
+        checkpoints += 1;
+    }
+    e.finish_into(&mut out).unwrap();
+    checkpoints + out.len() as u64
+}
+
+/// Full run with one mid-stream checkpoint and a crash of every worker
+/// shard at the three-quarter mark (recovered transparently).
+fn failover_run(trace: &gasf_sources::Trace, s: f64, shards: usize) -> u64 {
+    let tuples = trace.tuples();
+    let (half, three_q) = (tuples.len() / 2, tuples.len() * 3 / 4);
+    let mut e = engine(trace, s, shards);
+    let mut out = VecSink::new();
+    e.push_batch(tuples[..half].to_vec(), &mut out).unwrap();
+    e.checkpoint(&mut out).unwrap();
+    e.push_batch(tuples[half..three_q].to_vec(), &mut out)
+        .unwrap();
+    for shard in 0..e.shards() {
+        e.kill_shard(shard).unwrap();
+    }
+    e.push_batch(tuples[three_q..].to_vec(), &mut out).unwrap();
+    e.finish_into(&mut out).unwrap();
+    assert!(e.respawns() >= 1, "the crash must actually be recovered");
+    out.len() as u64
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = common::trace();
+    let s = trace.stats("tmpr4").unwrap().mean_abs_delta;
+    let mut g = c.benchmark_group("recovery");
+
+    for shards in [1usize, 4] {
+        let id = BenchmarkId::new("checkpoint", format!("{shards}shards"));
+        g.bench_with_input(id, &shards, |b, &shards| {
+            b.iter(|| black_box(checkpointed_run(&trace, s, shards, 500)))
+        });
+    }
+    for shards in [1usize, 4] {
+        let id = BenchmarkId::new("replay", format!("{shards}shards"));
+        g.bench_with_input(id, &shards, |b, &shards| {
+            b.iter(|| black_box(failover_run(&trace, s, shards)))
+        });
+    }
+
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

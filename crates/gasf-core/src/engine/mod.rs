@@ -60,6 +60,7 @@ use crate::quality::FilterSpec;
 use crate::region::{Region, RegionTracker};
 use crate::schema::Schema;
 use crate::sink::{EmissionSink, StreamOperator, VecSink};
+use crate::snapshot::GroupSnapshot;
 use crate::time::Micros;
 use crate::tuple::{Tuple, TupleId, TuplePool};
 use crate::utility::GroupUtility;
@@ -230,6 +231,36 @@ impl GroupEngineBuilder {
     /// The configured second-stage algorithm.
     pub fn configured_algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// The safe-point snapshot of the engine this builder *would* build:
+    /// a never-fed engine at epoch 0. Restoring it is equivalent to
+    /// [`build`](Self::build) — the sharded host builds its initial
+    /// engines *and* rebuilds crashed pre-first-checkpoint workers
+    /// through exactly this snapshot, so the two paths cannot drift.
+    /// Spec validation happens when the snapshot is restored.
+    pub(crate) fn initial_snapshot(&self) -> Result<GroupSnapshot, Error> {
+        let roster = self.resolve_roster()?;
+        let width = roster.last().map_or(0, |(id, _)| id.index() + 1);
+        let mut specs: Vec<Option<FilterSpec>> = vec![None; width];
+        for (id, spec) in roster {
+            specs[id.index()] = Some(spec);
+        }
+        Ok(GroupSnapshot {
+            schema: self.schema.clone(),
+            algorithm: self.algorithm,
+            strategy: self.strategy,
+            constraint: self.constraint,
+            predictor_window: self.predictor_window,
+            overestimate_us: self.overestimate_us,
+            roster: specs,
+            next_filter_id: width as u32,
+            epoch: 0,
+            past_epochs: Vec::new(),
+            watermark: Micros::ZERO,
+            last_ts: None,
+            last_seq: None,
+        })
     }
 
     /// Resolves the roster this builder would instantiate: pinned specs in
@@ -772,6 +803,142 @@ impl GroupEngine {
         );
         self.past_epochs.push(done);
         self.epoch += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // checkpoint / restore
+    // ------------------------------------------------------------------
+
+    /// Takes a safe-point snapshot: crosses an epoch boundary — draining
+    /// every open candidate set, completing every region and handing the
+    /// boundary tail to `sink`, exactly like a queued control op with an
+    /// empty op set — then captures the durable state
+    /// ([`GroupSnapshot`]): roster (with vacancy holes), epoch counter,
+    /// per-epoch metrics archive, stream position and configuration.
+    /// Queued control ops apply at this boundary (it *is* the next safe
+    /// point) and are reflected in the snapshot.
+    ///
+    /// Because the boundary restarts retained filters fresh, the
+    /// continuation after a snapshot is byte-identical whether it runs on
+    /// this engine or on [`restore`](Self::restore)d replica fed the same
+    /// suffix — the recovery determinism contract pinned by
+    /// `tests/tests/recovery_equivalence.rs`.
+    ///
+    /// # Errors
+    /// Returns [`Error::Finished`] after the stream ended (a finished
+    /// engine has no further safe point; its durable state is its final
+    /// metrics, which [`into_metrics`](Self::into_metrics) already
+    /// serves).
+    pub fn snapshot_into<S: EmissionSink>(&mut self, sink: &mut S) -> Result<GroupSnapshot, Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        self.apply_control_ops(sink);
+        Ok(GroupSnapshot {
+            schema: self.schema.clone(),
+            algorithm: self.algorithm,
+            strategy: self.strategy,
+            constraint: self.explicit_constraint,
+            predictor_window: self.predictor_window,
+            overestimate_us: self.overestimate_us,
+            roster: self
+                .slots
+                .iter()
+                .map(|s| s.as_ref().map(|s| s.spec.clone()))
+                .collect(),
+            next_filter_id: self.next_filter_id,
+            epoch: self.epoch,
+            past_epochs: self.past_epochs.clone(),
+            watermark: self.watermark,
+            last_ts: self.last_ts,
+            last_seq: self.last_seq,
+        })
+    }
+
+    /// Takes a safe-point snapshot, returning it together with the
+    /// boundary-drain emissions.
+    ///
+    /// Compatibility wrapper over [`snapshot_into`](Self::snapshot_into)
+    /// (the emissions are collected through a [`VecSink`]).
+    ///
+    /// # Errors
+    /// Same as [`snapshot_into`](Self::snapshot_into).
+    pub fn snapshot(&mut self) -> Result<(GroupSnapshot, Vec<Emission>), Error> {
+        let mut out = VecSink::new();
+        let snap = self.snapshot_into(&mut out)?;
+        Ok((snap, out.into_vec()))
+    }
+
+    /// Rebuilds an engine from a safe-point snapshot. The restored engine
+    /// is state-equivalent to the engine that took the snapshot at the
+    /// moment the boundary passed: same roster (ids, vacancies and the
+    /// never-reused id frontier included), same epoch counter and metrics
+    /// archive, same stream-order frontier — so feeding it the
+    /// post-checkpoint suffix reproduces the original run byte for byte.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for a snapshot without live filters, or
+    /// any filter-instantiation error ([`GroupEngineBuilder::build`]'s
+    /// rules).
+    pub fn restore(snap: &GroupSnapshot) -> Result<GroupEngine, Error> {
+        if !snap.roster.iter().any(Option::is_some) {
+            return Err(Error::InvalidConfig {
+                reason: "snapshot holds no live filter".into(),
+            });
+        }
+        let width = snap.roster.len();
+        let mut slots: Vec<Option<FilterSlot>> = Vec::with_capacity(width);
+        for (i, spec) in snap.roster.iter().enumerate() {
+            slots.push(match spec {
+                Some(spec) => {
+                    let filter = instantiate_filter(
+                        spec,
+                        FilterId::from_index(i),
+                        &snap.schema,
+                        snap.algorithm,
+                    )?;
+                    Some(FilterSlot {
+                        spec: spec.clone(),
+                        filter,
+                    })
+                }
+                None => None,
+            });
+        }
+        let constraint = effective_constraint(snap.constraint, &slots);
+        Ok(GroupEngine {
+            schema: snap.schema.clone(),
+            slots,
+            algorithm: snap.algorithm,
+            strategy: snap.strategy,
+            explicit_constraint: snap.constraint,
+            constraint,
+            predictor_window: snap.predictor_window,
+            overestimate_us: snap.overestimate_us,
+            predictor: RuntimePredictor::with_window(snap.predictor_window, snap.overestimate_us),
+            utility: GroupUtility::new(),
+            tracker: RegionTracker::new(),
+            pool: TuplePool::new(),
+            pending: BTreeMap::new(),
+            releasable: BTreeSet::new(),
+            recently_decided: HashSet::new(),
+            emitted_ids: HashSet::new(),
+            batch_counter: 0,
+            watermark: snap.watermark,
+            max_emitted_id: None,
+            last_ts: snap.last_ts,
+            last_seq: snap.last_seq,
+            finished: false,
+            scratch: Vec::new(),
+            control_queue: Vec::new(),
+            next_filter_id: snap.next_filter_id,
+            epoch: snap.epoch,
+            past_epochs: snap.past_epochs.clone(),
+            metrics: EngineMetrics {
+                per_filter: vec![FilterMetrics::default(); width],
+                ..Default::default()
+            },
+        })
     }
 
     /// Feeds the next stream tuple, writing the emissions released by this

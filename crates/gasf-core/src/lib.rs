@@ -58,6 +58,13 @@
 //! bitsets and per-epoch metrics — and churn is byte-identical to a
 //! static rebuild with the post-churn roster (see the engine docs).
 //!
+//! The same safe point powers **fault tolerance** ([`snapshot`]):
+//! `GroupEngine::snapshot_into`/`restore` capture and rebuild the full
+//! boundary state, `ShardedEngine::checkpoint` collects per-route
+//! snapshots behind a barrier, and a crashed worker shard is respawned
+//! from the last checkpoint with a bounded replay log — crash + restore
+//! + replay reproduces the fault-free run byte for byte.
+//!
 //! ## Quickstart
 //!
 //! ```rust
@@ -116,6 +123,7 @@ pub mod schema;
 mod seq_ring;
 pub mod shard;
 pub mod sink;
+pub mod snapshot;
 pub mod time;
 pub mod tuple;
 pub mod utility;

@@ -62,6 +62,7 @@ use crate::metrics::EngineMetrics;
 use crate::quality::FilterSpec;
 use crate::schema::Schema;
 use crate::sink::{EmissionSink, StreamOperator, VecSink};
+use crate::snapshot::{EngineSnapshot, GroupSnapshot};
 use crate::time::Micros;
 use crate::tuple::Tuple;
 use std::collections::{BTreeSet, VecDeque};
@@ -107,7 +108,40 @@ enum ToShard {
     /// on the route's engine, which applies it at its next safe point —
     /// identical to the inline path.
     Control(u32, ControlOp),
+    /// Checkpoint barrier: the caller has merged everything in flight, so
+    /// every hosted engine sits exactly at the barrier position. The
+    /// worker crosses each engine's safe-point boundary
+    /// (`GroupEngine::snapshot_into`) and replies with the per-route
+    /// boundary tails and [`GroupSnapshot`]s.
+    Checkpoint,
+    /// Fault injection: the worker exits immediately without replying —
+    /// indistinguishable, from the caller's side, from a panicked worker
+    /// thread (both disconnect the channels).
+    Die,
     Finish,
+}
+
+/// Worker → caller reply for the checkpoint barrier.
+#[derive(Debug)]
+struct CheckpointReply {
+    /// Boundary-drain emissions per route, in ascending route order.
+    tail: Vec<(u32, Vec<crate::engine::Emission>)>,
+    /// Safe-point snapshots per route, in ascending route order.
+    snaps: Vec<(u32, GroupSnapshot)>,
+    /// First failure while draining, as (route index, error).
+    error: Option<(u32, Error)>,
+}
+
+/// One entry of the bounded post-checkpoint replay log: everything the
+/// caller shipped to the workers since the last checkpoint, in channel
+/// order, so a respawned shard can be brought back to the live stream
+/// position deterministically.
+#[derive(Debug)]
+enum ReplayEntry {
+    /// A dispatched input batch (every shard received it).
+    Batch(Vec<Tuple>),
+    /// A control op (only the owning shard received it).
+    Control(u32, ControlOp),
 }
 
 /// Caller-side mirror of one route's roster, used to validate control ops
@@ -126,6 +160,7 @@ struct RouteControl {
 #[derive(Debug)]
 enum FromShard {
     Batch(BatchReply),
+    Checkpointed(CheckpointReply),
     Finished(FinishReply),
 }
 
@@ -153,8 +188,18 @@ pub struct ShardedEngineBuilder {
     batch_size: usize,
     queue_depth: usize,
     track_step_costs: bool,
+    replay_capacity: Option<usize>,
+    max_respawns: Option<u32>,
     routes: Vec<(String, GroupEngineBuilder)>,
 }
+
+/// Default bound of the post-checkpoint replay log, in tuples (see
+/// [`ShardedEngineBuilder::replay_capacity`]).
+pub const DEFAULT_REPLAY_CAPACITY: usize = 65_536;
+
+/// Default worker-respawn budget (see
+/// [`ShardedEngineBuilder::max_respawns`]).
+pub const DEFAULT_MAX_RESPAWNS: u32 = 4;
 
 impl ShardedEngineBuilder {
     /// Adds a filter group as a route. The key determines shard placement
@@ -199,6 +244,35 @@ impl ShardedEngineBuilder {
         self
     }
 
+    /// Bound of the post-checkpoint replay log, in tuple-equivalents
+    /// (one per tuple, one per control op; default
+    /// [`DEFAULT_REPLAY_CAPACITY`]). The engine logs every dispatched
+    /// batch and control op since the last [`checkpoint`]
+    /// (ShardedEngine::checkpoint) so a crashed worker can be respawned
+    /// and replayed; once the log would exceed this bound it is dropped —
+    /// memory stays bounded, but worker respawn is impossible until the
+    /// next checkpoint resets the log. Checkpoint at least every
+    /// `replay_capacity` tuples to keep the recovery guarantee live.
+    /// `0` is honoured literally: nothing is ever logged and worker
+    /// respawn is effectively disabled (a death always surfaces as an
+    /// error).
+    ///
+    /// [`checkpoint`]: ShardedEngine::checkpoint
+    pub fn replay_capacity(mut self, tuples: usize) -> Self {
+        self.replay_capacity = Some(tuples);
+        self
+    }
+
+    /// Worker-respawn budget (default [`DEFAULT_MAX_RESPAWNS`]): how many
+    /// times crashed shard workers may be rebuilt from the last checkpoint
+    /// over the engine's lifetime before a death is reported as an error
+    /// instead. The budget guards against crash loops (a worker that dies
+    /// deterministically on replay would otherwise respawn forever).
+    pub fn max_respawns(mut self, n: u32) -> Self {
+        self.max_respawns = Some(n);
+        self
+    }
+
     /// Builds the engines, partitions them across shards and spawns the
     /// worker threads.
     ///
@@ -239,54 +313,27 @@ impl ShardedEngineBuilder {
             });
         }
 
-        // Partition routes across shards by key hash; a shard owns its
-        // routes in ascending route-index order.
-        let mut assignment: Vec<Vec<(u32, GroupEngineBuilder)>> = Vec::new();
-        assignment.resize_with(parallelism, Vec::new);
-        let n_routes = self.routes.len();
-        let mut shard_of_route = vec![0usize; n_routes];
-        for (idx, (key, builder)) in self.routes.into_iter().enumerate() {
-            let shard = shard_index(&key, parallelism);
-            shard_of_route[idx] = shard;
-            assignment[shard].push((idx as u32, builder));
+        // The recovery baseline: a worker that dies before the first
+        // checkpoint is rebuilt from the routes' never-fed snapshots —
+        // and the initial engines themselves are built by restoring those
+        // snapshots, so "fresh build" and "recovery rebuild" are one code
+        // path that cannot drift apart.
+        let mut last_checkpoint = Vec::with_capacity(self.routes.len());
+        let mut route_keys = Vec::with_capacity(self.routes.len());
+        for (key, builder) in &self.routes {
+            last_checkpoint.push(builder.initial_snapshot()?);
+            route_keys.push(key.clone());
         }
-
-        let mut shards = Vec::new();
-        let mut handle_of_shard: Vec<Option<usize>> = vec![None; parallelism];
-        for (shard_no, slots) in assignment.into_iter().enumerate() {
-            if slots.is_empty() {
-                continue;
-            }
-            handle_of_shard[shard_no] = Some(shards.len());
-            let mut engines: Vec<(u32, GroupEngine)> = Vec::with_capacity(slots.len());
-            for (idx, builder) in slots {
-                engines.push((idx, builder.build()?));
-            }
-            // Capacities chosen so a worker can always park one more reply
-            // than the caller keeps in flight: the worker never blocks on
-            // its reply channel, therefore always drains its input channel,
-            // therefore the caller's send never deadlocks.
-            let (tx, rx) = sync_channel::<ToShard>(queue_depth + 1);
-            let (reply_tx, reply_rx) = sync_channel::<FromShard>(queue_depth + 2);
-            let join = std::thread::Builder::new()
-                .name(format!("gasf-shard-{shard_no}"))
-                .spawn(move || shard_worker(engines, rx, reply_tx))
-                .map_err(|e| Error::InvalidConfig {
-                    reason: format!("failed to spawn shard worker: {e}"),
-                })?;
-            shards.push(ShardHandle {
-                tx: Some(tx),
-                rx: reply_rx,
-                join: Some(join),
-            });
+        let mut engines = Vec::with_capacity(last_checkpoint.len());
+        for g in &last_checkpoint {
+            engines.push(GroupEngine::restore(g)?);
         }
-        let route_shard: Vec<usize> = shard_of_route
-            .into_iter()
-            .map(|s| handle_of_shard[s].expect("every route's shard was spawned"))
-            .collect();
+        let (shards, route_shard) = spawn_shards(parallelism, &route_keys, engines, queue_depth)?;
         Ok(ShardedEngine {
             shards,
-            n_routes,
+            n_routes: route_keys.len(),
+            route_keys,
+            parallelism,
             batch_size,
             queue_depth,
             track_step_costs: self.track_step_costs,
@@ -303,8 +350,87 @@ impl ShardedEngineBuilder {
             route_metrics: Vec::new(),
             step_costs: Vec::new(),
             merge_scratch: Vec::new(),
+            last_checkpoint,
+            replay_log: Vec::new(),
+            replay_cost: 0,
+            replay_capacity: self.replay_capacity.unwrap_or(DEFAULT_REPLAY_CAPACITY),
+            replay_overflowed: false,
+            merged_since_ckpt: 0,
+            max_respawns: self.max_respawns.unwrap_or(DEFAULT_MAX_RESPAWNS),
+            respawns_left: self.max_respawns.unwrap_or(DEFAULT_MAX_RESPAWNS),
+            respawns_used: 0,
         })
     }
+}
+
+/// Partitions the routes across `parallelism` shards by key hash and
+/// spawns one worker thread per non-empty shard. Returns the shard
+/// handles plus the route-index → handle-index map. Shared by
+/// [`ShardedEngineBuilder::build`], [`ShardedEngine::restore`] and the
+/// internal worker-respawn path (which spawns a single shard through
+/// [`spawn_worker`]).
+fn spawn_shards(
+    parallelism: usize,
+    route_keys: &[String],
+    engines: Vec<GroupEngine>,
+    queue_depth: usize,
+) -> Result<(Vec<ShardHandle>, Vec<usize>), Error> {
+    let mut assignment: Vec<Vec<(u32, GroupEngine)>> = Vec::new();
+    assignment.resize_with(parallelism, Vec::new);
+    let mut shard_of_route = vec![0usize; route_keys.len()];
+    for (idx, (key, engine)) in route_keys.iter().zip(engines).enumerate() {
+        let shard = shard_index(key, parallelism);
+        shard_of_route[idx] = shard;
+        assignment[shard].push((idx as u32, engine));
+    }
+    let mut shards = Vec::new();
+    let mut handle_of_shard: Vec<Option<usize>> = vec![None; parallelism];
+    for (shard_no, slots) in assignment.into_iter().enumerate() {
+        if slots.is_empty() {
+            continue;
+        }
+        handle_of_shard[shard_no] = Some(shards.len());
+        let routes: Vec<u32> = slots.iter().map(|(idx, _)| *idx).collect();
+        let (tx, rx, join) = spawn_worker(shard_no, slots, queue_depth)?;
+        shards.push(ShardHandle {
+            tx: Some(tx),
+            rx,
+            join: Some(join),
+            routes,
+            shard_no,
+        });
+    }
+    let route_shard: Vec<usize> = shard_of_route
+        .into_iter()
+        .map(|s| handle_of_shard[s].expect("every route's shard was spawned"))
+        .collect();
+    Ok((shards, route_shard))
+}
+
+/// Spawns one shard worker thread over `engines`, returning its channel
+/// endpoints and join handle.
+///
+/// Capacities are chosen so a worker can always park one more reply than
+/// the caller keeps in flight: the worker never blocks on its reply
+/// channel, therefore always drains its input channel, therefore the
+/// caller's send never deadlocks. The same margin is what lets the
+/// respawn path replay a full in-flight window into a fresh worker
+/// without draining the live merges first.
+#[allow(clippy::type_complexity)]
+fn spawn_worker(
+    shard_no: usize,
+    engines: Vec<(u32, GroupEngine)>,
+    queue_depth: usize,
+) -> Result<(SyncSender<ToShard>, Receiver<FromShard>, JoinHandle<()>), Error> {
+    let (tx, rx) = sync_channel::<ToShard>(queue_depth + 1);
+    let (reply_tx, reply_rx) = sync_channel::<FromShard>(queue_depth + 2);
+    let join = std::thread::Builder::new()
+        .name(format!("gasf-shard-{shard_no}"))
+        .spawn(move || shard_worker(engines, rx, reply_tx))
+        .map_err(|e| Error::InvalidConfig {
+            reason: format!("failed to spawn shard worker: {e}"),
+        })?;
+    Ok((tx, reply_rx, join))
 }
 
 #[derive(Debug)]
@@ -313,6 +439,10 @@ struct ShardHandle {
     tx: Option<SyncSender<ToShard>>,
     rx: Receiver<FromShard>,
     join: Option<JoinHandle<()>>,
+    /// Route indices this shard owns, ascending (what a respawn rebuilds).
+    routes: Vec<u32>,
+    /// The stable shard number (names the worker thread across respawns).
+    shard_no: usize,
 }
 
 /// A hash-partitioned, multi-threaded host for independent filter groups,
@@ -384,6 +514,36 @@ pub struct ShardedEngine {
     step_costs: Vec<(Micros, Duration)>,
     /// Reused per-step merge buffer.
     merge_scratch: Vec<(u32, Vec<crate::engine::Emission>)>,
+    /// Route keys in route-index order (drive shard placement; kept for
+    /// checkpoints and respawns).
+    route_keys: Vec<String>,
+    /// The configured worker-shard count (shards owning no route are
+    /// elided from `shards`, but placement math uses this).
+    parallelism: usize,
+    /// Per-route safe-point snapshots from the last checkpoint barrier
+    /// (never-fed initial snapshots until the first checkpoint) — what a
+    /// crashed worker is rebuilt from.
+    last_checkpoint: Vec<GroupSnapshot>,
+    /// Everything shipped to the workers since the last checkpoint, in
+    /// channel order (see [`ReplayEntry`]).
+    replay_log: Vec<ReplayEntry>,
+    /// Cost of the replay log in tuple-equivalents (one per tuple, one
+    /// per control op), so churn-heavy streams stay bounded too.
+    replay_cost: usize,
+    /// Bound on `replay_cost`; exceeding it drops the log (memory stays
+    /// bounded, respawn is refused until the next checkpoint).
+    replay_capacity: usize,
+    replay_overflowed: bool,
+    /// Batches merged (delivered to a sink) since the last checkpoint —
+    /// how many replayed replies a respawned worker must discard.
+    merged_since_ckpt: usize,
+    /// The configured respawn budget (carried into checkpoints so a
+    /// restored process keeps its fault-tolerance envelope).
+    max_respawns: u32,
+    /// Remaining worker-respawn budget.
+    respawns_left: u32,
+    /// Worker respawns performed so far.
+    respawns_used: u32,
 }
 
 impl ShardedEngine {
@@ -438,6 +598,337 @@ impl ShardedEngine {
     /// with [`track_step_costs`](ShardedEngineBuilder::track_step_costs).
     pub fn take_step_costs(&mut self) -> Vec<(Micros, Duration)> {
         std::mem::take(&mut self.step_costs)
+    }
+
+    // ------------------------------------------------------------------
+    // fault tolerance: checkpoint barriers, worker respawn, restore
+    // ------------------------------------------------------------------
+
+    /// Takes a checkpoint: a barrier that flushes the partially staged
+    /// batch, merges every in-flight batch into `sink`, then crosses each
+    /// route engine's safe-point boundary (the boundary drains land in
+    /// `sink`, in route order) and collects the per-route
+    /// [`GroupSnapshot`]s into one [`EngineSnapshot`].
+    ///
+    /// The checkpoint serves two recovery paths:
+    ///
+    /// * **worker respawn** (internal, transparent): a shard whose worker
+    ///   thread dies — a panic, or [`kill_shard`](Self::kill_shard) fault
+    ///   injection — is rebuilt from these snapshots and the bounded
+    ///   replay log re-feeds the post-checkpoint suffix, with output
+    ///   byte-identical to a fault-free run;
+    /// * **full restore** (external): persist the returned snapshot, and
+    ///   after a process crash rebuild the whole engine with
+    ///   [`restore`](Self::restore), replaying the suffix from the
+    ///   caller's own log.
+    ///
+    /// Checkpointing also resets the replay log, so its memory is bounded
+    /// by the checkpoint interval.
+    ///
+    /// # Errors
+    /// [`Error::Finished`] after the stream ended, or the first pending
+    /// shard error (a failed checkpoint poisons the engine like any other
+    /// shard error).
+    pub fn checkpoint<S: EmissionSink>(&mut self, sink: &mut S) -> Result<EngineSnapshot, Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        self.deliver_staged(sink);
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        // Barrier: every shard must sit exactly at the checkpoint position.
+        if !self.buf.is_empty() {
+            if let Err(e) = self.dispatch_batch() {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        }
+        while !self.in_flight.is_empty() {
+            if let Err(e) = self.merge_oldest(sink) {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        }
+        // Send the barrier message to every shard first (like finish),
+        // so the per-shard snapshot drains run concurrently, then collect
+        // — respawning any worker found dead at the barrier.
+        let mut tails: Vec<(u32, Vec<crate::engine::Emission>)> = Vec::new();
+        let mut snaps: Vec<Option<GroupSnapshot>> = (0..self.n_routes).map(|_| None).collect();
+        for si in 0..self.shards.len() {
+            loop {
+                let sent = match self.shards[si].tx.as_ref() {
+                    Some(tx) => tx.send(ToShard::Checkpoint).is_ok(),
+                    None => false,
+                };
+                if sent {
+                    break;
+                }
+                if let Err(e) = self.recover_shard(si) {
+                    self.poisoned = Some(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+        for si in 0..self.shards.len() {
+            let reply = loop {
+                match self.shards[si].rx.recv() {
+                    Ok(FromShard::Checkpointed(reply)) => break reply,
+                    // Stale replies cannot exist at the barrier (everything
+                    // in flight was merged above); skip defensively.
+                    Ok(_) => continue,
+                    Err(_) => {
+                        // Worker died between barrier and snapshot: respawn
+                        // (the replay discards everything — it is all
+                        // merged) and re-issue the barrier message.
+                        match self.recover_shard(si) {
+                            Ok(()) => {
+                                let sent = self.shards[si]
+                                    .tx
+                                    .as_ref()
+                                    .is_some_and(|tx| tx.send(ToShard::Checkpoint).is_ok());
+                                if !sent {
+                                    continue; // recv fails again → recover again
+                                }
+                            }
+                            Err(e) => {
+                                self.poisoned = Some(e.clone());
+                                return Err(e);
+                            }
+                        }
+                    }
+                }
+            };
+            if let Some((_, e)) = reply.error {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+            tails.extend(reply.tail);
+            for (route, s) in reply.snaps {
+                snaps[route as usize] = Some(s);
+            }
+        }
+        tails.sort_unstable_by_key(|&(route, _)| route);
+        for (_, batch) in &tails {
+            if !batch.is_empty() {
+                sink.accept_batch(batch);
+            }
+        }
+        let snaps: Vec<GroupSnapshot> = snaps
+            .into_iter()
+            .map(|s| s.expect("every live shard snapshots every route it owns"))
+            .collect();
+        self.last_checkpoint = snaps.clone();
+        self.replay_log.clear();
+        self.replay_cost = 0;
+        self.replay_overflowed = false;
+        self.merged_since_ckpt = 0;
+        Ok(EngineSnapshot {
+            snaps,
+            route_keys: self.route_keys.clone(),
+            parallelism: self.parallelism,
+            batch_size: self.batch_size,
+            queue_depth: self.queue_depth,
+            track_step_costs: self.track_step_costs,
+            replay_capacity: self.replay_capacity,
+            max_respawns: self.max_respawns,
+            last_ts: self.last_ts,
+            last_seq: self.last_seq,
+            input_tuples: self.input_tuples,
+        })
+    }
+
+    /// Rebuilds a whole sharded engine from a checkpoint — the
+    /// full-process recovery path. Every route engine is restored at its
+    /// snapshot boundary ([`GroupEngine::restore`]), the worker topology
+    /// is respawned with the same route placement, and the caller-side
+    /// stream position resumes at the checkpoint, so the only input the
+    /// restored engine accepts is the post-checkpoint suffix — which
+    /// reproduces the fault-free run byte for byte
+    /// (`tests/tests/recovery_equivalence.rs`).
+    ///
+    /// The restored engine starts with a fresh replay log and a full
+    /// respawn budget, sized by the configuration the snapshot carries
+    /// (`replay_capacity`, `max_respawns`) — a recovered process keeps
+    /// the fault-tolerance envelope of the one that crashed.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for a snapshot without routes, or any
+    /// restore/spawn failure.
+    pub fn restore(snap: &EngineSnapshot) -> Result<ShardedEngine, Error> {
+        if snap.snaps.is_empty() || snap.snaps.len() != snap.route_keys.len() {
+            return Err(Error::InvalidConfig {
+                reason: "engine snapshot holds no routes".into(),
+            });
+        }
+        let mut controls = Vec::with_capacity(snap.snaps.len());
+        let mut engines = Vec::with_capacity(snap.snaps.len());
+        for g in &snap.snaps {
+            controls.push(RouteControl {
+                schema: g.schema().clone(),
+                algorithm: g.algorithm(),
+                live: g.roster().iter().map(|(id, _)| id.index() as u32).collect(),
+                next_id: g.next_filter_id,
+            });
+            engines.push(GroupEngine::restore(g)?);
+        }
+        let parallelism = snap.parallelism.max(1);
+        let (shards, route_shard) =
+            spawn_shards(parallelism, &snap.route_keys, engines, snap.queue_depth)?;
+        Ok(ShardedEngine {
+            shards,
+            n_routes: snap.snaps.len(),
+            route_keys: snap.route_keys.clone(),
+            parallelism,
+            batch_size: snap.batch_size,
+            queue_depth: snap.queue_depth,
+            track_step_costs: snap.track_step_costs,
+            buf: Vec::with_capacity(snap.batch_size),
+            in_flight: VecDeque::new(),
+            input_tuples: snap.input_tuples,
+            last_ts: snap.last_ts,
+            last_seq: snap.last_seq,
+            finished: false,
+            poisoned: None,
+            controls,
+            route_shard,
+            staged: VecSink::new(),
+            route_metrics: Vec::new(),
+            step_costs: Vec::new(),
+            merge_scratch: Vec::new(),
+            last_checkpoint: snap.snaps.clone(),
+            replay_log: Vec::new(),
+            replay_cost: 0,
+            replay_capacity: snap.replay_capacity,
+            replay_overflowed: false,
+            merged_since_ckpt: 0,
+            max_respawns: snap.max_respawns,
+            respawns_left: snap.max_respawns,
+            respawns_used: 0,
+        })
+    }
+
+    /// Fault injection: simulates a hard crash of one worker shard (for
+    /// tests, chaos drills and the `failover` example). The worker exits
+    /// without replying, exactly as if its thread had panicked; the
+    /// engine detects the death on the next send or merge that touches
+    /// the shard and respawns it transparently from the last checkpoint
+    /// (see [`checkpoint`](Self::checkpoint)). Output remains
+    /// byte-identical to a fault-free run as long as the respawn budget
+    /// and the replay log hold out.
+    ///
+    /// # Errors
+    /// [`Error::Finished`] after the stream ended, or
+    /// [`Error::InvalidConfig`] for an unknown shard index.
+    pub fn kill_shard(&mut self, shard: usize) -> Result<(), Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        if shard >= self.shards.len() {
+            return Err(Error::InvalidConfig {
+                reason: format!("unknown shard index {shard} (have {})", self.shards.len()),
+            });
+        }
+        if let Some(tx) = self.shards[shard].tx.as_ref() {
+            // An already-dead worker ignores the message either way.
+            let _ = tx.send(ToShard::Die);
+        }
+        Ok(())
+    }
+
+    /// Worker respawns performed so far (0 in a fault-free run).
+    pub fn respawns(&self) -> u32 {
+        self.respawns_used
+    }
+
+    /// Reserves `cost` tuple-equivalents in the bounded replay log,
+    /// reporting whether the entry may be appended. Past the bound the
+    /// log is useless, so it is dropped — memory stays bounded and
+    /// respawn is refused until the next checkpoint resets it.
+    fn try_log_replay(&mut self, cost: usize) -> bool {
+        if self.replay_overflowed {
+            return false;
+        }
+        if self.replay_cost.saturating_add(cost) > self.replay_capacity {
+            self.replay_log.clear();
+            self.replay_log.shrink_to_fit();
+            self.replay_cost = 0;
+            self.replay_overflowed = true;
+            return false;
+        }
+        self.replay_cost += cost;
+        true
+    }
+
+    /// Rebuilds a dead shard worker from the last checkpoint and replays
+    /// the post-checkpoint suffix into it. Replies for batches the caller
+    /// already merged are discarded as they stream back (their emissions
+    /// were delivered before the crash, byte-identically — the engines
+    /// are deterministic); replies for the still-unmerged window stay
+    /// queued for the live merge path, so callers simply re-recv after a
+    /// successful recovery.
+    fn recover_shard(&mut self, si: usize) -> Result<(), Error> {
+        if self.replay_overflowed {
+            return Err(Error::InvalidConfig {
+                reason: format!(
+                    "shard worker {} died after the replay log overflowed its \
+                     {}-tuple bound; checkpoint more often or raise replay_capacity",
+                    self.shards[si].shard_no, self.replay_capacity
+                ),
+            });
+        }
+        if self.respawns_left == 0 {
+            return Err(Error::InvalidConfig {
+                reason: format!(
+                    "shard worker {} died and the respawn budget is exhausted \
+                     ({} respawns used)",
+                    self.shards[si].shard_no, self.respawns_used
+                ),
+            });
+        }
+        self.respawns_left -= 1;
+        self.respawns_used += 1;
+        // Reap the dead worker.
+        self.shards[si].tx = None;
+        if let Some(join) = self.shards[si].join.take() {
+            let _ = join.join();
+        }
+        // Rebuild this shard's engines at the last checkpoint boundary.
+        let routes = self.shards[si].routes.clone();
+        let mut engines = Vec::with_capacity(routes.len());
+        for &r in &routes {
+            engines.push((r, GroupEngine::restore(&self.last_checkpoint[r as usize])?));
+        }
+        let (tx, rx, join) = spawn_worker(self.shards[si].shard_no, engines, self.queue_depth)?;
+        let dead = || Error::InvalidConfig {
+            reason: "respawned shard worker died during replay".into(),
+        };
+        let mut to_discard = self.merged_since_ckpt;
+        for entry in &self.replay_log {
+            match entry {
+                ReplayEntry::Control(route, op) if routes.contains(route) => {
+                    tx.send(ToShard::Control(*route, op.clone()))
+                        .map_err(|_| dead())?;
+                }
+                ReplayEntry::Control(..) => {}
+                ReplayEntry::Batch(tuples) => {
+                    tx.send(ToShard::Batch(tuples.clone()))
+                        .map_err(|_| dead())?;
+                    // Consume already-merged replies eagerly so the replay
+                    // of a long suffix never fills the bounded channels.
+                    if to_discard > 0 {
+                        match rx.recv() {
+                            Ok(FromShard::Batch(_)) => to_discard -= 1,
+                            _ => return Err(dead()),
+                        }
+                    }
+                }
+            }
+        }
+        self.shards[si].tx = Some(tx);
+        self.shards[si].rx = rx;
+        self.shards[si].join = Some(join);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -541,12 +1032,23 @@ impl ShardedEngine {
             self.staged = staged;
             merged.inspect_err(|e| self.poisoned = Some((*e).clone()))?;
         }
-        let shard = &self.shards[self.route_shard[route]];
-        let tx = shard.tx.as_ref().expect("senders live until shutdown");
-        tx.send(ToShard::Control(route as u32, op))
-            .map_err(|_| Error::InvalidConfig {
-                reason: "shard worker terminated early".into(),
-            })
+        // Log before shipping: a dead worker is respawned and receives the
+        // op through the replay instead of this send.
+        if self.try_log_replay(1) {
+            self.replay_log
+                .push(ReplayEntry::Control(route as u32, op.clone()));
+        }
+        let si = self.route_shard[route];
+        let sent = match self.shards[si].tx.as_ref() {
+            Some(tx) => tx.send(ToShard::Control(route as u32, op)).is_ok(),
+            None => false,
+        };
+        if sent {
+            Ok(())
+        } else {
+            self.recover_shard(si)
+                .inspect_err(|e| self.poisoned = Some((*e).clone()))
+        }
     }
 
     /// Delivers emissions merged during control ops (kept in sequence
@@ -629,12 +1131,29 @@ impl ShardedEngine {
                 first_err.get_or_insert(e);
             }
         }
-        for shard in &self.shards {
-            let tx = shard.tx.as_ref().expect("senders live until shutdown");
-            if tx.send(ToShard::Finish).is_err() {
-                first_err.get_or_insert(Error::InvalidConfig {
-                    reason: "shard worker terminated early".into(),
-                });
+        for si in 0..self.shards.len() {
+            loop {
+                let sent = match self.shards[si].tx.as_ref() {
+                    Some(tx) => tx.send(ToShard::Finish).is_ok(),
+                    None => false,
+                };
+                if sent {
+                    break;
+                }
+                // Dead worker at finish: respawn it (replaying the suffix)
+                // so the stream still ends with a complete, fault-free
+                // tail — unless an error is already being reported, in
+                // which case respawns are not worth burning.
+                if first_err.is_some() {
+                    break;
+                }
+                match self.recover_shard(si) {
+                    Ok(()) => continue,
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                        break;
+                    }
+                }
             }
         }
         // Collect every shard's tail, then merge across shards by route.
@@ -644,9 +1163,9 @@ impl ShardedEngine {
         // fine because an error is already being reported.
         let mut tails: Vec<(u32, Vec<crate::engine::Emission>)> = Vec::new();
         let mut metrics: Vec<(u32, EngineMetrics)> = Vec::new();
-        for shard in &self.shards {
+        for si in 0..self.shards.len() {
             loop {
-                match shard.rx.recv() {
+                match self.shards[si].rx.recv() {
                     Ok(FromShard::Finished(reply)) => {
                         tails.extend(reply.tail);
                         metrics.extend(reply.metrics);
@@ -664,7 +1183,28 @@ impl ShardedEngine {
                             first_err.get_or_insert(e);
                         }
                     }
+                    Ok(FromShard::Checkpointed(_)) => {
+                        // only reachable on a degraded path; nothing to keep
+                    }
                     Err(_) => {
+                        // Worker died between the Finish send and its reply:
+                        // respawn, replay and re-issue Finish.
+                        if first_err.is_none() {
+                            match self.recover_shard(si) {
+                                Ok(()) => {
+                                    let sent = self.shards[si]
+                                        .tx
+                                        .as_ref()
+                                        .is_some_and(|tx| tx.send(ToShard::Finish).is_ok());
+                                    if sent {
+                                        continue;
+                                    }
+                                }
+                                Err(e) => {
+                                    first_err.get_or_insert(e);
+                                }
+                            }
+                        }
                         first_err.get_or_insert(Error::InvalidConfig {
                             reason: "shard worker terminated early".into(),
                         });
@@ -718,7 +1258,10 @@ impl ShardedEngine {
     }
 
     /// Broadcasts the staged buffer to every shard (the last shard takes
-    /// the original allocation; `Tuple` clones are `Arc` bumps).
+    /// the original allocation; `Tuple` clones are `Arc` bumps). The
+    /// batch is appended to the bounded replay log first, so a send that
+    /// finds a dead worker recovers it — and the replay, which includes
+    /// this batch, *is* the delivery.
     fn dispatch_batch(&mut self) -> Result<(), Error> {
         let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch_size));
         if batch.is_empty() {
@@ -729,19 +1272,26 @@ impl ShardedEngine {
         } else {
             Vec::new()
         };
+        if self.try_log_replay(batch.len()) {
+            self.replay_log.push(ReplayEntry::Batch(batch.clone()));
+        }
         let last = self.shards.len() - 1;
         let mut batch = Some(batch);
-        for (i, shard) in self.shards.iter().enumerate() {
-            let payload = if i == last {
+        for si in 0..self.shards.len() {
+            let payload = if si == last {
                 batch.take().expect("one shard takes the original")
             } else {
                 batch.as_ref().expect("original kept until last").clone()
             };
-            let tx = shard.tx.as_ref().expect("senders live until shutdown");
-            tx.send(ToShard::Batch(payload))
-                .map_err(|_| Error::InvalidConfig {
-                    reason: "shard worker terminated early".into(),
-                })?;
+            let sent = match self.shards[si].tx.as_ref() {
+                Some(tx) => tx.send(ToShard::Batch(payload)).is_ok(),
+                None => false,
+            };
+            if !sent {
+                // Dead worker: the respawn replays the logged suffix —
+                // including this batch — so no re-send is needed.
+                self.recover_shard(si)?;
+            }
         }
         self.in_flight.push_back(stamps);
         Ok(())
@@ -749,6 +1299,13 @@ impl ShardedEngine {
 
     /// Receives the oldest in-flight batch's reply from every shard and
     /// feeds the merged emissions to the sink in `(step, route)` order.
+    ///
+    /// A worker found dead here (disconnected channel — a panicked or
+    /// [`kill_shard`](Self::kill_shard)ed thread) is respawned from the
+    /// last checkpoint and the replay log brings it back to the live
+    /// stream position; its reply for this batch is then taken from the
+    /// fresh channel, so the merged output is byte-identical to a
+    /// fault-free run.
     fn merge_oldest<S: EmissionSink>(&mut self, sink: &mut S) -> Result<(), Error> {
         let stamps = self
             .in_flight
@@ -756,10 +1313,28 @@ impl ShardedEngine {
             .expect("merge_oldest called with a batch in flight");
         let mut replies: Vec<BatchReply> = Vec::with_capacity(self.shards.len());
         let mut first_err: Option<(usize, u32, Error)> = None;
-        let mut dead_shard = false;
-        for shard in &self.shards {
-            match shard.rx.recv() {
-                Ok(FromShard::Batch(reply)) => {
+        let mut dead_err: Option<Error> = None;
+        for si in 0..self.shards.len() {
+            let reply = loop {
+                match self.shards[si].rx.recv() {
+                    Ok(FromShard::Batch(reply)) => break Some(reply),
+                    // A worker only sends Finished/Checkpointed in response
+                    // to Finish/Checkpoint, never while batches are in
+                    // flight — a worker that emits one here is broken.
+                    Ok(_) => break None,
+                    Err(_) => match self.recover_shard(si) {
+                        // The respawn replayed the suffix; the reply for
+                        // this batch is queued on the fresh channel.
+                        Ok(()) => continue,
+                        Err(e) => {
+                            dead_err.get_or_insert(e);
+                            break None;
+                        }
+                    },
+                }
+            };
+            match reply {
+                Some(reply) => {
                     if let Some(e) = &reply.error {
                         if first_err.as_ref().is_none_or(|f| (e.0, e.1) < (f.0, f.1)) {
                             first_err = Some(e.clone());
@@ -767,12 +1342,10 @@ impl ShardedEngine {
                     }
                     replies.push(reply);
                 }
-                // A worker only sends Finished in response to Finish, which
-                // is only sent after every batch is merged — so this arm can
-                // only fire for a worker that died and whose channel
-                // disconnected after a racing reply; treat both as dead.
-                Ok(FromShard::Finished(_)) | Err(_) => {
-                    dead_shard = true;
+                None => {
+                    dead_err.get_or_insert(Error::InvalidConfig {
+                        reason: "shard worker terminated early".into(),
+                    });
                 }
             }
         }
@@ -800,12 +1373,13 @@ impl ShardedEngine {
             merged.clear();
             self.merge_scratch = merged;
         }
+        self.merged_since_ckpt += 1;
         match first_err {
             Some((_, _, e)) => Err(e),
-            None if dead_shard => Err(Error::InvalidConfig {
-                reason: "shard worker terminated early".into(),
-            }),
-            None => Ok(()),
+            None => match dead_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            },
         }
     }
 
@@ -906,6 +1480,40 @@ fn shard_worker(
                         }
                     }
                 }
+            }
+            ToShard::Checkpoint => {
+                // The caller merged everything in flight before sending
+                // this, so every engine sits exactly at the barrier: cross
+                // each safe-point boundary and ship the drains + snapshots.
+                let mut reply = CheckpointReply {
+                    tail: Vec::with_capacity(engines.len()),
+                    snaps: Vec::with_capacity(engines.len()),
+                    error: poisoned.as_ref().map(|(_, r, e)| (*r, e.clone())),
+                };
+                if poisoned.is_none() {
+                    for (route, engine) in &mut engines {
+                        match engine.snapshot_into(&mut collector) {
+                            Ok(snap) => {
+                                reply.tail.push((*route, collector.drain_vec()));
+                                reply.snaps.push((*route, snap));
+                            }
+                            Err(e) => {
+                                poisoned = Some((0, *route, e.clone()));
+                                reply.error = Some((*route, e));
+                                break;
+                            }
+                        }
+                    }
+                }
+                if tx.send(FromShard::Checkpointed(reply)).is_err() {
+                    return; // caller went away
+                }
+            }
+            ToShard::Die => {
+                // Fault injection: exit without replying, exactly like a
+                // panicked worker — the disconnected channels are what the
+                // caller's failure detection keys on.
+                return;
             }
             ToShard::Finish => {
                 let mut reply = FinishReply {
@@ -1162,6 +1770,271 @@ mod tests {
             }
         }
         assert_eq!(shard_index("anything", 1), 0);
+    }
+
+    mod fault_tolerance {
+        use super::*;
+        use crate::sink::NullSink;
+
+        #[test]
+        fn kill_without_checkpoint_replays_from_the_start() {
+            let s = schema();
+            let mut reference = group(&s, 1.0).build().unwrap();
+            let mut expected = VecSink::new();
+            reference.run_into(stream(&s, 400), &mut expected).unwrap();
+
+            let mut e = ShardedEngine::builder()
+                .batch_size(13)
+                .route("only", group(&s, 1.0))
+                .build()
+                .unwrap();
+            let mut out = VecSink::new();
+            for (i, t) in stream(&s, 400).into_iter().enumerate() {
+                if i == 150 {
+                    e.kill_shard(0).unwrap();
+                }
+                e.push_into(t, &mut out).unwrap();
+            }
+            e.finish_into(&mut out).unwrap();
+            assert_eq!(out.as_slice(), expected.as_slice());
+            assert_eq!(e.respawns(), 1);
+        }
+
+        #[test]
+        fn checkpoint_then_kill_replays_only_the_suffix() {
+            let s = schema();
+            // The fault-free reference takes the same checkpoint (the
+            // boundary drain is part of the contract).
+            let run = |kill: bool| {
+                let mut e = ShardedEngine::builder()
+                    .parallelism(2)
+                    .batch_size(17)
+                    .route("a", group(&s, 1.0))
+                    .route("b", group(&s, 0.5))
+                    .build()
+                    .unwrap();
+                let mut out = VecSink::new();
+                for (i, t) in stream(&s, 500).into_iter().enumerate() {
+                    if i == 200 {
+                        let snap = e.checkpoint(&mut out).unwrap();
+                        assert_eq!(snap.routes(), 2);
+                        assert_eq!(snap.input_tuples(), 200);
+                    }
+                    if kill && i == 350 {
+                        for shard in 0..e.shards() {
+                            e.kill_shard(shard).unwrap();
+                        }
+                    }
+                    e.push_into(t, &mut out).unwrap();
+                }
+                e.finish_into(&mut out).unwrap();
+                (out.into_vec(), e.respawns(), e.metrics())
+            };
+            let (expected, zero, m1) = run(false);
+            let (killed, respawns, m2) = run(true);
+            assert_eq!(zero, 0);
+            assert!(respawns >= 1, "every spawned shard was killed");
+            assert_eq!(killed, expected, "respawned output must be byte-identical");
+            assert_eq!(m1.output_tuples, m2.output_tuples);
+            assert_eq!(m1.input_tuples, m2.input_tuples);
+        }
+
+        #[test]
+        fn restore_resumes_at_the_checkpoint_position() {
+            let s = schema();
+            let run_reference = || {
+                let mut e = ShardedEngine::builder()
+                    .batch_size(19)
+                    .route("only", group(&s, 1.0))
+                    .build()
+                    .unwrap();
+                let mut pre = VecSink::new();
+                for t in stream(&s, 500).drain(..250) {
+                    e.push_into(t, &mut pre).unwrap();
+                }
+                let snap = e.checkpoint(&mut pre).unwrap();
+                let mut post = VecSink::new();
+                for t in stream(&s, 500).drain(..).skip(250) {
+                    e.push_into(t, &mut post).unwrap();
+                }
+                e.finish_into(&mut post).unwrap();
+                (pre.into_vec(), snap, post.into_vec())
+            };
+            let (_, snap, expected_post) = run_reference();
+
+            // "Crash": drop everything, rebuild from the snapshot, replay
+            // the suffix from the caller's log.
+            let mut restored = ShardedEngine::restore(&snap).unwrap();
+            assert_eq!(restored.input_tuples(), 250);
+            let mut replayed = VecSink::new();
+            // the restored engine rejects anything but the exact suffix
+            let tuples = stream(&s, 500);
+            assert!(restored
+                .push_into(tuples[100].clone(), &mut replayed)
+                .is_err());
+            for t in &tuples[250..] {
+                restored.push_into(t.clone(), &mut replayed).unwrap();
+            }
+            restored.finish_into(&mut replayed).unwrap();
+            assert_eq!(replayed.as_slice(), &expected_post[..]);
+            assert_eq!(restored.metrics().input_tuples, 500, "lifetime continues");
+        }
+
+        #[test]
+        fn respawn_budget_and_replay_bound_are_enforced() {
+            let s = schema();
+            // Budget 0: the first death is fatal.
+            let mut e = ShardedEngine::builder()
+                .max_respawns(0)
+                .route("only", group(&s, 1.0))
+                .build()
+                .unwrap();
+            e.kill_shard(0).unwrap();
+            let mut out = VecSink::new();
+            let mut failed = false;
+            for t in stream(&s, 300) {
+                if let Err(err) = e.push_into(t, &mut out) {
+                    assert!(err.to_string().contains("respawn budget"), "{err}");
+                    failed = true;
+                    break;
+                }
+            }
+            assert!(failed || e.finish_into(&mut out).is_err());
+
+            // Replay bound: once the log overflows, respawn is refused.
+            let mut e = ShardedEngine::builder()
+                .replay_capacity(64)
+                .batch_size(16)
+                .route("only", group(&s, 1.0))
+                .build()
+                .unwrap();
+            let mut out = VecSink::new();
+            let tuples = stream(&s, 300);
+            for t in &tuples[..200] {
+                e.push_into(t.clone(), &mut out).unwrap();
+            }
+            e.kill_shard(0).unwrap();
+            let mut overflowed = false;
+            for t in &tuples[200..] {
+                if let Err(err) = e.push_into(t.clone(), &mut out) {
+                    assert!(err.to_string().contains("replay log overflowed"), "{err}");
+                    overflowed = true;
+                    break;
+                }
+            }
+            assert!(overflowed || e.finish_into(&mut out).is_err());
+
+            // …and a checkpoint resets the bound, making respawn live again.
+            let mut e = ShardedEngine::builder()
+                .replay_capacity(64)
+                .batch_size(16)
+                .route("only", group(&s, 1.0))
+                .build()
+                .unwrap();
+            let mut out = VecSink::new();
+            for t in &tuples[..200] {
+                e.push_into(t.clone(), &mut out).unwrap();
+            }
+            e.checkpoint(&mut out).unwrap();
+            e.kill_shard(0).unwrap();
+            for t in &tuples[200..] {
+                e.push_into(t.clone(), &mut out).unwrap();
+            }
+            e.finish_into(&mut out).unwrap();
+            assert_eq!(e.respawns(), 1);
+        }
+
+        #[test]
+        fn control_ops_count_toward_the_replay_bound() {
+            // A churn-heavy stream must not grow the replay log without
+            // bound: ops cost one tuple-equivalent each, so an op-only
+            // workload overflows the bound and a later death is refused.
+            let s = schema();
+            let mut e = ShardedEngine::builder()
+                .replay_capacity(8)
+                .route("only", group(&s, 1.0))
+                .build()
+                .unwrap();
+            let mut refused = false;
+            for i in 0..40 {
+                if i == 20 {
+                    e.kill_shard(0).unwrap();
+                }
+                let op =
+                    e.update_filter(0, FilterId::from_index(0), FilterSpec::delta("t", 2.0, 0.9));
+                if let Err(err) = op {
+                    assert!(err.to_string().contains("replay log overflowed"), "{err}");
+                    refused = true;
+                    break;
+                }
+            }
+            assert!(refused, "the overflowed log must refuse the respawn");
+        }
+
+        #[test]
+        fn restore_keeps_the_fault_tolerance_envelope() {
+            let s = schema();
+            let mut e = ShardedEngine::builder()
+                .replay_capacity(10_000)
+                .max_respawns(9)
+                .batch_size(16) // deaths are detected at dispatch, so keep it tight
+                .route("only", group(&s, 1.0))
+                .build()
+                .unwrap();
+            let mut out = VecSink::new();
+            for t in stream(&s, 100) {
+                e.push_into(t, &mut out).unwrap();
+            }
+            let snap = e.checkpoint(&mut out).unwrap();
+            let mut restored = ShardedEngine::restore(&snap).unwrap();
+            // the restored process honours the configured knobs: a death
+            // well past the default 4-respawn budget is still recovered
+            let tuples = stream(&s, 400);
+            for (i, t) in tuples.iter().enumerate().skip(100) {
+                if i % 50 == 0 {
+                    restored.kill_shard(0).unwrap();
+                }
+                restored.push_into(t.clone(), &mut out).unwrap();
+            }
+            restored.finish_into(&mut out).unwrap();
+            assert!(restored.respawns() > 4, "got {}", restored.respawns());
+        }
+
+        #[test]
+        fn kill_shard_validates_input() {
+            let s = schema();
+            let mut e = ShardedEngine::builder()
+                .route("only", group(&s, 1.0))
+                .build()
+                .unwrap();
+            assert!(matches!(e.kill_shard(7), Err(Error::InvalidConfig { .. })));
+            e.finish_into(&mut NullSink).unwrap();
+            assert!(matches!(e.kill_shard(0), Err(Error::Finished)));
+        }
+
+        #[test]
+        fn checkpoint_applies_queued_control_ops_at_the_barrier() {
+            let s = schema();
+            let mut e = ShardedEngine::builder()
+                .batch_size(11)
+                .route("only", group(&s, 1.0))
+                .build()
+                .unwrap();
+            let mut out = VecSink::new();
+            let tuples = stream(&s, 200);
+            for t in &tuples[..90] {
+                e.push_into(t.clone(), &mut out).unwrap();
+            }
+            let added = e.add_filter(0, FilterSpec::delta("t", 1.0, 0.4)).unwrap();
+            let snap = e.checkpoint(&mut out).unwrap();
+            let roster = snap.route_snapshots()[0].roster();
+            assert!(roster.iter().any(|(id, _)| *id == added));
+            assert_eq!(snap.route_snapshots()[0].epoch(), 1);
+            for t in &tuples[90..] {
+                e.push_into(t.clone(), &mut out).unwrap();
+            }
+            e.finish_into(&mut out).unwrap();
+        }
     }
 
     #[test]

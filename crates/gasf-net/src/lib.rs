@@ -21,7 +21,13 @@
 //!   filtering runs on a sharded engine: one independent rendezvous tree
 //!   per producer shard over the same membership, selected
 //!   deterministically per tuple, so parallel shards do not serialise
-//!   through a single root.
+//!   through a single root,
+//! * **node-failure semantics with Scribe self-repair** —
+//!   [`Overlay::fail_node`] / [`Overlay::recover_node`]: children of a
+//!   failed interior tree node re-graft toward the rendezvous root, root
+//!   failures hand key ownership to the live ring successor, surviving
+//!   members keep receiving, and the repair control cost is accounted
+//!   ([`RepairReport`], [`Delivery::repair_bytes`]).
 //!
 //! The paper explicitly scopes out network dynamics (§1.2), so the
 //! simulator is analytic (no queuing/congestion model) — delays and byte
@@ -33,5 +39,7 @@
 pub mod multicast;
 pub mod topology;
 
-pub use multicast::{Delivery, GroupId, NetError, Overlay, OverlayConfig, ShardedGroup};
+pub use multicast::{
+    Delivery, GroupId, NetError, Overlay, OverlayConfig, RepairReport, ShardedGroup,
+};
 pub use topology::{LinkSpec, NodeId, Topology, TopologyBuilder};

@@ -16,7 +16,7 @@ use crate::topology::{NodeId, Topology};
 use gasf_core::candidate::FilterId;
 use gasf_core::engine::Emission;
 use gasf_core::time::Micros;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// Identifier of a multicast group.
@@ -65,6 +65,10 @@ pub enum NetError {
     UnknownNode(NodeId),
     /// A group needs at least one member.
     EmptyGroup,
+    /// The node's overlay process is marked failed (see
+    /// [`Overlay::fail_node`]); it cannot send, join, or be failed again
+    /// until [`Overlay::recover_node`] revives it.
+    NodeFailed(NodeId),
 }
 
 impl fmt::Display for NetError {
@@ -75,6 +79,7 @@ impl fmt::Display for NetError {
             NetError::Disconnected(a, b) => write!(f, "no path between {a} and {b}"),
             NetError::UnknownNode(n) => write!(f, "node {n} is not in the topology"),
             NetError::EmptyGroup => write!(f, "multicast group needs at least one member"),
+            NetError::NodeFailed(n) => write!(f, "node {n} has failed"),
         }
     }
 }
@@ -90,6 +95,14 @@ pub struct Delivery {
     pub bytes_on_wire: u64,
     /// Overlay hops taken (tree edges + source-to-root leg).
     pub overlay_hops: usize,
+    /// The share of [`bytes_on_wire`](Self::bytes_on_wire) that crossed
+    /// *repaired* tree edges — branches re-grafted by the self-repair a
+    /// [`fail_node`](Overlay::fail_node) triggered. Zero in a fault-free
+    /// run; after a failure this is the per-send cost of the detours the
+    /// repair introduced (the one-time control cost of the repair itself
+    /// is reported by [`fail_node`](Overlay::fail_node) and accumulated
+    /// in [`Overlay::repair_bytes`]).
+    pub repair_bytes: u64,
 }
 
 impl Delivery {
@@ -120,6 +133,9 @@ struct Group {
     members: Vec<NodeId>,
     /// Tree edges: child → parent (root has no entry).
     parent: HashMap<NodeId, NodeId>,
+    /// Tree edges (as `(parent, child)` id pairs) created by self-repair
+    /// after a node failure — what [`Delivery::repair_bytes`] accounts.
+    repaired: HashSet<(u32, u32)>,
 }
 
 /// A multicast group split into several independent rendezvous trees, one
@@ -152,6 +168,25 @@ impl ShardedGroup {
     }
 }
 
+/// What one [`Overlay::fail_node`] repair pass did: how many branches
+/// were re-grafted, how many rendezvous trees moved to a new root, and
+/// what the repair control traffic (Scribe re-JOIN messages) cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Orphaned branches re-grafted toward their root (plus, after a root
+    /// failure, every member's re-join to the new root).
+    pub regrafts: usize,
+    /// Groups whose rendezvous root was the failed node and moved to the
+    /// next live ring successor.
+    pub reroots: usize,
+    /// Overlay hops the re-JOIN control messages took.
+    pub control_hops: usize,
+    /// Underlay bytes the re-JOIN control messages cost (also accumulated
+    /// into the overlay's traffic counters and
+    /// [`Overlay::repair_bytes`]).
+    pub control_bytes: u64,
+}
+
 /// A DHT-ring overlay with Scribe-like multicast over a [`Topology`].
 #[derive(Debug)]
 pub struct Overlay {
@@ -165,6 +200,13 @@ pub struct Overlay {
     /// Reusable recipient-node buffer for the borrow-based
     /// [`multicast_emission`](Overlay::multicast_emission) path.
     scratch_nodes: Vec<NodeId>,
+    /// Nodes whose overlay process is currently failed (fail-stop; the
+    /// underlay keeps forwarding — see [`Overlay::fail_node`]).
+    failed: BTreeSet<NodeId>,
+    /// Repair operations (re-grafts + re-roots) performed so far.
+    repairs: u64,
+    /// Underlay bytes spent on repair control traffic so far.
+    repair_bytes: u64,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -205,6 +247,9 @@ impl Overlay {
             link_bytes: HashMap::new(),
             messages: 0,
             scratch_nodes: Vec::new(),
+            failed: BTreeSet::new(),
+            repairs: 0,
+            repair_bytes: 0,
         }
     }
 
@@ -218,13 +263,24 @@ impl Overlay {
         self.config
     }
 
-    /// The node owning a key (the ring slot the key hashes into).
+    /// The live node owning a key: the ring slot the key hashes into, or
+    /// — when that node has failed — its first live clockwise successor
+    /// (Pastry's key-ownership handover on node departure).
     fn owner(&self, key: u64) -> NodeId {
-        self.ring[(key % self.ring.len() as u64) as usize]
+        let slot = (key % self.ring.len() as u64) as usize;
+        for step in 0..self.ring.len() {
+            let n = self.ring[(slot + step) % self.ring.len()];
+            if !self.failed.contains(&n) {
+                return n;
+            }
+        }
+        // Every node failed: degenerate, but keep the mapping total.
+        self.ring[slot]
     }
 
     /// Overlay route from `from` to `to`: clockwise successor walk on the
-    /// ring (Chord-style). Includes both endpoints.
+    /// ring (Chord-style), skipping failed nodes — a live overlay routes
+    /// around dead neighbours. Includes both endpoints.
     fn overlay_route(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
         let mut route = vec![from];
         if from == to {
@@ -238,9 +294,13 @@ impl Overlay {
         let mut i = start;
         loop {
             i = (i + 1) % self.ring.len();
-            route.push(self.ring[i]);
-            if self.ring[i] == to {
+            let n = self.ring[i];
+            if n == to {
+                route.push(n);
                 return route;
+            }
+            if !self.failed.contains(&n) {
+                route.push(n);
             }
         }
     }
@@ -258,6 +318,9 @@ impl Overlay {
         for &m in members {
             if m.index() >= self.topology.len() {
                 return Err(NetError::UnknownNode(m));
+            }
+            if self.failed.contains(&m) {
+                return Err(NetError::NodeFailed(m));
             }
         }
         let id = GroupId(hash_str(name));
@@ -280,6 +343,7 @@ impl Overlay {
                 root,
                 members: members.to_vec(),
                 parent,
+                repaired: HashSet::new(),
             },
         );
         Ok(id)
@@ -332,6 +396,9 @@ impl Overlay {
     pub fn join_group(&mut self, group: GroupId, node: NodeId) -> Result<(), NetError> {
         if node.index() >= self.topology.len() {
             return Err(NetError::UnknownNode(node));
+        }
+        if self.failed.contains(&node) {
+            return Err(NetError::NodeFailed(node));
         }
         let root = self.group_root(group)?;
         if self
@@ -422,6 +489,216 @@ impl Overlay {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // node failure & Scribe self-repair
+    // ------------------------------------------------------------------
+
+    /// Marks a node's overlay process as **failed** (fail-stop) and
+    /// repairs every multicast tree that depended on it — the Scribe
+    /// self-repair protocol:
+    ///
+    /// * the node stops being a member of any group (its deliveries end);
+    /// * **interior failure**: children orphaned by the failed forwarder
+    ///   re-graft by routing toward their rendezvous root and joining the
+    ///   first live tree node their route meets — every surviving
+    ///   member's delivery resumes, and subtrees below the orphans keep
+    ///   their exact paths;
+    /// * **root failure**: key ownership moves to the next live ring
+    ///   successor and every member re-joins toward the new root (the
+    ///   tree is rebuilt from scratch, as Scribe must).
+    ///
+    /// The re-JOIN control messages are accounted like any other traffic
+    /// (plus the dedicated [`repairs`](Self::repairs) /
+    /// [`repair_bytes`](Self::repair_bytes) counters), and tree edges
+    /// created by repair are tracked so subsequent deliveries report the
+    /// detour share in [`Delivery::repair_bytes`].
+    ///
+    /// Failure is modelled at the overlay (process) level: the underlay
+    /// keeps store-and-forwarding through the host, the way a crashed
+    /// broker process leaves its machine's network stack running. The
+    /// paper scopes network dynamics out (§1.2); this keeps repair fully
+    /// deterministic.
+    ///
+    /// ```rust
+    /// use gasf_net::{NodeId, Overlay, Topology};
+    ///
+    /// # fn main() -> Result<(), gasf_net::NetError> {
+    /// let mut overlay = Overlay::new(Topology::ring(7).build());
+    /// let members: Vec<NodeId> = (0..7).map(NodeId).collect();
+    /// let group = overlay.create_group("sensors", &members)?;
+    ///
+    /// // Fail an interior forwarder: the tree self-repairs and every
+    /// // surviving member keeps receiving.
+    /// let root = overlay.group_root(group)?;
+    /// let victim = members.iter().copied().find(|&n| n != root).unwrap();
+    /// let repair = overlay.fail_node(victim)?;
+    /// assert!(overlay.is_failed(victim));
+    ///
+    /// let recipients: Vec<NodeId> = members
+    ///     .iter()
+    ///     .copied()
+    ///     .filter(|&n| n != victim && n != root)
+    ///     .collect();
+    /// let delivery = overlay.multicast(group, root, &recipients, 100)?;
+    /// assert_eq!(delivery.latencies.len(), recipients.len());
+    /// // repair work is accounted: if the victim forwarded for anyone,
+    /// // its orphans re-grafted and this send crosses repaired branches
+    /// assert_eq!(delivery.repair_bytes > 0, repair.regrafts > 0);
+    ///
+    /// // a revived node re-joins explicitly, like a restarted Scribe node
+    /// overlay.recover_node(victim)?;
+    /// overlay.join_group(group, victim)?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    /// [`NetError::UnknownNode`] outside the topology,
+    /// [`NetError::NodeFailed`] when the node is already failed.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<RepairReport, NetError> {
+        if node.index() >= self.topology.len() {
+            return Err(NetError::UnknownNode(node));
+        }
+        if !self.failed.insert(node) {
+            return Err(NetError::NodeFailed(node));
+        }
+        let mut report = RepairReport::default();
+        // Deterministic repair order: ascending group id.
+        let mut ids: Vec<GroupId> = self.groups.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let mut g = self.groups.remove(&id).expect("listed above");
+            self.repair_group(&mut g, node, &mut report);
+            self.groups.insert(id, g);
+        }
+        self.repairs += (report.regrafts + report.reroots) as u64;
+        self.repair_bytes += report.control_bytes;
+        Ok(report)
+    }
+
+    /// Revives a failed node's overlay process. The node becomes routable
+    /// and joinable again, but — like a restarted Scribe node — it holds
+    /// no memberships: it re-enters its groups via
+    /// [`join_group`](Self::join_group). Returns whether the node was
+    /// actually failed (reviving a live node is a no-op).
+    ///
+    /// # Errors
+    /// [`NetError::UnknownNode`] outside the topology.
+    pub fn recover_node(&mut self, node: NodeId) -> Result<bool, NetError> {
+        if node.index() >= self.topology.len() {
+            return Err(NetError::UnknownNode(node));
+        }
+        Ok(self.failed.remove(&node))
+    }
+
+    /// Whether a node's overlay process is currently failed.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed.contains(&node)
+    }
+
+    /// The currently failed nodes, ascending.
+    pub fn failed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.failed.iter().copied()
+    }
+
+    /// Repair operations (re-grafts + re-roots) performed over the
+    /// overlay's lifetime.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Underlay bytes spent on repair control traffic (re-JOIN messages)
+    /// over the overlay's lifetime. Also included in
+    /// [`total_bytes`](Self::total_bytes) while that counter is unreset.
+    pub fn repair_bytes(&self) -> u64 {
+        self.repair_bytes
+    }
+
+    /// Repairs one group after `failed` went down (see
+    /// [`fail_node`](Self::fail_node)).
+    fn repair_group(&mut self, g: &mut Group, failed: NodeId, report: &mut RepairReport) {
+        if let Some(pos) = g.members.iter().position(|&m| m == failed) {
+            g.members.remove(pos);
+        }
+        // The failed node leaves the tree entirely: its own uplink *and*
+        // every child's edge into it — those children are the orphaned
+        // chain heads the re-graft walk below picks up. (Removing only
+        // the uplink would leave the corpse forwarding for its subtree.)
+        g.parent.remove(&failed);
+        g.parent.retain(|_, parent| *parent != failed);
+        g.repaired.retain(|&(p, c)| p != failed.0 && c != failed.0);
+        if g.root == failed {
+            // Rendezvous-root failover: ownership moves to the next live
+            // ring successor and the tree is rebuilt from scratch.
+            report.reroots += 1;
+            let slot = self
+                .ring
+                .iter()
+                .position(|&n| n == failed)
+                .expect("root is on the ring");
+            let mut new_root = g.root;
+            for step in 1..=self.ring.len() {
+                let n = self.ring[(slot + step) % self.ring.len()];
+                if !self.failed.contains(&n) {
+                    new_root = n;
+                    break;
+                }
+            }
+            g.root = new_root;
+            g.parent.clear();
+            g.repaired.clear();
+            if new_root == failed {
+                return; // every node is down; nothing to rebuild
+            }
+            for m in g.members.clone() {
+                self.regraft(g, m, report);
+            }
+            return;
+        }
+        // Interior/leaf failure: re-graft exactly the orphaned chain heads
+        // that still support a member (orphan subtrees keep their paths).
+        let mut orphans: BTreeSet<NodeId> = BTreeSet::new();
+        for &m in &g.members {
+            let mut cur = m;
+            loop {
+                if cur == g.root {
+                    break;
+                }
+                match g.parent.get(&cur) {
+                    Some(&p) => cur = p,
+                    None => {
+                        orphans.insert(cur);
+                        break;
+                    }
+                }
+            }
+        }
+        for orphan in orphans {
+            self.regraft(g, orphan, report);
+        }
+    }
+
+    /// One Scribe re-JOIN: `from` routes toward the group root over the
+    /// live ring and grafts onto the first tree node it meets, accounting
+    /// the control message hop by hop and marking the new edges repaired.
+    fn regraft(&mut self, g: &mut Group, from: NodeId, report: &mut RepairReport) {
+        let route = self.overlay_route(from, g.root);
+        let header = self.config.header_bytes;
+        for pair in route.windows(2) {
+            if g.parent.contains_key(&pair[0]) || pair[0] == g.root {
+                break;
+            }
+            g.parent.insert(pair[0], pair[1]);
+            g.repaired.insert((pair[1].0, pair[0].0));
+            if let Ok((_, bytes)) = self.transmit(pair[0], pair[1], header) {
+                report.control_hops += 1;
+                report.control_bytes += bytes;
+            }
+        }
+        report.regrafts += 1;
+        self.messages += 1;
+    }
+
     /// Sends one message of `payload_bytes` from `src` to a subset of the
     /// group. The message travels src → root, then down the tree pruned to
     /// the recipients; every link carries it at most once.
@@ -436,6 +713,9 @@ impl Overlay {
         recipients: &[NodeId],
         payload_bytes: usize,
     ) -> Result<Delivery, NetError> {
+        if self.failed.contains(&src) {
+            return Err(NetError::NodeFailed(src));
+        }
         let g = self
             .groups
             .get(&group)
@@ -448,6 +728,7 @@ impl Overlay {
         let root = g.root;
         // Paths from each recipient up to the root (child -> parent chain).
         let mut needed_edges: HashSet<(NodeId, NodeId)> = HashSet::new(); // parent -> child
+        let mut repaired_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
         let mut up_paths: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         for &r in recipients {
             let mut path = vec![r];
@@ -458,6 +739,9 @@ impl Overlay {
                     .get(&cur)
                     .expect("tree connects every member to the root");
                 needed_edges.insert((p, cur));
+                if g.repaired.contains(&(p.0, cur.0)) {
+                    repaired_edges.insert((p, cur));
+                }
                 path.push(p);
                 cur = p;
             }
@@ -490,6 +774,7 @@ impl Overlay {
         for v in edges_by_parent.values_mut() {
             v.sort_unstable(); // deterministic order
         }
+        let mut repair_bytes = 0u64;
         while let Some(u) = queue.pop_front() {
             let base = arrival[&u];
             if let Some(children) = edges_by_parent.get(&u).cloned() {
@@ -497,6 +782,9 @@ impl Overlay {
                     let (lat, bytes) = self.transmit(u, c, msg_bytes)?;
                     bytes_on_wire += bytes;
                     overlay_hops += 1;
+                    if repaired_edges.contains(&(u, c)) {
+                        repair_bytes += bytes;
+                    }
                     arrival.insert(c, base + lat);
                     queue.push_back(c);
                 }
@@ -510,6 +798,7 @@ impl Overlay {
             latencies,
             bytes_on_wire,
             overlay_hops,
+            repair_bytes,
         })
     }
 
@@ -604,12 +893,19 @@ impl Overlay {
         to: NodeId,
         payload_bytes: usize,
     ) -> Result<Delivery, NetError> {
+        if self.failed.contains(&from) {
+            return Err(NetError::NodeFailed(from));
+        }
+        if self.failed.contains(&to) {
+            return Err(NetError::NodeFailed(to));
+        }
         let (lat, bytes) = self.transmit(from, to, payload_bytes + self.config.header_bytes)?;
         self.messages += 1;
         Ok(Delivery {
             latencies: BTreeMap::from([(to, lat)]),
             bytes_on_wire: bytes,
             overlay_hops: 1,
+            repair_bytes: 0,
         })
     }
 
@@ -951,6 +1247,224 @@ mod tests {
                 o.leave_group(GroupId(42), NodeId(1)),
                 Err(NetError::UnknownGroup(GroupId(42)))
             );
+        }
+    }
+
+    mod failure {
+        use super::*;
+
+        /// The lowest-id node that forwards for someone else in the
+        /// group's tree (neither root nor a pure leaf), if any.
+        fn interior_node(o: &Overlay, g: GroupId) -> Option<NodeId> {
+            let group = o.groups.get(&g).unwrap();
+            group
+                .parent
+                .values()
+                .copied()
+                .filter(|&p| p != group.root)
+                .min()
+        }
+
+        #[test]
+        fn interior_failure_regrafts_and_members_keep_receiving() {
+            let mut o = ring7();
+            let members = all_nodes(7);
+            let g = o.create_group("grp", &members).unwrap();
+            let failed = interior_node(&o, g).expect("7-node tree has forwarders");
+            let report = o.fail_node(failed).unwrap();
+            assert!(report.regrafts > 0, "orphans must re-graft");
+            assert_eq!(report.reroots, 0);
+            assert!(o.is_failed(failed));
+            assert_eq!(o.failed_nodes().collect::<Vec<_>>(), vec![failed]);
+            assert!(o.repairs() > 0);
+
+            // every surviving member still receives; sending from the
+            // root guarantees the re-grafted orphan is a recipient, so
+            // its repaired uplink must appear in the delivery accounting
+            let src = o.group_root(g).unwrap();
+            let survivors: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|&n| n != failed && n != src)
+                .collect();
+            let d = o.multicast(g, src, &survivors, 100).unwrap();
+            assert_eq!(d.latencies.len(), survivors.len());
+            // some of the delivery flowed over repaired branches
+            assert!(d.repair_bytes > 0, "repaired edges must be accounted");
+            assert!(d.repair_bytes <= d.bytes_on_wire);
+
+            // the failed node is out of the membership and cannot send
+            assert_eq!(
+                o.multicast(g, src, &[failed], 10),
+                Err(NetError::NotAMember(failed))
+            );
+            assert_eq!(
+                o.multicast(g, failed, &survivors[1..2], 10),
+                Err(NetError::NodeFailed(failed))
+            );
+        }
+
+        #[test]
+        fn failed_node_is_fully_evicted_from_the_tree() {
+            // The corpse must neither keep an uplink nor keep forwarding
+            // for its children — its children are the ones that re-graft.
+            let mut o = ring7();
+            let g = o.create_group("grp", &all_nodes(7)).unwrap();
+            let failed = interior_node(&o, g).unwrap();
+            let orphans: Vec<NodeId> = {
+                let group = o.groups.get(&g).unwrap();
+                group
+                    .parent
+                    .iter()
+                    .filter(|&(_, p)| *p == failed)
+                    .map(|(&c, _)| c)
+                    .collect()
+            };
+            assert!(!orphans.is_empty(), "interior node has children");
+            o.fail_node(failed).unwrap();
+            let group = o.groups.get(&g).unwrap();
+            assert!(!group.parent.contains_key(&failed), "uplink removed");
+            assert!(
+                group.parent.values().all(|&p| p != failed),
+                "no child may still route through the corpse"
+            );
+            for orphan in orphans {
+                assert!(
+                    group.parent.contains_key(&orphan),
+                    "{orphan} must have re-grafted"
+                );
+            }
+        }
+
+        #[test]
+        fn root_failure_hands_over_to_the_live_successor() {
+            let mut o = ring7();
+            let members = all_nodes(7);
+            let g = o.create_group("grp", &members).unwrap();
+            let old_root = o.group_root(g).unwrap();
+            let report = o.fail_node(old_root).unwrap();
+            assert_eq!(report.reroots, 1);
+            let new_root = o.group_root(g).unwrap();
+            assert_ne!(new_root, old_root);
+            assert!(!o.is_failed(new_root));
+            // the rebuilt tree still reaches everyone alive
+            let survivors: Vec<NodeId> =
+                members.iter().copied().filter(|&n| n != old_root).collect();
+            let d = o.multicast(g, survivors[0], &survivors[1..], 80).unwrap();
+            assert_eq!(d.latencies.len(), survivors.len() - 1);
+        }
+
+        #[test]
+        fn repair_equals_fresh_join_of_the_survivors() {
+            // After an interior failure, the repaired tree must deliver to
+            // every survivor just like a freshly built overlay where the
+            // failed node never existed in the membership. (Shapes may
+            // differ — repair grafts in place — but coverage must not.)
+            let mut broken = ring7();
+            let members = all_nodes(7);
+            let g1 = broken.create_group("grp", &members).unwrap();
+            let failed = interior_node(&broken, g1).unwrap();
+            broken.fail_node(failed).unwrap();
+
+            let survivors: Vec<NodeId> = members.iter().copied().filter(|&n| n != failed).collect();
+            let d = broken
+                .multicast(g1, survivors[0], &survivors[1..], 64)
+                .unwrap();
+            for (node, lat) in &d.latencies {
+                assert!(*lat > Micros::ZERO, "{node} starved after repair");
+            }
+        }
+
+        #[test]
+        fn recover_node_rejoins_explicitly() {
+            let mut o = ring7();
+            let g = o
+                .create_group("grp", &[NodeId(0), NodeId(2), NodeId(4)])
+                .unwrap();
+            o.fail_node(NodeId(2)).unwrap();
+            assert_eq!(o.fail_node(NodeId(2)), Err(NetError::NodeFailed(NodeId(2))));
+            assert_eq!(
+                o.join_group(g, NodeId(2)),
+                Err(NetError::NodeFailed(NodeId(2)))
+            );
+            assert!(o.recover_node(NodeId(2)).unwrap());
+            assert!(!o.recover_node(NodeId(2)).unwrap(), "idempotent");
+            assert!(!o.is_failed(NodeId(2)));
+            // like a restarted Scribe node, it re-enters via join_group
+            assert!(!o.group_members(g).unwrap().contains(&NodeId(2)));
+            o.join_group(g, NodeId(2)).unwrap();
+            let d = o.multicast(g, NodeId(0), &[NodeId(2)], 50).unwrap();
+            assert_eq!(d.latencies.len(), 1);
+        }
+
+        #[test]
+        fn repair_cost_is_accounted() {
+            let mut o = ring7();
+            let members = all_nodes(7);
+            let g = o.create_group("grp", &members).unwrap();
+            let failed = interior_node(&o, g).unwrap();
+            let bytes_before = o.total_bytes();
+            let report = o.fail_node(failed).unwrap();
+            assert!(report.control_hops > 0);
+            assert!(report.control_bytes > 0);
+            assert_eq!(o.repair_bytes(), report.control_bytes);
+            assert_eq!(
+                o.total_bytes(),
+                bytes_before + report.control_bytes,
+                "repair traffic flows through the same accounting"
+            );
+        }
+
+        #[test]
+        fn failed_nodes_are_rejected_everywhere() {
+            let mut o = ring7();
+            o.fail_node(NodeId(3)).unwrap();
+            assert_eq!(
+                o.create_group("grp", &[NodeId(0), NodeId(3)]),
+                Err(NetError::NodeFailed(NodeId(3)))
+            );
+            assert_eq!(
+                o.unicast(NodeId(3), NodeId(0), 10),
+                Err(NetError::NodeFailed(NodeId(3)))
+            );
+            assert_eq!(
+                o.unicast(NodeId(0), NodeId(3), 10),
+                Err(NetError::NodeFailed(NodeId(3)))
+            );
+            assert_eq!(
+                o.fail_node(NodeId(99)),
+                Err(NetError::UnknownNode(NodeId(99)))
+            );
+            assert_eq!(
+                o.recover_node(NodeId(99)),
+                Err(NetError::UnknownNode(NodeId(99)))
+            );
+        }
+
+        #[test]
+        fn groups_created_after_a_failure_route_around_it() {
+            let mut o = ring7();
+            o.fail_node(NodeId(1)).unwrap();
+            let members: Vec<NodeId> = all_nodes(7)
+                .into_iter()
+                .filter(|&n| n != NodeId(1))
+                .collect();
+            let g = o.create_group("grp", &members).unwrap();
+            assert_ne!(o.group_root(g).unwrap(), NodeId(1));
+            let d = o.multicast(g, members[0], &members[1..], 90).unwrap();
+            assert_eq!(d.latencies.len(), members.len() - 1);
+            assert_eq!(d.repair_bytes, 0, "no repaired edges in a fresh tree");
+        }
+
+        #[test]
+        fn fault_free_deliveries_report_zero_repair_bytes() {
+            let mut o = ring7();
+            let members = all_nodes(7);
+            let g = o.create_group("grp", &members).unwrap();
+            let d = o.multicast(g, NodeId(0), &members[1..], 100).unwrap();
+            assert_eq!(d.repair_bytes, 0);
+            assert_eq!(o.repairs(), 0);
+            assert_eq!(o.repair_bytes(), 0);
         }
     }
 

@@ -25,6 +25,14 @@
 //!   [`Middleware::regroup`] re-partitions a source's live subscribers
 //!   (via [`partition`]) across engines at an epoch boundary — §4.8/§6.2's
 //!   regrouping, running inside the system instead of on paper,
+//! * **checkpoint/recover fault tolerance** —
+//!   [`Middleware::checkpoint`] snapshots every part engine at its
+//!   safe-point boundary together with the subscription roster, per-app
+//!   delivery statistics and [`FlowMonitor`] accounting;
+//!   [`Middleware::recover`] rebuilds the deployment on a fresh overlay
+//!   under the same stable [`SubscriptionHandle`]s, and
+//!   [`Middleware::fail_node`] drives the overlay's Scribe self-repair
+//!   for interior forwarder failures,
 //! * [`OperatorGraph`] — quality-spec propagation from applications to
 //!   sources through in-network operators,
 //! * [`FlowMonitor`] — the input-buffer congestion/flow-control logic the
@@ -42,7 +50,7 @@ mod regroup;
 pub use flow::{FlowDecision, FlowMonitor, Metered};
 pub use graph::{OpKind, OperatorGraph, OperatorId};
 pub use middleware::{
-    AppReport, Middleware, MiddlewareConfig, MulticastSink, Pipeline, RunReport, SolarError,
-    SourceId, SubscriptionHandle,
+    AppReport, Middleware, MiddlewareConfig, MiddlewareSnapshot, MulticastSink, Pipeline,
+    RunReport, SolarError, SourceId, SubscriptionHandle,
 };
 pub use regroup::{is_valid_partition, partition, GroupingStrategy, Partition};

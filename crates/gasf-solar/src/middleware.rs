@@ -57,9 +57,11 @@ use gasf_core::quality::FilterSpec;
 use gasf_core::schema::Schema;
 use gasf_core::shard::ShardedEngine;
 use gasf_core::sink::EmissionSink;
+use gasf_core::snapshot::{EngineSnapshot, GroupSnapshot};
 use gasf_core::time::Micros;
 use gasf_core::tuple::Tuple;
-use gasf_net::{GroupId, NodeId, Overlay};
+use gasf_net::{GroupId, NodeId, Overlay, RepairReport};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -110,6 +112,9 @@ pub enum SolarError {
     NoSubscribers(String),
     /// The subscription is already unsubscribed.
     NotSubscribed(String),
+    /// The node hosts a live source or subscription, so it cannot be
+    /// failed from the middleware (detach it first).
+    NodeInUse(NodeId),
     /// Error from the filtering engine.
     Core(gasf_core::Error),
     /// Error from the overlay network.
@@ -125,6 +130,10 @@ impl fmt::Display for SolarError {
             SolarError::NotDeployed => write!(f, "middleware not deployed; call deploy()"),
             SolarError::NoSubscribers(n) => write!(f, "source `{n}` has no subscribers"),
             SolarError::NotSubscribed(h) => write!(f, "{h} is already unsubscribed"),
+            SolarError::NodeInUse(n) => write!(
+                f,
+                "node {n} hosts a live source or subscription; detach it before failing the node"
+            ),
             SolarError::Core(e) => write!(f, "filtering error: {e}"),
             SolarError::Net(e) => write!(f, "network error: {e}"),
         }
@@ -234,6 +243,9 @@ impl EngineHost {
 struct PartEntry {
     engine: EngineHost,
     group: GroupId,
+    /// The overlay group's creation name (kept so a checkpoint can
+    /// recreate the identical tree on a fresh overlay).
+    group_name: String,
     /// `filter_apps[id]` is the app index the engine's filter `id` serves.
     /// Append-only: vacated slots keep their mapping so emissions drained
     /// at an epoch boundary still resolve to the (now inactive) app.
@@ -333,6 +345,82 @@ impl RunReport {
             None => Micros::ZERO,
         }
     }
+}
+
+/// A full middleware checkpoint: every part engine captured at its
+/// safe-point boundary ([`Middleware::checkpoint`]), the subscription
+/// roster with its per-app delivery statistics, the per-source
+/// [`FlowMonitor`] accounting, and enough overlay membership to recreate
+/// the multicast trees — everything [`Middleware::recover`] needs to
+/// continue the deployment on a fresh overlay under the same stable
+/// [`SubscriptionHandle`]s.
+///
+/// Derives the workspace serde markers; with the real `serde` crate this
+/// is the unit of durable middleware state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MiddlewareSnapshot {
+    pub(crate) config: MiddlewareConfig,
+    pub(crate) deployed: bool,
+    pub(crate) sources: Vec<SourceState>,
+    pub(crate) apps: Vec<AppState>,
+}
+
+impl MiddlewareSnapshot {
+    /// Number of sources captured.
+    pub fn sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of subscriptions captured (active and removed — handles and
+    /// their statistics survive recovery).
+    pub fn subscriptions(&self) -> usize {
+        self.apps.len()
+    }
+}
+
+/// One source's captured state (see [`MiddlewareSnapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SourceState {
+    name: String,
+    node: NodeId,
+    schema: Schema,
+    subscribers: Vec<usize>,
+    archived: Vec<EngineMetrics>,
+    generation: u64,
+    flow: FlowMonitor,
+    parts: Vec<PartState>,
+}
+
+/// One filter group's captured state (see [`MiddlewareSnapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct PartState {
+    engine: PartEngineState,
+    group_name: String,
+    /// Current multicast-tree membership; recreating the group with the
+    /// full member list reproduces the identical tree (pinned by the
+    /// overlay's join-equals-create property).
+    members: Vec<NodeId>,
+    filter_apps: Vec<usize>,
+    deferred_leaves: Vec<NodeId>,
+}
+
+/// A part engine's safe-point snapshot, matching its execution host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum PartEngineState {
+    Single(GroupSnapshot),
+    Sharded(EngineSnapshot),
+}
+
+/// One subscription's captured state (see [`MiddlewareSnapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct AppState {
+    name: String,
+    node: NodeId,
+    source: SourceId,
+    spec: FilterSpec,
+    active: bool,
+    tuples: u64,
+    e2e_latency_us: Vec<u64>,
 }
 
 /// The data-dissemination middleware.
@@ -848,6 +936,216 @@ impl Middleware {
     }
 
     // ------------------------------------------------------------------
+    // fault tolerance: checkpoint / recover / node failure
+    // ------------------------------------------------------------------
+
+    /// Takes a full middleware checkpoint. Every part engine crosses its
+    /// safe-point boundary — the boundary drain is disseminated through
+    /// the normal multicast path and accounted to its subscriptions, so
+    /// nothing decided is lost — and the returned
+    /// [`MiddlewareSnapshot`] captures the engines, the subscription
+    /// roster (with per-app delivery statistics), the [`FlowMonitor`]s
+    /// and the multicast-tree memberships.
+    ///
+    /// Like the engine-level checkpoint, this perturbs the stream exactly
+    /// like an empty control-op application: a deployment that
+    /// checkpoints and keeps going is byte-identical to one that
+    /// checkpoints, crashes, [`recover`](Self::recover)s and replays the
+    /// suffix (pinned in `tests/tests/recovery_equivalence.rs`).
+    ///
+    /// # Errors
+    /// Engine errors ([`gasf_core::Error::Finished`] for sources whose
+    /// stream already ended), or network errors while disseminating the
+    /// boundary drains.
+    pub fn checkpoint(&mut self) -> Result<MiddlewareSnapshot, SolarError> {
+        let mut sources = Vec::with_capacity(self.sources.len());
+        for si in 0..self.sources.len() {
+            let n_parts = self.sources[si].parts.len();
+            let mut parts = Vec::with_capacity(n_parts);
+            for p in 0..n_parts {
+                let engine = self.checkpoint_part(si, p)?;
+                // The boundary has passed: stale tree members may leave
+                // before the membership is captured.
+                Pipeline::process_deferred_leaves(self, si, p)?;
+                let part = &self.sources[si].parts[p];
+                let members = self.overlay.group_members(part.group)?.to_vec();
+                parts.push(PartState {
+                    engine,
+                    group_name: part.group_name.clone(),
+                    members,
+                    filter_apps: part.filter_apps.clone(),
+                    deferred_leaves: part.deferred_leaves.clone(),
+                });
+            }
+            let s = &self.sources[si];
+            sources.push(SourceState {
+                name: s.name.clone(),
+                node: s.node,
+                schema: s.schema.clone(),
+                subscribers: s.subscribers.clone(),
+                archived: s.archived.clone(),
+                generation: s.generation,
+                flow: s.flow.clone(),
+                parts,
+            });
+        }
+        let apps = self
+            .apps
+            .iter()
+            .map(|a| AppState {
+                name: a.name.clone(),
+                node: a.node,
+                source: a.source,
+                spec: a.spec.clone(),
+                active: a.active,
+                tuples: a.tuples,
+                e2e_latency_us: a.e2e_latency_us.clone(),
+            })
+            .collect();
+        Ok(MiddlewareSnapshot {
+            config: self.config,
+            deployed: self.deployed,
+            sources,
+            apps,
+        })
+    }
+
+    /// Crosses one part engine's safe-point boundary, disseminating the
+    /// drain, and returns its snapshot.
+    fn checkpoint_part(&mut self, si: usize, p: usize) -> Result<PartEngineState, SolarError> {
+        let src_node = self.sources[si].node;
+        let s = &mut self.sources[si];
+        let part = &mut s.parts[p];
+        let sink = MulticastSink {
+            overlay: &mut self.overlay,
+            apps: &mut self.apps,
+            filter_apps: &part.filter_apps,
+            group: part.group,
+            src_node,
+            error: None,
+        };
+        let mut sink = Metered::new(sink, &mut s.flow);
+        let engine = match &mut part.engine {
+            EngineHost::Single(e) => PartEngineState::Single(e.snapshot_into(&mut sink)?),
+            EngineHost::Sharded(e) => {
+                let snap = e.checkpoint(&mut sink)?;
+                for (arrival, cpu) in e.take_step_costs() {
+                    sink.monitor().observe(arrival, cpu);
+                }
+                PartEngineState::Sharded(snap)
+            }
+        };
+        sink.inner_mut().take_error()?;
+        Ok(engine)
+    }
+
+    /// Rebuilds a middleware from a checkpoint on a fresh overlay — the
+    /// full-process recovery path. Part engines restore at their snapshot
+    /// boundaries, multicast trees are recreated with their captured
+    /// memberships (identical shapes: creating a group with the full
+    /// member list equals the original create-then-join history), and the
+    /// subscription roster — including removed subscriptions and all
+    /// per-app delivery statistics — continues under the **same stable
+    /// [`SubscriptionHandle`]s**, so post-recovery reports extend
+    /// pre-crash reports seamlessly. Overlay traffic counters start from
+    /// zero (they belong to the dead process).
+    ///
+    /// The overlay must span the same topology (node ids are preserved).
+    ///
+    /// # Errors
+    /// [`SolarError::UnknownNode`] when the overlay's topology is too
+    /// small for a captured node, plus engine-restore and group-creation
+    /// failures.
+    pub fn recover(overlay: Overlay, snap: &MiddlewareSnapshot) -> Result<Middleware, SolarError> {
+        let mut mw = Middleware {
+            overlay,
+            config: snap.config,
+            sources: Vec::with_capacity(snap.sources.len()),
+            apps: Vec::with_capacity(snap.apps.len()),
+            deployed: snap.deployed,
+        };
+        for a in &snap.apps {
+            if a.node.index() >= mw.overlay.topology().len() {
+                return Err(SolarError::UnknownNode(a.node));
+            }
+            mw.apps.push(AppEntry {
+                name: a.name.clone(),
+                node: a.node,
+                source: a.source,
+                spec: a.spec.clone(),
+                active: a.active,
+                tuples: a.tuples,
+                e2e_latency_us: a.e2e_latency_us.clone(),
+            });
+        }
+        for s in &snap.sources {
+            if s.node.index() >= mw.overlay.topology().len() {
+                return Err(SolarError::UnknownNode(s.node));
+            }
+            let mut parts = Vec::with_capacity(s.parts.len());
+            for p in &s.parts {
+                let engine = match &p.engine {
+                    PartEngineState::Single(g) => {
+                        EngineHost::Single(Box::new(GroupEngine::restore(g)?))
+                    }
+                    PartEngineState::Sharded(e) => {
+                        EngineHost::Sharded(Box::new(ShardedEngine::restore(e)?))
+                    }
+                };
+                let group = mw.overlay.create_group(&p.group_name, &p.members)?;
+                parts.push(PartEntry {
+                    engine,
+                    group,
+                    group_name: p.group_name.clone(),
+                    filter_apps: p.filter_apps.clone(),
+                    deferred_leaves: p.deferred_leaves.clone(),
+                });
+            }
+            mw.sources.push(SourceEntry {
+                name: s.name.clone(),
+                node: s.node,
+                schema: s.schema.clone(),
+                subscribers: s.subscribers.clone(),
+                parts,
+                archived: s.archived.clone(),
+                generation: s.generation,
+                flow: s.flow.clone(),
+            });
+        }
+        Ok(mw)
+    }
+
+    /// Fails an overlay node's process and lets the Scribe self-repair
+    /// re-graft every multicast tree around it
+    /// ([`Overlay::fail_node`]) — the chaos-drill entry point for
+    /// interior forwarder nodes. Nodes hosting a registered source or a
+    /// live subscription are refused: a dead subscriber must be
+    /// [`unsubscribe`](Self::unsubscribe)d (and a dead source retired)
+    /// explicitly, so delivery accounting stays truthful.
+    ///
+    /// # Errors
+    /// [`SolarError::NodeInUse`] for source/subscriber nodes, plus the
+    /// overlay's own failure errors.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<RepairReport, SolarError> {
+        if self.sources.iter().any(|s| s.node == node)
+            || self.apps.iter().any(|a| a.active && a.node == node)
+        {
+            return Err(SolarError::NodeInUse(node));
+        }
+        Ok(self.overlay.fail_node(node)?)
+    }
+
+    /// Revives a failed overlay node ([`Overlay::recover_node`]). Like a
+    /// restarted Scribe node it holds no memberships; subscribers placed
+    /// on it re-enter trees via [`subscribe`](Self::subscribe).
+    ///
+    /// # Errors
+    /// [`SolarError::Net`] for unknown nodes.
+    pub fn recover_node(&mut self, node: NodeId) -> Result<bool, SolarError> {
+        Ok(self.overlay.recover_node(node)?)
+    }
+
+    // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
 
@@ -888,6 +1186,7 @@ impl Middleware {
         self.sources[source_idx].parts.push(PartEntry {
             engine,
             group,
+            group_name: name,
             filter_apps: app_idxs.to_vec(),
             deferred_leaves: Vec::new(),
         });
@@ -1738,6 +2037,176 @@ mod tests {
         // reconstructed from the shards' step costs.
         assert_eq!(s.flow.samples(), 200);
         assert_eq!(mw.flow_decision(src).unwrap(), FlowDecision::Ok);
+    }
+
+    mod fault_tolerance {
+        use super::*;
+
+        /// Deterministic slice of a report (wall-clock-free).
+        fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, Vec<AppReport>) {
+            (
+                r.engine.input_tuples,
+                r.engine.output_tuples,
+                r.engine.emissions,
+                r.engine.recipient_labels,
+                r.per_app.clone(),
+            )
+        }
+
+        #[test]
+        fn recover_continues_reports_under_the_same_handles() {
+            for parallelism in [1usize, 2] {
+                let config = MiddlewareConfig {
+                    parallelism,
+                    ..Default::default()
+                };
+                let tuples = {
+                    let (_, _, schema) = setup(config);
+                    stream(&schema, 400)
+                };
+                // Fault-free arm: checkpoint at 200 and keep going.
+                let expected = {
+                    let (mut mw, src, _) = setup(config);
+                    mw.push_batch(src, tuples[..200].to_vec()).unwrap();
+                    let snap = mw.checkpoint().unwrap();
+                    assert_eq!(snap.sources(), 1);
+                    assert_eq!(snap.subscriptions(), 3);
+                    mw.push_batch(src, tuples[200..].to_vec()).unwrap();
+                    mw.finish(src).unwrap();
+                    mw.report(src).unwrap()
+                };
+                // Crash arm: checkpoint at 200, lose the process (some
+                // post-checkpoint pushes included), recover on a fresh
+                // overlay, replay the suffix.
+                let recovered = {
+                    let (mut mw, src, _) = setup(config);
+                    mw.push_batch(src, tuples[..200].to_vec()).unwrap();
+                    let snap = mw.checkpoint().unwrap();
+                    mw.push_batch(src, tuples[200..260].to_vec()).unwrap();
+                    drop(mw); // the crash
+                    let overlay = Overlay::new(Topology::ring(7).build());
+                    let mut mw = Middleware::recover(overlay, &snap).unwrap();
+                    mw.push_batch(src, tuples[200..].to_vec()).unwrap();
+                    mw.finish(src).unwrap();
+                    mw.report(src).unwrap()
+                };
+                assert_eq!(
+                    fingerprint(&recovered),
+                    fingerprint(&expected),
+                    "parallelism={parallelism}"
+                );
+                // handles stayed stable and stats continued (not restarted)
+                for (a, b) in recovered.per_app.iter().zip(&expected.per_app) {
+                    assert_eq!(a.handle, b.handle);
+                    assert_eq!(a.tuples, b.tuples);
+                }
+            }
+        }
+
+        #[test]
+        fn recovered_middleware_keeps_the_live_control_plane() {
+            let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+            let tuples = stream(&schema, 300);
+            mw.push_batch(src, tuples[..150].to_vec()).unwrap();
+            let snap = mw.checkpoint().unwrap();
+            let mut mw =
+                Middleware::recover(Overlay::new(Topology::ring(7).build()), &snap).unwrap();
+            // subscribe/unsubscribe/regroup still work post-recovery
+            let late = mw
+                .subscribe("late", NodeId(1), src, FilterSpec::delta("t", 1.0, 0.4))
+                .unwrap();
+            let first = mw.subscriptions(src).unwrap()[0];
+            mw.unsubscribe(first).unwrap();
+            mw.push_batch(src, tuples[150..].to_vec()).unwrap();
+            mw.finish(src).unwrap();
+            let report = mw.report(src).unwrap();
+            assert_eq!(report.per_app.len(), 4);
+            let entry = report.per_app.iter().find(|a| a.handle == late).unwrap();
+            assert!(entry.active && entry.tuples > 0);
+            let removed = report.per_app.iter().find(|a| a.handle == first).unwrap();
+            assert!(!removed.active);
+            assert!(removed.tuples > 0, "pre-crash stats survive recovery");
+        }
+
+        #[test]
+        fn checkpoint_boundary_drain_is_disseminated_and_accounted() {
+            let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+            let tuples = stream(&schema, 200);
+            mw.push_batch(src, tuples[..100].to_vec()).unwrap();
+            let before: u64 = mw
+                .report(src)
+                .unwrap()
+                .per_app
+                .iter()
+                .map(|a| a.tuples)
+                .sum();
+            mw.checkpoint().unwrap();
+            let after: u64 = mw
+                .report(src)
+                .unwrap()
+                .per_app
+                .iter()
+                .map(|a| a.tuples)
+                .sum();
+            assert!(after >= before, "drain cannot lose deliveries");
+            // the engines crossed exactly one epoch boundary
+            match &mw.sources[src.0].parts[0].engine {
+                EngineHost::Single(e) => assert_eq!(e.epoch(), 1),
+                EngineHost::Sharded(_) => unreachable!("default config is inline"),
+            }
+            mw.push_batch(src, tuples[100..].to_vec()).unwrap();
+            mw.finish(src).unwrap();
+        }
+
+        #[test]
+        fn failed_forwarder_node_keeps_every_subscriber_delivering() {
+            // ring(9) with subscribers on 2/4/6 and the source on 0: the
+            // odd nodes are pure forwarders. Failing one exercises the
+            // Scribe re-graft under a live middleware deployment.
+            let (mut mw, src, schema) = setup_ring9();
+            let tuples = stream(&schema, 300);
+            mw.push_batch(src, tuples[..150].to_vec()).unwrap();
+            // nodes hosting sources/subscribers are protected
+            assert!(matches!(
+                mw.fail_node(NodeId(0)),
+                Err(SolarError::NodeInUse(_))
+            ));
+            assert!(matches!(
+                mw.fail_node(NodeId(2)),
+                Err(SolarError::NodeInUse(_))
+            ));
+            let mut repaired = false;
+            for forwarder in [1u32, 3, 5, 7] {
+                let report = mw.fail_node(NodeId(forwarder)).unwrap();
+                repaired |= report.regrafts > 0 || report.reroots > 0;
+            }
+            assert!(repaired, "some forwarder was load-bearing");
+            mw.push_batch(src, tuples[150..].to_vec()).unwrap();
+            mw.finish(src).unwrap();
+            let report = mw.report(src).unwrap();
+            for app in &report.per_app {
+                assert!(
+                    app.tuples > 0,
+                    "{} starved after forwarder failures",
+                    app.name
+                );
+            }
+            assert!(mw.recover_node(NodeId(1)).unwrap());
+        }
+
+        fn setup_ring9() -> (Middleware, SourceId, Schema) {
+            let overlay = Overlay::new(Topology::ring(9).build());
+            let mut mw = Middleware::new(overlay);
+            let schema = Schema::new(["t"]);
+            let src = mw.register_source("s", NodeId(0), schema.clone()).unwrap();
+            for (name, node) in [("a1", 2u32), ("a2", 4), ("a3", 6)] {
+                let _ = mw
+                    .subscribe(name, NodeId(node), src, FilterSpec::delta("t", 2.0, 0.9))
+                    .unwrap();
+            }
+            mw.deploy().unwrap();
+            (mw, src, schema)
+        }
     }
 
     #[test]

@@ -28,3 +28,10 @@ pub use gasf_sources as sources;
 /// [`solar::Middleware::regroup`] and the subscribe/unsubscribe/
 /// resubscribe lifecycle — without naming the member crate.
 pub use gasf_solar::{GroupingStrategy, Partition, SubscriptionHandle};
+
+/// Fault-tolerance artifacts, re-exported at the facade root:
+/// deployments persist [`solar::Middleware::checkpoint`]'s snapshot and
+/// hand it back to [`solar::Middleware::recover`] after a crash, and
+/// inspect overlay self-repair costs, without naming the member crates.
+pub use gasf_net::RepairReport;
+pub use gasf_solar::MiddlewareSnapshot;
