@@ -13,7 +13,17 @@ pub fn trace() -> Trace {
 
 /// Criterion tuned for a multi-target suite: fewer samples, shorter
 /// measurement windows.
+///
+/// `GASF_BENCH_SMOKE=1` collapses the windows to a single iteration per
+/// benchmark — CI uses it to prove every bench target still builds and
+/// runs without paying for a measurement (numbers are meaningless there).
 pub fn criterion() -> Criterion {
+    if std::env::var_os("GASF_BENCH_SMOKE").is_some() {
+        return Criterion::default()
+            .sample_size(1)
+            .warm_up_time(Duration::from_millis(0))
+            .measurement_time(Duration::from_millis(0));
+    }
     Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))

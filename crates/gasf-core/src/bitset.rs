@@ -205,6 +205,11 @@ impl FilterSet {
         self.0.is_empty()
     }
 
+    /// Removes every filter, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
     /// Adds every filter of `other`.
     pub fn union_with(&mut self, other: &FilterSet) {
         self.0.union_with(&other.0);

@@ -56,6 +56,7 @@ use crate::error::Error;
 use crate::filter::{build_filter, ForceCloseOutcome, GroupFilter};
 use crate::hitting_set::greedy_hitting_set_over;
 use crate::metrics::{EngineMetrics, FilterMetrics};
+use crate::plan::{CompiledRoster, EvaluatorTier, FilterPlan, StepActions};
 use crate::quality::FilterSpec;
 use crate::region::{Region, RegionTracker};
 use crate::schema::Schema;
@@ -131,6 +132,7 @@ pub struct GroupEngineBuilder {
     predictor_window: usize,
     overestimate_us: f64,
     parallelism: usize,
+    tier: EvaluatorTier,
 }
 
 impl GroupEngineBuilder {
@@ -205,6 +207,20 @@ impl GroupEngineBuilder {
     /// [`parallelism`](Self::parallelism)).
     pub fn configured_parallelism(&self) -> usize {
         self.parallelism.max(1)
+    }
+
+    /// Selects the first-stage evaluator tier (default
+    /// [`EvaluatorTier::Compiled`]). Both tiers produce byte-identical
+    /// output; the interpreted trait-object path is the oracle the
+    /// compiled roster is checked against.
+    pub fn evaluator(mut self, tier: EvaluatorTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// The configured evaluator tier (see [`evaluator`](Self::evaluator)).
+    pub fn configured_evaluator(&self) -> EvaluatorTier {
+        self.tier
     }
 
     /// Builds this single group behind the sharded execution path: the
@@ -305,13 +321,27 @@ impl GroupEngineBuilder {
         let mut slots: Vec<Option<FilterSlot>> = Vec::new();
         slots.resize_with(width, || None);
         for (id, spec) in roster {
-            let filter = instantiate_filter(&spec, id, &self.schema, self.algorithm)?;
+            let filter = match self.tier {
+                EvaluatorTier::Interpreted => {
+                    Some(instantiate_filter(&spec, id, &self.schema, self.algorithm)?)
+                }
+                // Compilation below validates every spec with the same
+                // errors in the same (ascending-slot) order.
+                EvaluatorTier::Compiled => None,
+            };
             slots[id.index()] = Some(FilterSlot { spec, filter });
         }
+        let compiled = match self.tier {
+            EvaluatorTier::Compiled => Some(compile_slots(&slots, &self.schema, self.algorithm)?),
+            EvaluatorTier::Interpreted => None,
+        };
         let constraint = effective_constraint(self.constraint, &slots);
         Ok(GroupEngine {
             schema: self.schema,
             slots,
+            tier: self.tier,
+            compiled,
+            step: StepActions::default(),
             algorithm: self.algorithm,
             strategy: self.strategy,
             explicit_constraint: self.constraint,
@@ -364,16 +394,44 @@ pub(crate) fn instantiate_filter(
     // Under the self-interested baseline the chosen output *is* the
     // reference, so stateful and stateless bases coincide: build a
     // stateless twin.
-    let effective = if spec.is_stateful() && algorithm == Algorithm::SelfInterested {
+    if spec.is_stateful() && algorithm == Algorithm::SelfInterested {
         let mut s = spec.clone();
         if let crate::quality::FilterKind::Delta { dependency, .. } = &mut s.kind {
             *dependency = crate::quality::Dependency::Stateless;
         }
-        s
+        build_filter(&s, id, schema)
     } else {
-        spec.clone()
-    };
-    build_filter(&effective, id, schema)
+        build_filter(spec, id, schema)
+    }
+}
+
+/// Validates one filter spec against the control-plane rules without
+/// instantiating anything: exactly [`instantiate_filter`]'s checks (same
+/// errors, same order), shared by the queue-time validation of live adds
+/// and updates on both tiers.
+pub(crate) fn validate_filter(
+    spec: &FilterSpec,
+    id: FilterId,
+    schema: &Schema,
+    algorithm: Algorithm,
+) -> Result<(), Error> {
+    FilterPlan::lower(spec, id, schema, algorithm).map(|_| ())
+}
+
+/// Compiles the occupied slots of a roster into a fused evaluator.
+fn compile_slots(
+    slots: &[Option<FilterSlot>],
+    schema: &Schema,
+    algorithm: Algorithm,
+) -> Result<CompiledRoster, Error> {
+    CompiledRoster::compile(
+        slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (FilterId::from_index(i), &s.spec))),
+        schema,
+        algorithm,
+    )
 }
 
 /// The group time constraint in effect for a roster: the explicit one, or
@@ -392,12 +450,14 @@ fn effective_constraint(
     })
 }
 
-/// One occupied filter slot: the live filter plus the spec it was built
-/// from (kept so epochs can rebuild retained filters from scratch).
+/// One occupied filter slot: the spec it was built from (kept so epochs
+/// can rebuild retained filters from scratch) plus — on the interpreted
+/// tier only — the live trait object. On the compiled tier the filter's
+/// state lives in the engine's [`CompiledRoster`] arenas instead.
 #[derive(Debug)]
 struct FilterSlot {
     spec: FilterSpec,
-    filter: Box<dyn GroupFilter>,
+    filter: Option<Box<dyn GroupFilter>>,
 }
 
 /// A queued roster change, applied at the next safe point.
@@ -421,6 +481,13 @@ pub struct GroupEngine {
     /// Filter slots indexed by [`FilterId`]; `None` marks a vacancy left
     /// by a removed filter (ids are never reused or renumbered).
     slots: Vec<Option<FilterSlot>>,
+    /// Which first-stage evaluator drives the roster.
+    tier: EvaluatorTier,
+    /// The fused evaluator (compiled tier only); recompiled from the
+    /// roster at every epoch boundary.
+    compiled: Option<CompiledRoster>,
+    /// Reusable per-tuple action buffer for the compiled path.
+    step: StepActions,
     algorithm: Algorithm,
     strategy: OutputStrategy,
     /// The constraint the caller set explicitly (kept so the effective
@@ -517,6 +584,7 @@ impl GroupEngine {
             predictor_window: RuntimePredictor::DEFAULT_WINDOW,
             overestimate_us: 0.0,
             parallelism: 1,
+            tier: EvaluatorTier::default(),
         }
     }
 
@@ -557,6 +625,11 @@ impl GroupEngine {
     /// The configured second-stage algorithm.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// The first-stage evaluator tier driving this engine.
+    pub fn evaluator_tier(&self) -> EvaluatorTier {
+        self.tier
     }
 
     /// The effective group time constraint, if cuts are enabled.
@@ -654,7 +727,7 @@ impl GroupEngine {
                 reason: format!("filter id {id} was already assigned; ids are never reused"),
             });
         }
-        instantiate_filter(&spec, id, &self.schema, self.algorithm)?;
+        validate_filter(&spec, id, &self.schema, self.algorithm)?;
         self.next_filter_id = id.0 + 1;
         self.control_queue.push(ControlOp::Add(id, spec));
         Ok(())
@@ -701,7 +774,7 @@ impl GroupEngine {
         if !self.projected_roster().contains(&id.0) {
             return Err(Error::UnknownFilter { id });
         }
-        instantiate_filter(&spec, id, &self.schema, self.algorithm)?;
+        validate_filter(&spec, id, &self.schema, self.algorithm)?;
         self.control_queue.push(ControlOp::Update(id, spec));
         Ok(())
     }
@@ -748,10 +821,12 @@ impl GroupEngine {
     /// state. Must only run with the engine fully drained.
     fn advance_epoch(&mut self) {
         debug_assert!(self.pending.is_empty() && self.releasable.is_empty());
-        let mut specs: Vec<Option<FilterSpec>> = self
-            .slots
-            .iter()
-            .map(|s| s.as_ref().map(|s| s.spec.clone()))
+        // The retained specs are moved, not cloned: the old slots are dead
+        // (the boundary drained every filter) and the specs come right
+        // back in the rebuilt slots.
+        let mut specs: Vec<Option<FilterSpec>> = std::mem::take(&mut self.slots)
+            .into_iter()
+            .map(|s| s.map(|s| s.spec))
             .collect();
         for op in std::mem::take(&mut self.control_queue) {
             match op {
@@ -770,17 +845,31 @@ impl GroupEngine {
             .enumerate()
             .map(|(i, spec)| {
                 spec.map(|spec| {
-                    let filter = instantiate_filter(
-                        &spec,
-                        FilterId::from_index(i),
-                        &self.schema,
-                        self.algorithm,
-                    )
-                    .expect("control ops are validated when queued");
+                    let filter = match self.tier {
+                        EvaluatorTier::Interpreted => Some(
+                            instantiate_filter(
+                                &spec,
+                                FilterId::from_index(i),
+                                &self.schema,
+                                self.algorithm,
+                            )
+                            .expect("control ops are validated when queued"),
+                        ),
+                        EvaluatorTier::Compiled => None,
+                    };
                     FilterSlot { spec, filter }
                 })
             })
             .collect();
+        // Safe-point recompile: compilation is a pure function of the
+        // post-churn roster (vacancy holes preserved).
+        self.compiled = match self.tier {
+            EvaluatorTier::Compiled => Some(
+                compile_slots(&self.slots, &self.schema, self.algorithm)
+                    .expect("control ops are validated when queued"),
+            ),
+            EvaluatorTier::Interpreted => None,
+        };
         self.constraint = effective_constraint(self.explicit_constraint, &self.slots);
         // Per-epoch state restarts exactly like a freshly built engine
         // (the determinism contract depends on it). The pool is already
@@ -881,6 +970,22 @@ impl GroupEngine {
     /// any filter-instantiation error ([`GroupEngineBuilder::build`]'s
     /// rules).
     pub fn restore(snap: &GroupSnapshot) -> Result<GroupEngine, Error> {
+        GroupEngine::restore_with_tier(snap, EvaluatorTier::default())
+    }
+
+    /// [`restore`](Self::restore) with an explicit evaluator tier.
+    ///
+    /// Snapshots carry no evaluator state at all (the safe-point boundary
+    /// drains everything, and compilation is a pure function of the
+    /// roster), so any snapshot restores onto either tier — the tier is a
+    /// property of the replica, not of the checkpoint.
+    ///
+    /// # Errors
+    /// Same as [`restore`](Self::restore).
+    pub fn restore_with_tier(
+        snap: &GroupSnapshot,
+        tier: EvaluatorTier,
+    ) -> Result<GroupEngine, Error> {
         if !snap.roster.iter().any(Option::is_some) {
             return Err(Error::InvalidConfig {
                 reason: "snapshot holds no live filter".into(),
@@ -891,12 +996,15 @@ impl GroupEngine {
         for (i, spec) in snap.roster.iter().enumerate() {
             slots.push(match spec {
                 Some(spec) => {
-                    let filter = instantiate_filter(
-                        spec,
-                        FilterId::from_index(i),
-                        &snap.schema,
-                        snap.algorithm,
-                    )?;
+                    let filter = match tier {
+                        EvaluatorTier::Interpreted => Some(instantiate_filter(
+                            spec,
+                            FilterId::from_index(i),
+                            &snap.schema,
+                            snap.algorithm,
+                        )?),
+                        EvaluatorTier::Compiled => None,
+                    };
                     Some(FilterSlot {
                         spec: spec.clone(),
                         filter,
@@ -905,10 +1013,17 @@ impl GroupEngine {
                 None => None,
             });
         }
+        let compiled = match tier {
+            EvaluatorTier::Compiled => Some(compile_slots(&slots, &snap.schema, snap.algorithm)?),
+            EvaluatorTier::Interpreted => None,
+        };
         let constraint = effective_constraint(snap.constraint, &slots);
         Ok(GroupEngine {
             schema: snap.schema.clone(),
             slots,
+            tier,
+            compiled,
+            step: StepActions::default(),
             algorithm: snap.algorithm,
             strategy: snap.strategy,
             explicit_constraint: snap.constraint,
@@ -985,12 +1100,39 @@ impl GroupEngine {
         }
 
         // First stage: candidate admission (vacant slots are skipped).
-        for i in 0..self.slots.len() {
-            let Some(slot) = self.slots[i].as_mut() else {
-                continue;
-            };
-            let action = slot.filter.process(&tuple)?;
-            self.apply_action(i, id, now, action);
+        // The compiled tier runs the whole roster in one fused pass and
+        // replays the recorded actions; the interpreted tier is the
+        // original one-virtual-call-per-filter loop. Both produce
+        // byte-identical actions in ascending slot order.
+        if self.compiled.is_some() {
+            let mut step = std::mem::take(&mut self.step);
+            let result = self
+                .compiled
+                .as_mut()
+                .expect("compiled tier checked above")
+                .process_tuple(&tuple, &mut step);
+            match result {
+                Ok(()) => {
+                    self.apply_step(id, now, &mut step);
+                    self.step = step;
+                }
+                Err(e) => {
+                    self.step = step;
+                    return Err(e);
+                }
+            }
+        } else {
+            for i in 0..self.slots.len() {
+                let Some(slot) = self.slots[i].as_mut() else {
+                    continue;
+                };
+                let action = slot
+                    .filter
+                    .as_mut()
+                    .expect("interpreted tier holds filter objects")
+                    .process(&tuple)?;
+                self.apply_action(i, id, now, action);
+            }
         }
 
         // Group timely cut (RG+C) is checked after the admission loop
@@ -1128,10 +1270,10 @@ impl GroupEngine {
     /// the epoch boundary.
     fn drain_open_state(&mut self, now: Micros) {
         for i in 0..self.slots.len() {
-            let Some(slot) = self.slots[i].as_mut() else {
+            if self.slots[i].is_none() {
                 continue;
-            };
-            let outcome = slot.filter.force_close(CloseCause::EndOfStream);
+            }
+            let outcome = self.force_close_slot(i, CloseCause::EndOfStream);
             self.handle_force_outcome(i, now, outcome);
         }
         for region in self.tracker.drain_all() {
@@ -1149,15 +1291,11 @@ impl GroupEngine {
                 .spec
                 .latency_tolerance
                 .or(self.constraint.map(|c| c.max_delay));
-            let (Some(budget), Some(cover)) = (budget, slot.filter.open_cover()) else {
+            let (Some(budget), Some(cover)) = (budget, self.open_cover_of(i)) else {
                 continue;
             };
             if now.saturating_sub(cover.min) >= budget {
-                let outcome = self.slots[i]
-                    .as_mut()
-                    .expect("slot checked occupied above")
-                    .filter
-                    .force_close(CloseCause::Cut);
+                let outcome = self.force_close_slot(i, CloseCause::Cut);
                 self.handle_force_outcome(i, now, outcome);
             }
         }
@@ -1165,10 +1303,10 @@ impl GroupEngine {
 
     fn cut_all(&mut self, now: Micros) {
         for i in 0..self.slots.len() {
-            let Some(slot) = self.slots[i].as_mut() else {
+            if self.slots[i].is_none() {
                 continue;
-            };
-            let outcome = slot.filter.force_close(CloseCause::Cut);
+            }
+            let outcome = self.force_close_slot(i, CloseCause::Cut);
             self.handle_force_outcome(i, now, outcome);
         }
     }
@@ -1184,12 +1322,39 @@ impl GroupEngine {
         }
     }
 
+    /// Replays one fused-pass result through the same per-filter
+    /// bookkeeping the interpreted loop uses, in the same ascending slot
+    /// order. Untouched slots are provably no-ops
+    /// ([`FilterAction::none`] leaves every engine structure unchanged),
+    /// so only the touched bits are visited.
+    fn apply_step(&mut self, id: TupleId, now: Micros, step: &mut StepActions) {
+        let mut events = std::mem::take(&mut step.events);
+        let mut next = 0usize;
+        for fid in step.touched.iter() {
+            let i = fid.index();
+            let mut action = FilterAction {
+                admitted: step.admitted.contains(fid),
+                reference: step.references.contains(fid),
+                ..FilterAction::none()
+            };
+            if let Some((slot, ev)) = events.get_mut(next) {
+                if *slot as usize == i {
+                    action.dismissed = std::mem::take(&mut ev.dismissed);
+                    action.closed = ev.closed.take();
+                    next += 1;
+                }
+            }
+            self.apply_action(i, id, now, action);
+        }
+        debug_assert_eq!(next, events.len(), "event for an untouched slot");
+        events.clear();
+        step.events = events; // hand the allocation back for reuse
+    }
+
     fn apply_action(&mut self, i: usize, id: TupleId, now: Micros, action: FilterAction) {
         if action.reference {
             self.metrics.per_filter[i].references += 1;
-            if self.algorithm == Algorithm::SelfInterested
-                && self.slot_filter(i).si_emits_at_reference()
-            {
+            if self.algorithm == Algorithm::SelfInterested && self.si_emits_at_reference(i) {
                 self.enqueue(id, FilterId::from_index(i));
                 self.metrics.per_filter[i].chosen += 1;
             }
@@ -1215,7 +1380,7 @@ impl GroupEngine {
         }
         match self.algorithm {
             Algorithm::SelfInterested => {
-                if !self.slot_filter(i).si_emits_at_reference() {
+                if !self.si_emits_at_reference(i) {
                     for &id in &set.si_choice {
                         self.enqueue(id, FilterId::from_index(i));
                         self.metrics.per_filter[i].chosen += 1;
@@ -1231,7 +1396,7 @@ impl GroupEngine {
             Algorithm::PerCandidateSet => {
                 let chosen = decide::decide_outputs(&set, &self.utility, &self.recently_decided);
                 self.metrics.per_filter[i].chosen += chosen.len() as u64;
-                if self.slot_filter(i).is_stateful() {
+                if self.slot_is_stateful(i) {
                     if let Some(&first) = chosen.first() {
                         let key = set
                             .candidates
@@ -1239,11 +1404,7 @@ impl GroupEngine {
                             .find(|c| c.id == first)
                             .map(|c| c.key)
                             .unwrap_or_default();
-                        self.slots[i]
-                            .as_mut()
-                            .expect("closed sets come from occupied slots")
-                            .filter
-                            .output_chosen(first, key);
+                        self.notify_output_chosen(i, first, key);
                     }
                 }
                 for &id in &chosen {
@@ -1262,22 +1423,93 @@ impl GroupEngine {
         }
     }
 
-    /// The live filter in slot `i` (panics on vacancies — callers only
-    /// reach here for ids that produced an event this epoch).
+    /// The live trait object in slot `i` (interpreted tier only; panics
+    /// on vacancies — callers only reach here for ids that produced an
+    /// event this epoch).
     fn slot_filter(&self, i: usize) -> &dyn GroupFilter {
         self.slots[i]
             .as_ref()
             .expect("events only come from occupied slots")
             .filter
             .as_ref()
+            .expect("interpreted tier holds filter objects")
+            .as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // tier dispatch: each per-slot query/command goes to the compiled
+    // arenas or to the slot's trait object, whichever tier is live
+    // ------------------------------------------------------------------
+
+    fn si_emits_at_reference(&self, i: usize) -> bool {
+        match &self.compiled {
+            Some(c) => c.si_emits_at_reference(i),
+            None => self.slot_filter(i).si_emits_at_reference(),
+        }
+    }
+
+    fn slot_is_stateful(&self, i: usize) -> bool {
+        match &self.compiled {
+            Some(c) => c.is_stateful(i),
+            None => self.slot_filter(i).is_stateful(),
+        }
+    }
+
+    fn notify_output_chosen(&mut self, i: usize, first: TupleId, key: f64) {
+        match &mut self.compiled {
+            Some(c) => c.output_chosen(i, key),
+            None => self.slots[i]
+                .as_mut()
+                .expect("closed sets come from occupied slots")
+                .filter
+                .as_mut()
+                .expect("interpreted tier holds filter objects")
+                .output_chosen(first, key),
+        }
+    }
+
+    fn force_close_slot(&mut self, i: usize, cause: CloseCause) -> ForceCloseOutcome {
+        match &mut self.compiled {
+            Some(c) => c.force_close(i, cause),
+            None => match self.slots[i].as_mut() {
+                Some(slot) => slot
+                    .filter
+                    .as_mut()
+                    .expect("interpreted tier holds filter objects")
+                    .force_close(cause),
+                None => ForceCloseOutcome::default(),
+            },
+        }
+    }
+
+    fn open_cover_of(&self, i: usize) -> Option<TimeCover> {
+        match &self.compiled {
+            Some(c) => c.open_cover(i),
+            None => self.slots[i]
+                .as_ref()?
+                .filter
+                .as_ref()
+                .expect("interpreted tier holds filter objects")
+                .open_cover(),
+        }
+    }
+
+    fn open_len_of(&self, i: usize) -> usize {
+        match &self.compiled {
+            Some(c) => c.open_len(i),
+            None => self.slots[i].as_ref().map_or(0, |s| {
+                s.filter
+                    .as_ref()
+                    .expect("interpreted tier holds filter objects")
+                    .open_len()
+            }),
+        }
     }
 
     fn drain_regions(&mut self, now: Micros) {
-        let open_covers: Vec<TimeCover> = self
-            .slots
-            .iter()
-            .flatten()
-            .filter_map(|s| s.filter.open_cover())
+        let open_covers: Vec<TimeCover> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].is_some())
+            .filter_map(|i| self.open_cover_of(i))
             .collect();
         for region in self.tracker.drain_ready(&open_covers, now) {
             self.complete_region(region, now);
@@ -1420,11 +1652,9 @@ impl GroupEngine {
     }
 
     fn oldest_pending_candidate(&self) -> Option<Micros> {
-        let open_min = self
-            .slots
-            .iter()
-            .flatten()
-            .filter_map(|s| s.filter.open_cover())
+        let open_min = (0..self.slots.len())
+            .filter(|&i| self.slots[i].is_some())
+            .filter_map(|i| self.open_cover_of(i))
             .map(|c| c.min)
             .min();
         match (self.tracker.earliest_pending(), open_min) {
@@ -1435,11 +1665,9 @@ impl GroupEngine {
 
     fn pending_candidates(&self) -> usize {
         self.tracker.pending_candidates()
-            + self
-                .slots
-                .iter()
-                .flatten()
-                .map(|s| s.filter.open_len())
+            + (0..self.slots.len())
+                .filter(|&i| self.slots[i].is_some())
+                .map(|i| self.open_len_of(i))
                 .sum::<usize>()
     }
 }

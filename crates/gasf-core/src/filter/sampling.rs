@@ -88,7 +88,7 @@ impl StratifiedSampler {
 
     /// Evenly spaced deterministic sample — what the self-interested
     /// sampler ships (a fixed-rate pick, blind to the group).
-    fn si_sample(candidates: &[CandidateTuple], k: usize) -> Vec<TupleId> {
+    pub(crate) fn si_sample(candidates: &[CandidateTuple], k: usize) -> Vec<TupleId> {
         let n = candidates.len();
         if n == 0 || k == 0 {
             return Vec::new();

@@ -116,6 +116,7 @@ pub mod filter;
 pub mod hitting_set;
 pub mod metrics;
 pub mod monitor;
+pub mod plan;
 pub mod prelude;
 pub mod quality;
 pub mod region;

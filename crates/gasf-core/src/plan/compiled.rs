@@ -1,0 +1,966 @@
+//! The fused one-pass evaluator: the execution back end of a
+//! [`RosterPlan`].
+//!
+//! All per-filter admission state lives in packed struct-of-arrays arenas
+//! ([`DeltaArena`] / [`WindowArena`]) instead of per-trait-object fields,
+//! and members are indexed by *class* (shared key derivation): each tuple
+//! derives every distinct key exactly once, window gates fill the
+//! recipient [`FilterSet`] by block-union, and delta members that share a
+//! key **and** a comparison base form a *cohort* sorted by qualification
+//! threshold — one `|Δ|` plus one binary search decides, for the whole
+//! cohort, which members the tuple can possibly touch.
+//!
+//! Every state transition here mirrors the trait-object implementations in
+//! `crate::filter` **verbatim** (same float comparisons, same event
+//! order); the equivalence suite pins the two byte-identical.
+
+use super::{Expr, Gate, RosterPlan};
+use crate::bitset::FilterSet;
+use crate::candidate::{CandidateTuple, CloseCause, ClosedSet, FilterAction, FilterId, TimeCover};
+use crate::engine::Algorithm;
+use crate::error::Error;
+use crate::filter::ForceCloseOutcome;
+use crate::quality::{FilterSpec, PickDegree, Prescription};
+use crate::schema::{AttrId, Schema};
+use crate::time::Micros;
+use crate::tuple::{Tuple, TupleId};
+use std::collections::BTreeMap;
+
+/// Everything one tuple did to the roster, in packed form: membership
+/// bits for the common events (admission, reference) written a block at a
+/// time, and an ordered sparse list of the rare ones (dismissals,
+/// closures). The engine replays it slot-by-slot through the same
+/// bookkeeping the trait-object path uses.
+#[derive(Debug, Default)]
+pub(crate) struct StepActions {
+    /// Slots whose open set admitted the tuple.
+    pub(crate) admitted: FilterSet,
+    /// Slots for which the tuple is a reference output.
+    pub(crate) references: FilterSet,
+    /// Every slot with at least one event this step (superset of the
+    /// above plus the event slots) — the engine's iteration order.
+    pub(crate) touched: FilterSet,
+    /// Rare events, ascending by slot; at most one entry per slot.
+    pub(crate) events: Vec<(u32, StepEvent)>,
+}
+
+/// The non-bitmask events one filter produced for one tuple.
+#[derive(Debug, Default)]
+pub(crate) struct StepEvent {
+    /// Ids dismissed from the filter's open set.
+    pub(crate) dismissed: Vec<TupleId>,
+    /// A candidate set that closed during this step.
+    pub(crate) closed: Option<ClosedSet>,
+}
+
+impl StepActions {
+    fn clear(&mut self) {
+        self.admitted.clear();
+        self.references.clear();
+        self.touched.clear();
+        self.events.clear();
+    }
+}
+
+/// Folds a per-filter [`FilterAction`] into the step.
+fn record(step: &mut StepActions, slot: u32, action: FilterAction) {
+    let id = FilterId::from_index(slot as usize);
+    let mut any = false;
+    if action.admitted {
+        step.admitted.insert(id);
+        any = true;
+    }
+    if action.reference {
+        step.references.insert(id);
+        any = true;
+    }
+    if !action.dismissed.is_empty() || action.closed.is_some() {
+        any = true;
+        step.events.push((
+            slot,
+            StepEvent {
+                dismissed: action.dismissed,
+                closed: action.closed,
+            },
+        ));
+    }
+    if any {
+        step.touched.insert(id);
+    }
+}
+
+fn candidate_of(tuple: &Tuple, key: f64) -> CandidateTuple {
+    CandidateTuple {
+        id: tuple.id(),
+        timestamp: tuple.timestamp(),
+        key,
+    }
+}
+
+fn cover_of(open: &[CandidateTuple]) -> Option<TimeCover> {
+    let first = open.first()?;
+    let last = open.last()?;
+    Some(TimeCover {
+        min: first.timestamp,
+        max: last.timestamp,
+    })
+}
+
+/// One shared key derivation, executed once per tuple for its whole class
+/// (the hoisted-load form of the pure [`Expr`] key).
+#[derive(Debug, Clone)]
+enum KeyDeriver {
+    Single(AttrId),
+    Trend {
+        attr: AttrId,
+        prev: Option<(Micros, f64)>,
+    },
+    Mean(Vec<AttrId>),
+}
+
+impl KeyDeriver {
+    fn from_expr(key: &Expr) -> KeyDeriver {
+        match key {
+            Expr::Attr(a) => KeyDeriver::Single(*a),
+            Expr::Trend(a) => KeyDeriver::Trend {
+                attr: *a,
+                prev: None,
+            },
+            Expr::Mean(attrs) => KeyDeriver::Mean(attrs.clone()),
+            other => unreachable!("lowering only emits Attr/Trend/Mean keys, got {other}"),
+        }
+    }
+
+    /// Mirrors `filter::delta::Deriver::derive` exactly (same summation
+    /// order, same error-before-state-update rule for trends).
+    fn derive(&mut self, tuple: &Tuple) -> Result<f64, Error> {
+        match self {
+            KeyDeriver::Single(a) => tuple.require(*a),
+            KeyDeriver::Trend { attr, prev } => {
+                let v = tuple.require(*attr)?;
+                let now = tuple.timestamp();
+                let trend = match *prev {
+                    Some((t0, v0)) if now > t0 => (v - v0) / (now - t0).as_secs_f64(),
+                    _ => 0.0,
+                };
+                *prev = Some((now, v));
+                Ok(trend)
+            }
+            KeyDeriver::Mean(attrs) => {
+                let mut sum = 0.0;
+                for a in attrs.iter() {
+                    sum += tuple.require(*a)?;
+                }
+                Ok(sum / attrs.len() as f64)
+            }
+        }
+    }
+}
+
+/// Phase of a delta member's admission automaton (mirror of
+/// `filter::delta::Phase`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Initial,
+    Searching,
+    Tentative,
+    Vicinity,
+}
+
+/// Where an occupied roster slot's state lives.
+#[derive(Debug, Clone, Copy)]
+enum MemberRef {
+    /// Index into the [`DeltaArena`].
+    Delta(u32),
+    /// Index into the [`WindowArena`].
+    Window(u32),
+}
+
+/// Struct-of-arrays state of every delta member, indexed by member id.
+/// The method bodies mirror `filter::delta::DeltaCore` statement for
+/// statement — only the storage layout differs.
+#[derive(Debug, Default)]
+struct DeltaArena {
+    slot: Vec<u32>,
+    class: Vec<u32>,
+    delta: Vec<f64>,
+    slack: Vec<f64>,
+    /// `delta - slack`: the cohort sort key ("qualification threshold" —
+    /// the least distance `search_step` reacts to).
+    qualify: Vec<f64>,
+    stateful: Vec<bool>,
+    phase: Vec<Phase>,
+    base: Vec<f64>,
+    reference_val: Vec<f64>,
+    reference_id: Vec<Option<TupleId>>,
+    set_index: Vec<u64>,
+    open: Vec<Vec<CandidateTuple>>,
+}
+
+impl DeltaArena {
+    fn push_member(
+        &mut self,
+        slot: u32,
+        class: u32,
+        delta: f64,
+        slack: f64,
+        stateful: bool,
+    ) -> u32 {
+        let m = self.slot.len() as u32;
+        self.slot.push(slot);
+        self.class.push(class);
+        self.delta.push(delta);
+        self.slack.push(slack);
+        self.qualify.push(delta - slack);
+        self.stateful.push(stateful);
+        self.phase.push(Phase::Initial);
+        self.base.push(0.0);
+        self.reference_val.push(0.0);
+        self.reference_id.push(None);
+        self.set_index.push(0);
+        self.open.push(Vec::new());
+        m
+    }
+
+    fn seal(&mut self, m: usize, cause: CloseCause) -> ClosedSet {
+        let candidates = std::mem::take(&mut self.open[m]);
+        let si_choice = self.reference_id[m].take().into_iter().collect();
+        let set = ClosedSet {
+            filter: FilterId::from_index(self.slot[m] as usize),
+            set_index: self.set_index[m],
+            candidates,
+            pick_degree: 1,
+            prescription: Prescription::Any,
+            si_choice,
+            cause,
+        };
+        self.set_index[m] += 1;
+        self.phase[m] = Phase::Searching;
+        set
+    }
+
+    fn on_reference(&mut self, m: usize, tuple: &Tuple, key: f64, action: &mut FilterAction) {
+        // Keep only the contiguous run (by id, i.e. arrival order)
+        // immediately preceding the reference whose keys are within slack
+        // of it.
+        let mut keep_from = self.open[m].len();
+        let mut expected = tuple.id();
+        for (i, c) in self.open[m].iter().enumerate().rev() {
+            if c.id.next() == expected && (c.key - key).abs() <= self.slack[m] {
+                keep_from = i;
+                expected = c.id;
+            } else {
+                break;
+            }
+        }
+        for c in self.open[m].drain(..keep_from) {
+            action.dismissed.push(c.id);
+        }
+        self.open[m].push(candidate_of(tuple, key));
+        self.reference_id[m] = Some(tuple.id());
+        self.reference_val[m] = key;
+        if !self.stateful[m] {
+            self.base[m] = key;
+        }
+        self.phase[m] = Phase::Vicinity;
+        action.admitted = true;
+        action.reference = true;
+    }
+
+    fn search_step(&mut self, m: usize, tuple: &Tuple, key: f64, action: &mut FilterAction) {
+        let dist = (key - self.base[m]).abs();
+        if dist >= self.delta[m] {
+            self.on_reference(m, tuple, key, action);
+        } else if dist >= self.delta[m] - self.slack[m] {
+            self.open[m].push(candidate_of(tuple, key));
+            self.phase[m] = Phase::Tentative;
+            action.admitted = true;
+        }
+    }
+
+    fn force_close(&mut self, m: usize, cause: CloseCause) -> ForceCloseOutcome {
+        match self.phase[m] {
+            Phase::Vicinity => ForceCloseOutcome {
+                closed: Some(self.seal(m, cause)),
+                dismissed: Vec::new(),
+            },
+            Phase::Tentative => {
+                let dismissed = self.open[m].drain(..).map(|c| c.id).collect();
+                self.phase[m] = Phase::Searching;
+                ForceCloseOutcome {
+                    closed: None,
+                    dismissed,
+                }
+            }
+            Phase::Initial | Phase::Searching => ForceCloseOutcome::default(),
+        }
+    }
+}
+
+/// Gate parameters of one window member.
+#[derive(Debug, Clone, Copy)]
+enum WindowGate {
+    Reservoir {
+        k: u32,
+    },
+    Stratified {
+        threshold: f64,
+        high_pct: f64,
+        low_pct: f64,
+        prescription: Prescription,
+    },
+}
+
+/// Struct-of-arrays state of every sampling-window member. Mirrors
+/// `filter::sampling::{ReservoirSampler, StratifiedSampler}`.
+#[derive(Debug, Default)]
+struct WindowArena {
+    slot: Vec<u32>,
+    window: Vec<Micros>,
+    gate: Vec<WindowGate>,
+    current: Vec<Option<u64>>,
+    min_val: Vec<f64>,
+    max_val: Vec<f64>,
+    set_index: Vec<u64>,
+    open: Vec<Vec<CandidateTuple>>,
+}
+
+impl WindowArena {
+    fn push_member(&mut self, slot: u32, window: Micros, gate: WindowGate) -> u32 {
+        let m = self.slot.len() as u32;
+        self.slot.push(slot);
+        self.window.push(window);
+        self.gate.push(gate);
+        self.current.push(None);
+        self.min_val.push(f64::INFINITY);
+        self.max_val.push(f64::NEG_INFINITY);
+        self.set_index.push(0);
+        self.open.push(Vec::new());
+        m
+    }
+
+    /// One tuple through one window member: maybe close the previous
+    /// window, then accumulate. Admission is unconditional and recorded by
+    /// the caller's block-union, not here.
+    fn step(&mut self, m: usize, tuple: &Tuple, v: f64) -> Option<ClosedSet> {
+        let w = tuple.timestamp().as_micros() / self.window[m].as_micros().max(1);
+        let mut closed = None;
+        if self.current[m] != Some(w) {
+            if self.current[m].is_some() {
+                closed = self.seal(m, CloseCause::Natural);
+            }
+            self.current[m] = Some(w);
+        }
+        self.open[m].push(candidate_of(tuple, v));
+        if matches!(self.gate[m], WindowGate::Stratified { .. }) {
+            self.min_val[m] = self.min_val[m].min(v);
+            self.max_val[m] = self.max_val[m].max(v);
+        }
+        closed
+    }
+
+    fn seal(&mut self, m: usize, cause: CloseCause) -> Option<ClosedSet> {
+        if self.open[m].is_empty() {
+            return None;
+        }
+        let candidates = std::mem::take(&mut self.open[m]);
+        let (pick_degree, prescription) = match self.gate[m] {
+            WindowGate::Reservoir { k } => ((k as usize).min(candidates.len()), Prescription::Any),
+            WindowGate::Stratified {
+                threshold,
+                high_pct,
+                low_pct,
+                prescription,
+            } => {
+                let rate = if self.max_val[m] - self.min_val[m] >= threshold {
+                    high_pct
+                } else {
+                    low_pct
+                };
+                self.min_val[m] = f64::INFINITY;
+                self.max_val[m] = f64::NEG_INFINITY;
+                (
+                    PickDegree::Percent(rate).resolve(candidates.len()),
+                    prescription,
+                )
+            }
+        };
+        let si_choice = crate::filter::StratifiedSampler::si_sample(&candidates, pick_degree);
+        let set = ClosedSet {
+            filter: FilterId::from_index(self.slot[m] as usize),
+            set_index: self.set_index[m],
+            candidates,
+            pick_degree,
+            prescription,
+            si_choice,
+            cause,
+        };
+        self.set_index[m] += 1;
+        Some(set)
+    }
+}
+
+/// Run-time bookkeeping of one key-derivation class: the shared deriver
+/// plus its members bucketed by automaton situation, so the per-tuple pass
+/// touches each bucket with the cheapest loop that is still exact.
+#[derive(Debug)]
+struct ClassState {
+    deriver: KeyDeriver,
+    /// Delta members that have not seen a tuple yet (first tuple is always
+    /// a reference).
+    initial: Vec<u32>,
+    /// Delta members in the vicinity phase (compare against their own
+    /// `reference_val`).
+    vicinity: Vec<u32>,
+    /// Delta members searching/tentative, grouped by comparison-base bits;
+    /// each cohort is sorted ascending by `(qualify, member)`, so
+    /// `partition_point` over one shared distance yields exactly the
+    /// members `search_step` would touch.
+    cohorts: BTreeMap<u64, Vec<u32>>,
+    /// Window members of this class.
+    window_members: Vec<u32>,
+    /// Recipient bits of `window_members` — window admission is
+    /// unconditional, so one block-union fills them all.
+    sampler_mask: FilterSet,
+}
+
+/// Inserts `m` into the cohort for its current base, keeping the
+/// `(qualify, member)` sort order.
+fn insert_cohort(cohorts: &mut BTreeMap<u64, Vec<u32>>, delta: &DeltaArena, m: u32) {
+    let list = cohorts.entry(delta.base[m as usize].to_bits()).or_default();
+    let q = delta.qualify[m as usize];
+    let pos = list.partition_point(|&o| (delta.qualify[o as usize], o) <= (q, m));
+    list.insert(pos, m);
+}
+
+fn remove_from_cohort(cohorts: &mut BTreeMap<u64, Vec<u32>>, bits: u64, m: u32) {
+    if let Some(list) = cohorts.get_mut(&bits) {
+        list.retain(|&o| o != m);
+        if list.is_empty() {
+            cohorts.remove(&bits);
+        }
+    }
+}
+
+/// A roster compiled into fused evaluators: the execution form of a
+/// [`RosterPlan`].
+///
+/// Construction is a pure function of `(roster, schema, algorithm)` — the
+/// compiled state holds nothing a snapshot would need to persist, which is
+/// what keeps [`GroupSnapshot`](crate::snapshot::GroupSnapshot) format-
+/// stable: restore simply recompiles. The engine recompiles at every epoch
+/// safe point (vacancy holes preserved), exactly when the trait-object
+/// tier would rebuild its filters.
+#[derive(Debug)]
+pub struct CompiledRoster {
+    plan: RosterPlan,
+    classes: Vec<ClassState>,
+    delta: DeltaArena,
+    windows: WindowArena,
+    /// Per engine slot: where that filter's state lives (`None` =
+    /// vacancy).
+    member_of: Vec<Option<MemberRef>>,
+    /// Per-class derived-key scratch, refilled each tuple.
+    keys: Vec<f64>,
+    /// Relocation scratch (members changing bucket mid-pass are staged so
+    /// a tuple never reaches the same member twice).
+    to_vicinity: Vec<u32>,
+    to_cohort: Vec<u32>,
+}
+
+impl CompiledRoster {
+    /// Lowers and compiles a roster (occupied `(id, spec)` slots,
+    /// ascending by id).
+    ///
+    /// # Errors
+    /// Exactly the errors filter instantiation would report, in the same
+    /// slot order ([`super::FilterPlan::lower`]).
+    pub fn compile<'a>(
+        roster: impl IntoIterator<Item = (FilterId, &'a FilterSpec)>,
+        schema: &Schema,
+        algorithm: Algorithm,
+    ) -> Result<CompiledRoster, Error> {
+        let plan = RosterPlan::lower(roster, schema, algorithm)?;
+        let mut classes: Vec<ClassState> = plan
+            .classes
+            .iter()
+            .map(|key| ClassState {
+                deriver: KeyDeriver::from_expr(key),
+                initial: Vec::new(),
+                vicinity: Vec::new(),
+                cohorts: BTreeMap::new(),
+                window_members: Vec::new(),
+                sampler_mask: FilterSet::new(),
+            })
+            .collect();
+        let mut darena = DeltaArena::default();
+        let mut warena = WindowArena::default();
+        let width = plan.filters.last().map_or(0, |fp| fp.id.index() + 1);
+        let mut member_of: Vec<Option<MemberRef>> = vec![None; width];
+        for (i, fp) in plan.filters.iter().enumerate() {
+            let ci = plan.class_of[i];
+            let slot = fp.id.index() as u32;
+            match fp.gate {
+                Gate::Delta {
+                    delta,
+                    slack,
+                    stateful,
+                } => {
+                    let m = darena.push_member(slot, ci as u32, delta, slack, stateful);
+                    classes[ci].initial.push(m);
+                    member_of[slot as usize] = Some(MemberRef::Delta(m));
+                }
+                Gate::Reservoir { window, k } => {
+                    let m = warena.push_member(slot, window, WindowGate::Reservoir { k });
+                    classes[ci].window_members.push(m);
+                    classes[ci].sampler_mask.insert(fp.id);
+                    member_of[slot as usize] = Some(MemberRef::Window(m));
+                }
+                Gate::Stratified {
+                    window,
+                    threshold,
+                    high_pct,
+                    low_pct,
+                    prescription,
+                } => {
+                    let m = warena.push_member(
+                        slot,
+                        window,
+                        WindowGate::Stratified {
+                            threshold,
+                            high_pct,
+                            low_pct,
+                            prescription,
+                        },
+                    );
+                    classes[ci].window_members.push(m);
+                    classes[ci].sampler_mask.insert(fp.id);
+                    member_of[slot as usize] = Some(MemberRef::Window(m));
+                }
+            }
+        }
+        let keys = vec![0.0; classes.len()];
+        Ok(CompiledRoster {
+            plan,
+            classes,
+            delta: darena,
+            windows: warena,
+            member_of,
+            keys,
+            to_vicinity: Vec::new(),
+            to_cohort: Vec::new(),
+        })
+    }
+
+    /// The logical plan this roster was compiled from.
+    pub fn plan(&self) -> &RosterPlan {
+        &self.plan
+    }
+
+    /// Number of shared key-derivation classes (the CSE result).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of compiled filter members.
+    pub fn member_count(&self) -> usize {
+        self.delta.slot.len() + self.windows.slot.len()
+    }
+
+    /// Runs one tuple through every member in a single pass, filling
+    /// `step` with the roster's combined actions.
+    ///
+    /// # Errors
+    /// The first derivation error in class (= first-use slot) order —
+    /// identical to the error the slot loop would return.
+    pub(crate) fn process_tuple(
+        &mut self,
+        tuple: &Tuple,
+        step: &mut StepActions,
+    ) -> Result<(), Error> {
+        step.clear();
+        // Stage 1 — hoisted loads: derive every distinct key once.
+        for (ci, class) in self.classes.iter_mut().enumerate() {
+            self.keys[ci] = class.deriver.derive(tuple)?;
+        }
+        // Stage 2 — fused evaluation per class.
+        for ci in 0..self.classes.len() {
+            let key = self.keys[ci];
+            // Window members: accumulate, closing on window boundaries;
+            // admission is one block-union over the whole class.
+            for wi in 0..self.classes[ci].window_members.len() {
+                let m = self.classes[ci].window_members[wi] as usize;
+                if let Some(set) = self.windows.step(m, tuple, key) {
+                    let slot = self.windows.slot[m];
+                    step.events.push((
+                        slot,
+                        StepEvent {
+                            dismissed: Vec::new(),
+                            closed: Some(set),
+                        },
+                    ));
+                }
+            }
+            step.admitted.union_with(&self.classes[ci].sampler_mask);
+            step.touched.union_with(&self.classes[ci].sampler_mask);
+
+            // Delta members still in Initial: first tuple is a reference.
+            for ii in 0..self.classes[ci].initial.len() {
+                let m = self.classes[ci].initial[ii] as usize;
+                let mut action = FilterAction::none();
+                self.delta.on_reference(m, tuple, key, &mut action);
+                record(step, self.delta.slot[m], action);
+                self.to_vicinity.push(m as u32);
+            }
+            self.classes[ci].initial.clear();
+
+            // Vicinity members: within slack of their own reference stay
+            // open; otherwise seal and fall through to the search step.
+            let mut vi = 0;
+            while vi < self.classes[ci].vicinity.len() {
+                let m = self.classes[ci].vicinity[vi] as usize;
+                let mut action = FilterAction::none();
+                if (key - self.delta.reference_val[m]).abs() <= self.delta.slack[m] {
+                    self.delta.open[m].push(candidate_of(tuple, key));
+                    action.admitted = true;
+                } else {
+                    action.closed = Some(self.delta.seal(m, CloseCause::Natural));
+                    self.delta.search_step(m, tuple, key, &mut action);
+                }
+                record(step, self.delta.slot[m], action);
+                if self.delta.phase[m] == Phase::Vicinity {
+                    vi += 1;
+                } else {
+                    self.classes[ci].vicinity.swap_remove(vi);
+                    self.to_cohort.push(m as u32);
+                }
+            }
+
+            // Cohorts: one distance + one binary search per distinct base
+            // decides which members this tuple can touch at all; the
+            // non-qualifying suffix provably produces no action.
+            for (&bits, members) in self.classes[ci].cohorts.iter_mut() {
+                let base = f64::from_bits(bits);
+                let dist = (key - base).abs();
+                let cut = members.partition_point(|&m| self.delta.qualify[m as usize] <= dist);
+                if cut == 0 {
+                    continue;
+                }
+                let mut w = 0;
+                for r in 0..members.len() {
+                    let m = members[r] as usize;
+                    if r < cut {
+                        let mut action = FilterAction::none();
+                        self.delta.search_step(m, tuple, key, &mut action);
+                        record(step, self.delta.slot[m], action);
+                        if self.delta.phase[m] == Phase::Vicinity {
+                            self.to_vicinity.push(m as u32);
+                            continue; // leaves the cohort
+                        }
+                    }
+                    members[w] = members[r];
+                    w += 1;
+                }
+                members.truncate(w);
+            }
+            self.classes[ci].cohorts.retain(|_, v| !v.is_empty());
+
+            // Staged relocations (never within the same scan, so a tuple
+            // reaches each member exactly once).
+            let moved = std::mem::take(&mut self.to_vicinity);
+            self.classes[ci].vicinity.extend_from_slice(&moved);
+            self.to_vicinity = moved;
+            self.to_vicinity.clear();
+            for i in 0..self.to_cohort.len() {
+                let m = self.to_cohort[i];
+                insert_cohort(&mut self.classes[ci].cohorts, &self.delta, m);
+            }
+            self.to_cohort.clear();
+        }
+        // Engine replay order is ascending slot (≤ 1 event per slot).
+        step.events.sort_unstable_by_key(|(slot, _)| *slot);
+        Ok(())
+    }
+
+    /// Force-closes the open set of the filter in `slot` (timely cut /
+    /// epoch boundary / end of stream). No-op for vacancies.
+    pub(crate) fn force_close(&mut self, slot: usize, cause: CloseCause) -> ForceCloseOutcome {
+        match self.member_of.get(slot).copied().flatten() {
+            Some(MemberRef::Window(m)) => ForceCloseOutcome {
+                closed: self.windows.seal(m as usize, cause),
+                dismissed: Vec::new(),
+            },
+            Some(MemberRef::Delta(m)) => {
+                let mi = m as usize;
+                let was_vicinity = self.delta.phase[mi] == Phase::Vicinity;
+                let out = self.delta.force_close(mi, cause);
+                if was_vicinity {
+                    // Sealed out of the vicinity: the member now searches
+                    // from its (unchanged) base.
+                    let ci = self.delta.class[mi] as usize;
+                    self.classes[ci].vicinity.retain(|&o| o != m);
+                    insert_cohort(&mut self.classes[ci].cohorts, &self.delta, m);
+                }
+                out
+            }
+            None => ForceCloseOutcome::default(),
+        }
+    }
+
+    /// Informs a stateful member which value the group chose for its last
+    /// set, rebasing its cohort membership if the base moved.
+    pub(crate) fn output_chosen(&mut self, slot: usize, key: f64) {
+        if let Some(MemberRef::Delta(m)) = self.member_of.get(slot).copied().flatten() {
+            let mi = m as usize;
+            if !self.delta.stateful[mi] {
+                return;
+            }
+            let old = self.delta.base[mi];
+            self.delta.base[mi] = key;
+            if old.to_bits() != key.to_bits()
+                && matches!(self.delta.phase[mi], Phase::Searching | Phase::Tentative)
+            {
+                let ci = self.delta.class[mi] as usize;
+                remove_from_cohort(&mut self.classes[ci].cohorts, old.to_bits(), m);
+                insert_cohort(&mut self.classes[ci].cohorts, &self.delta, m);
+            }
+        }
+    }
+
+    /// Time cover of the open set of the filter in `slot`.
+    pub(crate) fn open_cover(&self, slot: usize) -> Option<TimeCover> {
+        match self.member_of.get(slot).copied().flatten()? {
+            MemberRef::Delta(m) => cover_of(&self.delta.open[m as usize]),
+            MemberRef::Window(m) => cover_of(&self.windows.open[m as usize]),
+        }
+    }
+
+    /// Number of candidates in the open set of the filter in `slot`.
+    pub(crate) fn open_len(&self, slot: usize) -> usize {
+        match self.member_of.get(slot).copied().flatten() {
+            Some(MemberRef::Delta(m)) => self.delta.open[m as usize].len(),
+            Some(MemberRef::Window(m)) => self.windows.open[m as usize].len(),
+            None => 0,
+        }
+    }
+
+    /// Whether the filter in `slot` emits at reference identification
+    /// under the self-interested baseline (DC yes, samplers no).
+    pub(crate) fn si_emits_at_reference(&self, slot: usize) -> bool {
+        !matches!(
+            self.member_of.get(slot).copied().flatten(),
+            Some(MemberRef::Window(_))
+        )
+    }
+
+    /// Whether the filter in `slot` is stateful.
+    pub(crate) fn is_stateful(&self, slot: usize) -> bool {
+        match self.member_of.get(slot).copied().flatten() {
+            Some(MemberRef::Delta(m)) => self.delta.stateful[m as usize],
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{build_filter, GroupFilter};
+    use crate::tuple::series;
+
+    /// Drives the compiled roster and the trait objects over the same
+    /// stream and asserts identical per-slot actions at every tuple.
+    fn assert_lockstep(specs: Vec<FilterSpec>, algorithm: Algorithm, points: &[(u64, f64)]) {
+        let schema = Schema::new(["t"]);
+        let tuples = series(&schema, "t", points);
+        let roster: Vec<(FilterId, FilterSpec)> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (FilterId::from_index(i), s))
+            .collect();
+        let mut compiled =
+            CompiledRoster::compile(roster.iter().map(|(id, s)| (*id, s)), &schema, algorithm)
+                .unwrap();
+        let mut oracles: Vec<Box<dyn GroupFilter>> = roster
+            .iter()
+            .map(|(id, s)| {
+                let effective = if s.is_stateful() && algorithm == Algorithm::SelfInterested {
+                    let mut s = s.clone();
+                    if let crate::quality::FilterKind::Delta { dependency, .. } = &mut s.kind {
+                        *dependency = crate::quality::Dependency::Stateless;
+                    }
+                    s
+                } else {
+                    s.clone()
+                };
+                build_filter(&effective, *id, &schema).unwrap()
+            })
+            .collect();
+        let mut step = StepActions::default();
+        for t in &tuples {
+            compiled.process_tuple(t, &mut step).unwrap();
+            let mut events = std::mem::take(&mut step.events);
+            events.reverse(); // pop from the front via pop()
+            for (slot, oracle) in oracles.iter_mut().enumerate() {
+                let want = oracle.process(t).unwrap();
+                let id = FilterId::from_index(slot);
+                assert_eq!(
+                    step.admitted.contains(id),
+                    want.admitted,
+                    "admit slot {slot}"
+                );
+                assert_eq!(
+                    step.references.contains(id),
+                    want.reference,
+                    "reference slot {slot}"
+                );
+                let ev = match events.last() {
+                    Some((s, _)) if *s as usize == slot => {
+                        let (_, ev) = events.pop().expect("peeked");
+                        ev
+                    }
+                    _ => StepEvent::default(),
+                };
+                assert_eq!(ev.dismissed, want.dismissed, "dismissed slot {slot}");
+                assert_eq!(ev.closed, want.closed, "closed slot {slot}");
+            }
+            assert!(events.is_empty(), "event for a slot that saw none");
+        }
+        for (slot, oracle) in oracles.iter_mut().enumerate() {
+            let want = oracle.force_close(CloseCause::EndOfStream);
+            let got = compiled.force_close(slot, CloseCause::EndOfStream);
+            assert_eq!(got, want, "force_close slot {slot}");
+        }
+    }
+
+    fn paper_points() -> Vec<(u64, f64)> {
+        vec![
+            (10, 0.0),
+            (20, 35.0),
+            (30, 29.0),
+            (40, 45.0),
+            (50, 50.0),
+            (60, 59.0),
+            (70, 80.0),
+            (80, 97.0),
+            (90, 100.0),
+            (100, 112.0),
+        ]
+    }
+
+    #[test]
+    fn lockstep_on_the_paper_roster() {
+        assert_lockstep(
+            vec![
+                FilterSpec::delta("t", 50.0, 10.0),
+                FilterSpec::delta("t", 40.0, 5.0),
+                FilterSpec::delta("t", 80.0, 25.0),
+            ],
+            Algorithm::RegionGreedy,
+            &paper_points(),
+        );
+    }
+
+    #[test]
+    fn lockstep_with_samplers_and_trends() {
+        assert_lockstep(
+            vec![
+                FilterSpec::delta("t", 50.0, 10.0),
+                FilterSpec::trend_delta("t", 400.0, 40.0),
+                FilterSpec::reservoir("t", Micros::from_millis(30), 2),
+                FilterSpec::stratified_sample("t", Micros::from_millis(40), 20.0, 60.0, 25.0),
+                FilterSpec::multi_attr_delta(["t"], 30.0, 3.0),
+            ],
+            Algorithm::PerCandidateSet,
+            &paper_points(),
+        );
+    }
+
+    #[test]
+    fn lockstep_with_stateful_under_si() {
+        assert_lockstep(
+            vec![
+                FilterSpec::stateful_delta("t", 50.0, 10.0),
+                FilterSpec::delta("t", 50.0, 10.0),
+            ],
+            Algorithm::SelfInterested,
+            &paper_points(),
+        );
+    }
+
+    #[test]
+    fn cse_shares_identical_attrs() {
+        let schema = Schema::new(["t"]);
+        let specs = [
+            FilterSpec::delta("t", 50.0, 10.0),
+            FilterSpec::delta("t", 40.0, 5.0),
+            FilterSpec::reservoir("t", Micros::from_millis(100), 2),
+        ];
+        let compiled = CompiledRoster::compile(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (FilterId::from_index(i), s)),
+            &schema,
+            Algorithm::RegionGreedy,
+        )
+        .unwrap();
+        assert_eq!(compiled.class_count(), 1, "all three watch `t`");
+        assert_eq!(compiled.member_count(), 3);
+        assert!(!compiled.is_stateful(0));
+        assert!(compiled.si_emits_at_reference(0));
+        assert!(!compiled.si_emits_at_reference(2), "sampler emits at close");
+    }
+
+    #[test]
+    fn cohort_cascade_skips_non_qualifying_members() {
+        // Two filters share base 0 after the first reference; a small step
+        // must only touch the tighter filter.
+        let schema = Schema::new(["t"]);
+        let tuples = series(&schema, "t", &[(10, 0.0), (20, 3.0), (30, 9.0)]);
+        let specs = [
+            FilterSpec::delta("t", 10.0, 2.0),
+            FilterSpec::delta("t", 100.0, 2.0),
+        ];
+        let mut compiled = CompiledRoster::compile(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (FilterId::from_index(i), s)),
+            &schema,
+            Algorithm::RegionGreedy,
+        )
+        .unwrap();
+        let mut step = StepActions::default();
+        compiled.process_tuple(&tuples[0], &mut step).unwrap();
+        assert_eq!(step.references.len(), 2, "first tuple references both");
+        compiled.process_tuple(&tuples[1], &mut step).unwrap();
+        // 3.0 closes both vicinities (slack 2); dist 3 < qualify 8 and 98.
+        assert!(step.admitted.is_empty());
+        compiled.process_tuple(&tuples[2], &mut step).unwrap();
+        // dist 9 ≥ 10−2 qualifies only the tight filter (tentative).
+        assert!(step.admitted.contains(FilterId::from_index(0)));
+        assert!(!step.admitted.contains(FilterId::from_index(1)));
+        assert!(!step.touched.contains(FilterId::from_index(1)));
+    }
+
+    #[test]
+    fn vacancies_are_inert() {
+        let schema = Schema::new(["t"]);
+        let spec = FilterSpec::delta("t", 10.0, 2.0);
+        let mut compiled = CompiledRoster::compile(
+            [(FilterId::from_index(1), &spec)],
+            &schema,
+            Algorithm::RegionGreedy,
+        )
+        .unwrap();
+        assert_eq!(compiled.member_count(), 1);
+        assert!(compiled.open_cover(0).is_none());
+        assert_eq!(compiled.open_len(0), 0);
+        assert_eq!(
+            compiled.force_close(0, CloseCause::Cut),
+            ForceCloseOutcome::default()
+        );
+        assert!(compiled.open_cover(7).is_none(), "past-width slots inert");
+    }
+}

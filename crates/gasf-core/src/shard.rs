@@ -59,6 +59,7 @@ use crate::candidate::FilterId;
 use crate::engine::{ControlOp, GroupEngine, GroupEngineBuilder};
 use crate::error::Error;
 use crate::metrics::EngineMetrics;
+use crate::plan::EvaluatorTier;
 use crate::quality::FilterSpec;
 use crate::schema::Schema;
 use crate::sink::{EmissionSink, StreamOperator, VecSink};
@@ -150,6 +151,9 @@ enum ReplayEntry {
 struct RouteControl {
     schema: Schema,
     algorithm: crate::engine::Algorithm,
+    /// The evaluator tier this route's engine runs (worker rebuilds after
+    /// a crash keep the tier the route was configured with).
+    tier: EvaluatorTier,
     /// Live filter ids (as the worker's engine will see them once every
     /// queued op applies).
     live: BTreeSet<u32>,
@@ -308,6 +312,7 @@ impl ShardedEngineBuilder {
             controls.push(RouteControl {
                 schema: builder.schema().clone(),
                 algorithm: builder.configured_algorithm(),
+                tier: builder.configured_evaluator(),
                 live: roster.iter().map(|(id, _)| id.index() as u32).collect(),
                 next_id: roster.last().map_or(0, |(id, _)| id.index() as u32 + 1),
             });
@@ -325,8 +330,8 @@ impl ShardedEngineBuilder {
             route_keys.push(key.clone());
         }
         let mut engines = Vec::with_capacity(last_checkpoint.len());
-        for g in &last_checkpoint {
-            engines.push(GroupEngine::restore(g)?);
+        for (g, ctl) in last_checkpoint.iter().zip(&controls) {
+            engines.push(GroupEngine::restore_with_tier(g, ctl.tier)?);
         }
         let (shards, route_shard) = spawn_shards(parallelism, &route_keys, engines, queue_depth)?;
         Ok(ShardedEngine {
@@ -767,7 +772,10 @@ impl ShardedEngine {
             controls.push(RouteControl {
                 schema: g.schema().clone(),
                 algorithm: g.algorithm(),
-                live: g.roster().iter().map(|(id, _)| id.index() as u32).collect(),
+                // Snapshots carry no tier (compilation is a pure function
+                // of the roster); restored processes run the default.
+                tier: EvaluatorTier::default(),
+                live: g.roster_iter().map(|(id, _)| id.index() as u32).collect(),
                 next_id: g.next_filter_id,
             });
             engines.push(GroupEngine::restore(g)?);
@@ -897,7 +905,13 @@ impl ShardedEngine {
         let routes = self.shards[si].routes.clone();
         let mut engines = Vec::with_capacity(routes.len());
         for &r in &routes {
-            engines.push((r, GroupEngine::restore(&self.last_checkpoint[r as usize])?));
+            engines.push((
+                r,
+                GroupEngine::restore_with_tier(
+                    &self.last_checkpoint[r as usize],
+                    self.controls[r as usize].tier,
+                )?,
+            ));
         }
         let (tx, rx, join) = spawn_worker(self.shards[si].shard_no, engines, self.queue_depth)?;
         let dead = || Error::InvalidConfig {
@@ -950,7 +964,7 @@ impl ShardedEngine {
         self.control_guard(route)?;
         let ctl = &self.controls[route];
         let id = FilterId::from_index(ctl.next_id as usize);
-        crate::engine::instantiate_filter(&spec, id, &ctl.schema, ctl.algorithm)?;
+        crate::engine::validate_filter(&spec, id, &ctl.schema, ctl.algorithm)?;
         self.send_control(route, ControlOp::Add(id, spec))?;
         let ctl = &mut self.controls[route];
         ctl.live.insert(ctl.next_id);
@@ -998,7 +1012,7 @@ impl ShardedEngine {
         if !ctl.live.contains(&(id.index() as u32)) {
             return Err(Error::UnknownFilter { id });
         }
-        crate::engine::instantiate_filter(&spec, id, &ctl.schema, ctl.algorithm)?;
+        crate::engine::validate_filter(&spec, id, &ctl.schema, ctl.algorithm)?;
         self.send_control(route, ControlOp::Update(id, spec))
     }
 

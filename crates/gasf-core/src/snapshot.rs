@@ -165,11 +165,16 @@ impl GroupSnapshot {
     /// The live roster at the boundary: `(id, spec)` per occupied slot,
     /// ascending by id (vacancy holes are skipped but preserved).
     pub fn roster(&self) -> Vec<(FilterId, FilterSpec)> {
+        self.roster_iter().map(|(id, s)| (id, s.clone())).collect()
+    }
+
+    /// Borrowing form of [`roster`](Self::roster): the occupied slots
+    /// without cloning any spec.
+    pub fn roster_iter(&self) -> impl Iterator<Item = (FilterId, &FilterSpec)> {
         self.roster
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|s| (FilterId::from_index(i), s.clone())))
-            .collect()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (FilterId::from_index(i), s)))
     }
 
     /// Number of live filters captured.
