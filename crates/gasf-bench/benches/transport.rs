@@ -1,0 +1,118 @@
+//! Transport seam cost: the same middleware workload drained through the
+//! in-memory analytic overlay vs. the `gasf-wire` localhost-TCP
+//! transport, at 1 and 4 engine shards.
+//!
+//! One iteration replays the full layout workload through a fresh
+//! middleware partition — `pipeline()` for the overlay, `pipeline_over`
+//! with a freshly connected `TcpTransport` for the wire (connection
+//! setup is inside the iteration; with thousands of emissions per replay
+//! it amortises to noise). The TCP numbers therefore price the real
+//! costs the simulator abstracts away: framing, syscalls, and the
+//! loopback stack, with a drain thread on the other end reading frames
+//! as fast as they arrive.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_wire::frame::read_frame;
+use gasf_wire::layout::HostLayout;
+use gasf_wire::tcp::{TcpTransport, WireConfig};
+use gasf_wire::worker::build_middleware;
+use gasf_wire::DEFAULT_MAX_FRAME;
+use std::hint::black_box;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+const SHARDS: [usize; 2] = [1, 4];
+
+fn layout(parallelism: usize) -> HostLayout {
+    let toml = format!(
+        r#"
+[deployment]
+name = "bench"
+[workload]
+tuples = 2000
+seed = 1
+algorithm = "region-greedy"
+strategy = "earliest"
+parallelism = {parallelism}
+[[process]]
+id = 0
+role = "source"
+addr = "127.0.0.1:0"
+nodes = [0]
+[[process]]
+id = 1
+role = "subscriber"
+addr = "127.0.0.1:0"
+nodes = [1, 2, 3]
+"#
+    );
+    HostLayout::from_toml(&toml).expect("bench layout parses")
+}
+
+/// Replay through the analytic overlay (the default data plane).
+fn run_overlay(layout: &HostLayout) -> u64 {
+    let (mut mw, src, trace) = build_middleware(layout).expect("middleware builds");
+    let mut pipeline = mw.pipeline(src).expect("pipeline");
+    for t in trace.tuples() {
+        pipeline.push(t.clone()).expect("push");
+    }
+    pipeline.finish().expect("finish");
+    mw.overlay().total_bytes()
+}
+
+/// Replay over a real localhost TCP connection into a drain thread.
+fn run_tcp(layout: &HostLayout, addr: std::net::SocketAddr) -> u64 {
+    let (mut mw, src, trace) = build_middleware(layout).expect("middleware builds");
+    let mut wire =
+        TcpTransport::connect(layout, 0, WireConfig::default(), |_| Ok(addr)).expect("connect");
+    {
+        let mut pipeline = mw.pipeline_over(src, &mut wire).expect("pipeline");
+        for t in trace.tuples() {
+            pipeline.push(t.clone()).expect("push");
+        }
+        pipeline.finish().expect("finish");
+    }
+    gasf_net::Transport::flush(&mut wire).expect("flush");
+    gasf_net::Transport::total_bytes(&wire)
+}
+
+/// A drain server that accepts connections forever and reads frames to
+/// EOF — the subscriber side of the wire, minus digesting.
+fn spawn_drain() -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind drain");
+    let addr = listener.local_addr().expect("drain addr");
+    let listener = Arc::new(listener);
+    std::thread::spawn(move || {
+        while let Ok((mut stream, _)) = listener.accept() {
+            std::thread::spawn(move || {
+                while let Ok(Some(frame)) = read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+                    black_box(frame);
+                }
+            });
+        }
+    });
+    addr
+}
+
+fn bench(c: &mut Criterion) {
+    let drain = spawn_drain();
+    let mut g = c.benchmark_group("transport");
+    for shards in SHARDS {
+        let l = layout(shards);
+        g.bench_with_input(BenchmarkId::new("in-memory", shards), &l, |b, l| {
+            b.iter(|| black_box(run_overlay(l)))
+        });
+        g.bench_with_input(BenchmarkId::new("tcp-localhost", shards), &l, |b, l| {
+            b.iter(|| black_box(run_tcp(l, drain)))
+        });
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

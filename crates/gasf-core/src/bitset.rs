@@ -115,6 +115,23 @@ impl BitSet {
         }
     }
 
+    /// The packed `u64` blocks, trailing zero blocks already trimmed.
+    ///
+    /// This is the set's canonical byte-level representation: wire codecs
+    /// serialise the blocks directly, with no per-index materialisation.
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Rebuilds a set from packed `u64` blocks (e.g. decoded off the
+    /// wire). Trailing zero blocks are trimmed so the structural-equality
+    /// invariant holds regardless of how the input was produced.
+    pub fn from_blocks(blocks: Vec<u64>) -> Self {
+        let mut set = BitSet { blocks };
+        set.trim();
+        set
+    }
+
     fn trim(&mut self) {
         while self.blocks.last() == Some(&0) {
             self.blocks.pop();
@@ -218,6 +235,19 @@ impl FilterSet {
     /// Iterates the filters in ascending id order.
     pub fn iter(&self) -> FilterIds<'_> {
         FilterIds(self.0.iter())
+    }
+
+    /// The packed `u64` blocks of the underlying [`BitSet`], trimmed.
+    /// Wire codecs serialise these directly — no intermediate `Vec` of
+    /// ids on the hot send path.
+    pub fn blocks(&self) -> &[u64] {
+        self.0.blocks()
+    }
+
+    /// Rebuilds a set from packed `u64` blocks (the inverse of
+    /// [`FilterSet::blocks`]); trailing zero blocks are trimmed.
+    pub fn from_blocks(blocks: Vec<u64>) -> Self {
+        FilterSet(BitSet::from_blocks(blocks))
     }
 }
 

@@ -174,6 +174,22 @@ impl Tuple {
         })
     }
 
+    /// Reassembles a tuple from its wire representation — sequence
+    /// number, timestamp and raw values — with no schema check.
+    ///
+    /// This is the decode-side counterpart of [`Tuple::wire_size`]'s
+    /// layout: codecs that shipped a tuple byte-for-byte must be able to
+    /// rebuild it byte-for-byte, including NaN "absent" slots a schema
+    /// check could not distinguish. Encode-side callers should keep using
+    /// [`Tuple::new`] / [`TupleBuilder`].
+    pub fn from_wire(seq: u64, timestamp: Micros, values: Vec<f64>) -> Self {
+        Tuple {
+            seq,
+            timestamp,
+            values: values.into(),
+        }
+    }
+
     /// Sequence number assigned by the source (strictly increasing).
     pub fn seq(&self) -> u64 {
         self.seq

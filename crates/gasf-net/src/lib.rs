@@ -29,6 +29,11 @@
 //!   members keep receiving, and the repair control cost is accounted
 //!   ([`RepairReport`], [`Delivery::repair_bytes`]).
 //!
+//! * [`Transport`] — the transport seam: the overlay send path behind an
+//!   object-safe trait, so the same middleware drains emissions into the
+//!   analytic simulator here or a real length-prefixed TCP wire (the
+//!   `gasf-wire` crate) without touching engine or middleware code.
+//!
 //! The paper explicitly scopes out network dynamics (§1.2), so the
 //! simulator is analytic (no queuing/congestion model) — delays and byte
 //! counts are deterministic functions of topology and message size.
@@ -38,8 +43,10 @@
 
 pub mod multicast;
 pub mod topology;
+pub mod transport;
 
 pub use multicast::{
     Delivery, GroupId, NetError, Overlay, OverlayConfig, RepairReport, ShardedGroup,
 };
 pub use topology::{LinkSpec, NodeId, Topology, TopologyBuilder};
+pub use transport::{LinkLoad, NullTransport, Transport};

@@ -23,6 +23,21 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GroupId(u64);
 
+impl GroupId {
+    /// The raw 64-bit value (the hash of the group name), for wire
+    /// codecs that must ship the id byte-for-byte.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw value (the inverse of
+    /// [`GroupId::raw`], for the decode side of a wire codec). The value
+    /// is only meaningful on an overlay that created the same group.
+    pub const fn from_raw(raw: u64) -> Self {
+        GroupId(raw)
+    }
+}
+
 impl fmt::Display for GroupId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "g{:08x}", self.0)
@@ -69,6 +84,11 @@ pub enum NetError {
     /// [`Overlay::fail_node`]); it cannot send, join, or be failed again
     /// until [`Overlay::recover_node`] revives it.
     NodeFailed(NodeId),
+    /// A real transport (e.g. the TCP transport in `gasf-wire`) failed at
+    /// the I/O layer — connection refused, peer hung up, frame rejected.
+    /// Carries the transport's own description; the analytic overlay
+    /// never produces this variant.
+    Transport(String),
 }
 
 impl fmt::Display for NetError {
@@ -80,6 +100,7 @@ impl fmt::Display for NetError {
             NetError::UnknownNode(n) => write!(f, "node {n} is not in the topology"),
             NetError::EmptyGroup => write!(f, "multicast group needs at least one member"),
             NetError::NodeFailed(n) => write!(f, "node {n} has failed"),
+            NetError::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }
 }
@@ -958,6 +979,20 @@ impl Overlay {
     /// Messages sent so far.
     pub fn messages(&self) -> u64 {
         self.messages
+    }
+
+    /// Per-link byte counters, sorted by endpoint pair. Each entry is an
+    /// undirected underlay link `(a, b)` with `a <= b` and the bytes that
+    /// crossed it since construction (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn link_loads(&self) -> Vec<(NodeId, NodeId, u64)> {
+        let mut loads: Vec<(NodeId, NodeId, u64)> = self
+            .link_bytes
+            .iter()
+            .map(|(&(a, b), &bytes)| (NodeId(a), NodeId(b), bytes))
+            .collect();
+        loads.sort_unstable();
+        loads
     }
 
     /// Clears the traffic counters (not the groups).

@@ -1,0 +1,283 @@
+//! The transport seam: one trait, many ways to move an emission.
+//!
+//! [`Overlay::multicast_emission`] is the single funnel through which the
+//! middleware pushes filtered tuples into the network. [`Transport`]
+//! abstracts that funnel so the *same* middleware code can drain its
+//! emissions into
+//!
+//! * the in-process analytic overlay (this crate — [`Overlay`] implements
+//!   `Transport` by delegating to `multicast_emission`, byte-for-byte
+//!   identical to calling it directly), or
+//! * a real wire (the `gasf-wire` crate's length-prefixed TCP transport,
+//!   which frames each emission and multiplexes per-peer connections), or
+//! * a recording tee that wraps either of the above and hashes the
+//!   canonical byte stream each recipient node observes.
+//!
+//! The trait is object safe (`&mut dyn Transport`) because the middleware
+//! stores it behind a reference in its per-source sink; that is also why
+//! `node_of` is a `&mut dyn FnMut` rather than a generic parameter.
+//!
+//! ## Flush and backpressure
+//!
+//! [`Transport::flush`] is the explicit drain point: a transport may
+//! buffer frames (the TCP transport batches small frames per peer
+//! connection) and must push everything to the underlying medium when
+//! flushed. Backpressure is the transport's responsibility — a bounded
+//! implementation blocks inside [`Transport::send_emission`] or `flush`
+//! until the medium accepts the bytes, and reports a hard failure as
+//! [`NetError::Transport`]. The analytic overlay transmits synchronously,
+//! so its `flush` is a no-op.
+
+use crate::multicast::{Delivery, GroupId, NetError, Overlay};
+use crate::topology::NodeId;
+use gasf_core::candidate::FilterId;
+use gasf_core::engine::Emission;
+use std::fmt;
+
+/// Cumulative traffic over one transport link, as reported by
+/// [`Transport::link_loads`]. What a "link" is depends on the transport:
+/// an undirected underlay edge for the analytic overlay, a per-peer TCP
+/// connection for the wire transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkLoad {
+    /// Human-readable link name (e.g. `"n0-n1"` for an overlay edge,
+    /// `"p0->p2"` for a peer connection).
+    pub link: String,
+    /// Bytes that crossed the link since construction or the last
+    /// counter reset.
+    pub bytes: u64,
+}
+
+impl fmt::Display for LinkLoad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} B", self.link, self.bytes)
+    }
+}
+
+/// A way to move one emission from a source node to the overlay nodes
+/// hosting its recipient filters.
+///
+/// Implementations must be deterministic given the same call sequence:
+/// the distributed-equivalence contract (`tests/tests/
+/// distributed_equivalence.rs`) compares per-node byte streams across
+/// transports, which only works when neither side reorders or drops
+/// emissions.
+pub trait Transport: fmt::Debug {
+    /// Sends one emission to the nodes hosting its recipient filters.
+    ///
+    /// `node_of` maps each recipient [`FilterId`] to the overlay node its
+    /// subscriber application lives on; implementations collapse
+    /// duplicate nodes before sending. The returned [`Delivery`] carries
+    /// the transport's own accounting — the analytic overlay reports
+    /// modelled per-recipient latencies, while a real wire transport
+    /// reports actual bytes written and leaves latencies to the
+    /// receiving process.
+    ///
+    /// # Errors
+    /// Transport-specific; the analytic overlay returns its usual
+    /// membership/topology errors, a wire transport maps I/O failures to
+    /// [`NetError::Transport`].
+    fn send_emission(
+        &mut self,
+        group: GroupId,
+        src: NodeId,
+        emission: &Emission,
+        node_of: &mut dyn FnMut(FilterId) -> NodeId,
+    ) -> Result<Delivery, NetError>;
+
+    /// Drains any buffered frames to the underlying medium (see the
+    /// module docs on flush/backpressure semantics).
+    ///
+    /// # Errors
+    /// Returns [`NetError::Transport`] when the medium rejects the
+    /// buffered bytes.
+    fn flush(&mut self) -> Result<(), NetError>;
+
+    /// Total bytes this transport has put on its links.
+    fn total_bytes(&self) -> u64;
+
+    /// Number of send operations so far.
+    fn messages(&self) -> u64;
+
+    /// Per-link byte counters, sorted by link name — the bandwidth
+    /// report `gasfctl inspect` prints.
+    fn link_loads(&self) -> Vec<LinkLoad>;
+}
+
+/// The analytic overlay *is* a transport: sends delegate to
+/// [`Overlay::multicast_emission`] unchanged, so routing a middleware
+/// through `&mut dyn Transport` instead of `&mut Overlay` produces
+/// byte-for-byte identical deliveries and accounting.
+impl Transport for Overlay {
+    fn send_emission(
+        &mut self,
+        group: GroupId,
+        src: NodeId,
+        emission: &Emission,
+        node_of: &mut dyn FnMut(FilterId) -> NodeId,
+    ) -> Result<Delivery, NetError> {
+        self.multicast_emission(group, src, emission, node_of)
+    }
+
+    fn flush(&mut self) -> Result<(), NetError> {
+        // Synchronous analytic sends: nothing is ever buffered.
+        Ok(())
+    }
+
+    fn total_bytes(&self) -> u64 {
+        Overlay::total_bytes(self)
+    }
+
+    fn messages(&self) -> u64 {
+        Overlay::messages(self)
+    }
+
+    fn link_loads(&self) -> Vec<LinkLoad> {
+        Overlay::link_loads(self)
+            .into_iter()
+            .map(|(a, b, bytes)| LinkLoad {
+                link: format!("{a}-{b}"),
+                bytes,
+            })
+            .collect()
+    }
+}
+
+/// A transport that accepts every send and moves nothing: the seam's
+/// `/dev/null`. Deliveries report zero bytes and zero latency for each
+/// (deduplicated) recipient node. Useful as the inner transport of a
+/// recording tee when only the *stream content* matters — e.g. computing
+/// reference digests for a distributed-equivalence check without
+/// standing up an overlay — and as a baseline in transport benchmarks.
+#[derive(Debug, Default, Clone)]
+pub struct NullTransport {
+    messages: u64,
+    scratch_nodes: Vec<NodeId>,
+}
+
+impl NullTransport {
+    /// Creates a fresh null transport.
+    pub fn new() -> Self {
+        NullTransport::default()
+    }
+}
+
+impl Transport for NullTransport {
+    fn send_emission(
+        &mut self,
+        _group: GroupId,
+        _src: NodeId,
+        emission: &Emission,
+        node_of: &mut dyn FnMut(FilterId) -> NodeId,
+    ) -> Result<Delivery, NetError> {
+        self.scratch_nodes.clear();
+        self.scratch_nodes
+            .extend(emission.recipients.iter().map(&mut *node_of));
+        self.scratch_nodes.sort_unstable();
+        self.scratch_nodes.dedup();
+        let latencies = self
+            .scratch_nodes
+            .iter()
+            .map(|&n| (n, gasf_core::time::Micros::ZERO))
+            .collect();
+        self.messages += 1;
+        Ok(Delivery {
+            latencies,
+            bytes_on_wire: 0,
+            overlay_hops: 0,
+            repair_bytes: 0,
+        })
+    }
+
+    fn flush(&mut self) -> Result<(), NetError> {
+        Ok(())
+    }
+
+    fn total_bytes(&self) -> u64 {
+        0
+    }
+
+    fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    fn link_loads(&self) -> Vec<LinkLoad> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use gasf_core::bitset::FilterSet;
+    use gasf_core::candidate::FilterId;
+    use gasf_core::schema::Schema;
+    use gasf_core::time::Micros;
+    use gasf_core::tuple::Tuple;
+    use std::sync::Arc;
+
+    fn emission(recipients: &[usize]) -> Emission {
+        let schema = Schema::new(["a", "b"]);
+        let tuple = Tuple::new(&schema, 0, Micros(10), vec![1.0, 2.0]).unwrap();
+        let set: FilterSet = recipients
+            .iter()
+            .map(|&i| FilterId::from_index(i))
+            .collect();
+        Emission {
+            tuple: Arc::new(tuple),
+            recipients: set,
+            emitted_at: Micros(10),
+        }
+    }
+
+    /// The trait path and the inherent path must be the same code path:
+    /// identical Delivery, identical accounting.
+    #[test]
+    fn overlay_behind_seam_is_byte_identical() {
+        let topo = Topology::ring(5).build();
+        let members: Vec<NodeId> = (0..5).map(NodeId).collect();
+
+        let mut direct = Overlay::new(topo.clone());
+        let g1 = direct.create_group("g", &members).unwrap();
+        let e = emission(&[0, 1, 2]);
+        let d1 = direct
+            .multicast_emission(g1, NodeId(0), &e, |f| NodeId(f.index() as u32 + 1))
+            .unwrap();
+
+        let mut seamed = Overlay::new(topo);
+        let g2 = seamed.create_group("g", &members).unwrap();
+        let t: &mut dyn Transport = &mut seamed;
+        let d2 = t
+            .send_emission(g2, NodeId(0), &e, &mut |f| NodeId(f.index() as u32 + 1))
+            .unwrap();
+        t.flush().unwrap();
+
+        assert_eq!(d1, d2);
+        assert_eq!(Transport::total_bytes(&seamed), direct.total_bytes());
+        assert_eq!(Transport::messages(&seamed), direct.messages());
+        let loads = Transport::link_loads(&seamed);
+        assert!(!loads.is_empty());
+        assert_eq!(
+            loads.iter().map(|l| l.bytes).sum::<u64>(),
+            direct.total_bytes()
+        );
+    }
+
+    #[test]
+    fn null_transport_dedups_recipients_and_counts_messages() {
+        let mut t = NullTransport::new();
+        let e = emission(&[0, 1, 2]);
+        // Filters 0 and 1 map to the same node.
+        let d = t
+            .send_emission(GroupId::from_raw(1), NodeId(9), &e, &mut |f| {
+                NodeId(if f.index() < 2 { 3 } else { 4 })
+            })
+            .unwrap();
+        assert_eq!(d.latencies.len(), 2);
+        assert_eq!(d.bytes_on_wire, 0);
+        assert_eq!(t.messages(), 1);
+        assert_eq!(t.total_bytes(), 0);
+        assert!(t.link_loads().is_empty());
+    }
+}

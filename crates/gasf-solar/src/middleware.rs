@@ -60,7 +60,7 @@ use gasf_core::sink::EmissionSink;
 use gasf_core::snapshot::{EngineSnapshot, GroupSnapshot};
 use gasf_core::time::Micros;
 use gasf_core::tuple::Tuple;
-use gasf_net::{GroupId, NodeId, Overlay, RepairReport};
+use gasf_net::{GroupId, NodeId, Overlay, RepairReport, Transport};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -816,7 +816,32 @@ impl Middleware {
         Ok(Pipeline {
             mw: self,
             source: source.0,
+            wire: None,
         })
+    }
+
+    /// Like [`pipeline`](Self::pipeline), but drains the source's
+    /// emissions through an external [`Transport`] (e.g. the TCP wire in
+    /// `gasf-wire`) instead of this middleware's in-process overlay.
+    ///
+    /// The overlay stays the *control plane* — groups, membership and
+    /// subscription bookkeeping are unchanged — while the data plane
+    /// (every emission the engines release) goes over the given wire.
+    /// Per-subscription delivery statistics still accumulate locally;
+    /// end-to-end latency contributions from the wire are measured by the
+    /// receiving processes, so the transport's deliveries may report
+    /// zero network latency.
+    ///
+    /// # Errors
+    /// Same as [`pipeline`](Self::pipeline).
+    pub fn pipeline_over<'m>(
+        &'m mut self,
+        source: SourceId,
+        wire: &'m mut dyn Transport,
+    ) -> Result<Pipeline<'m>, SolarError> {
+        let mut p = self.pipeline(source)?;
+        p.wire = Some(wire);
+        Ok(p)
     }
 
     /// Pushes one tuple into a source's filtering service, disseminating
@@ -1017,7 +1042,7 @@ impl Middleware {
         let s = &mut self.sources[si];
         let part = &mut s.parts[p];
         let sink = MulticastSink {
-            overlay: &mut self.overlay,
+            transport: &mut self.overlay,
             apps: &mut self.apps,
             filter_apps: &part.filter_apps,
             group: part.group,
@@ -1239,7 +1264,7 @@ impl Middleware {
         let s = &mut self.sources[source_idx];
         let part = &mut s.parts[part_idx];
         let sink = MulticastSink {
-            overlay: &mut self.overlay,
+            transport: &mut self.overlay,
             apps: &mut self.apps,
             filter_apps: &part.filter_apps,
             group: part.group,
@@ -1273,12 +1298,14 @@ impl Middleware {
     }
 }
 
-/// Overlay dissemination as an [`EmissionSink`]: every accepted emission
-/// is multicast down the part's tree (pruned to the emission's recipient
-/// subset, via the borrow-based
+/// Transport dissemination as an [`EmissionSink`]: every accepted
+/// emission is sent through a [`Transport`] — by default the in-process
+/// overlay (the borrow-based
 /// [`Overlay::multicast_emission`](gasf_net::Overlay::multicast_emission)
-/// path) and per-subscription delivery statistics are updated in place.
-/// Recipient [`FilterId`]s resolve through the part's append-only
+/// path, pruned to the emission's recipient subset), or a real wire when
+/// the pipeline was built with [`Middleware::pipeline_over`] — and
+/// per-subscription delivery statistics are updated in place. Recipient
+/// [`FilterId`]s resolve through the part's append-only
 /// id → subscription table, so labels drained at an epoch boundary still
 /// reach (and are accounted to) apps that just unsubscribed.
 ///
@@ -1288,7 +1315,7 @@ impl Middleware {
 /// engine step. Obtained via [`Middleware::pipeline`].
 #[derive(Debug)]
 pub struct MulticastSink<'a> {
-    overlay: &'a mut Overlay,
+    transport: &'a mut (dyn Transport + 'a),
     apps: &'a mut Vec<AppEntry>,
     filter_apps: &'a [usize],
     group: GroupId,
@@ -1311,14 +1338,15 @@ impl EmissionSink for MulticastSink<'_> {
         if self.error.is_some() {
             return;
         }
-        // Map recipient filter ids to subscriber nodes; the overlay
-        // dedups nodes and reuses its recipient scratch buffer.
+        // Map recipient filter ids to subscriber nodes; the transport
+        // dedups nodes (the overlay additionally reuses its recipient
+        // scratch buffer).
         let filter_apps = self.filter_apps;
         let apps = &*self.apps;
         let delivery =
             match self
-                .overlay
-                .multicast_emission(self.group, self.src_node, emission, |f| {
+                .transport
+                .send_emission(self.group, self.src_node, emission, &mut |f| {
                     apps[filter_apps[f.index()]].node
                 }) {
                 Ok(d) => d,
@@ -1338,6 +1366,15 @@ impl EmissionSink for MulticastSink<'_> {
             entry
                 .e2e_latency_us
                 .push((emission.latency() + net).as_micros());
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.transport.flush() {
+            self.error = Some(e.into());
         }
     }
 }
@@ -1363,6 +1400,9 @@ impl EmissionSink for MulticastSink<'_> {
 pub struct Pipeline<'m> {
     mw: &'m mut Middleware,
     source: usize,
+    /// External data-plane transport ([`Middleware::pipeline_over`]);
+    /// `None` drains through the middleware's own overlay.
+    wire: Option<&'m mut (dyn Transport + 'm)>,
 }
 
 impl Pipeline<'_> {
@@ -1382,6 +1422,7 @@ impl Pipeline<'_> {
     }
 
     fn push_part(&mut self, p: usize, tuple: Tuple) -> Result<(), SolarError> {
+        let wire = self.wire.as_deref_mut();
         let mw = &mut *self.mw;
         let src_node = mw.sources[self.source].node;
         let s = &mut mw.sources[self.source];
@@ -1391,8 +1432,12 @@ impl Pipeline<'_> {
         // first) — afterwards stale tree members can safely leave.
         let at_boundary =
             matches!(&part.engine, EngineHost::Single(e) if e.pending_control_ops() > 0);
+        let transport: &mut dyn Transport = match wire {
+            Some(w) => w,
+            None => &mut mw.overlay,
+        };
         let sink = MulticastSink {
-            overlay: &mut mw.overlay,
+            transport,
             apps: &mut mw.apps,
             filter_apps: &part.filter_apps,
             group: part.group,
@@ -1484,12 +1529,17 @@ impl Pipeline<'_> {
     }
 
     fn finish_part(&mut self, p: usize) -> Result<(), SolarError> {
+        let wire = self.wire.as_deref_mut();
         let mw = &mut *self.mw;
         let src_node = mw.sources[self.source].node;
         let s = &mut mw.sources[self.source];
         let part = &mut s.parts[p];
+        let transport: &mut dyn Transport = match wire {
+            Some(w) => w,
+            None => &mut mw.overlay,
+        };
         let sink = MulticastSink {
-            overlay: &mut mw.overlay,
+            transport,
             apps: &mut mw.apps,
             filter_apps: &part.filter_apps,
             group: part.group,

@@ -1,0 +1,293 @@
+//! `gasfctl` — control a localhost GASF deployment.
+//!
+//! ```text
+//! gasfctl launch  <layout.toml> --run-dir <dir>   spawn workers, return
+//! gasfctl smoke   <layout.toml> --run-dir <dir>   launch + wait + verdict
+//! gasfctl status  --run-dir <dir>                 liveness per process
+//! gasfctl kill    --run-dir <dir>                 stop a launched deployment
+//! gasfctl inspect --run-dir <dir>                 print run reports
+//! gasfctl worker  --layout <f> --process <id> --run-dir <dir>
+//!                                                 (internal: one worker)
+//! ```
+//!
+//! `launch` spawns one OS process per `[[process]]` entry — subscribers
+//! first, source last — each a re-exec of this binary's hidden `worker`
+//! subcommand, and records pids in `proc-<id>.pid` files. `smoke` does
+//! the same but waits for every worker and exits nonzero unless the
+//! source reports `EQUIVALENT: yes`; CI wraps it in `timeout(1)` as the
+//! reap-everything guard.
+
+#![forbid(unsafe_code)]
+
+use gasf_wire::layout::{HostLayout, Role};
+use gasf_wire::tcp::WireConfig;
+use gasf_wire::worker::{port_file, report_file, run_source, run_subscriber};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode};
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("launch") => cmd_launch(&args[1..], false),
+        Some("smoke") => cmd_launch(&args[1..], true),
+        Some("status") => cmd_status(&args[1..]),
+        Some("kill") => cmd_kill(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("gasfctl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+gasfctl — control a localhost GASF deployment
+
+  gasfctl launch  <layout.toml> --run-dir <dir>
+  gasfctl smoke   <layout.toml> --run-dir <dir>
+  gasfctl status  --run-dir <dir>
+  gasfctl kill    --run-dir <dir>
+  gasfctl inspect --run-dir <dir>
+";
+
+/// Pulls the value following `--<name>` out of an argument list.
+fn flag(args: &[String], name: &str) -> Result<PathBuf, String> {
+    let key = format!("--{name}");
+    args.iter()
+        .position(|a| *a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("missing {key} <value>"))
+}
+
+/// First argument that is neither a `--flag` nor a flag's value.
+fn positional(args: &[String]) -> Result<PathBuf, String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            return Ok(PathBuf::from(&args[i]));
+        }
+    }
+    Err("missing <layout.toml>".to_string())
+}
+
+fn pid_file(run_dir: &Path, process: u32) -> PathBuf {
+    run_dir.join(format!("proc-{process}.pid"))
+}
+
+fn spawn_worker(layout_path: &Path, process: u32, run_dir: &Path) -> Result<Child, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    Command::new(exe)
+        .arg("worker")
+        .arg("--layout")
+        .arg(layout_path)
+        .arg("--process")
+        .arg(process.to_string())
+        .arg("--run-dir")
+        .arg(run_dir)
+        .spawn()
+        .map_err(|e| format!("spawn worker {process}: {e}"))
+}
+
+/// `launch` / `smoke`: spawn every worker; `wait` decides whether we
+/// detach (recording pids) or reap everything and report the verdict.
+fn cmd_launch(args: &[String], wait: bool) -> Result<ExitCode, String> {
+    let layout_path = positional(args)?;
+    let run_dir = flag(args, "run-dir")?;
+    let layout = HostLayout::from_path(&layout_path).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&run_dir).map_err(|e| format!("{}: {e}", run_dir.display()))?;
+    // Stale port files from a previous run would satisfy the source's
+    // polling loop with a dead port — clear them first.
+    for p in &layout.processes {
+        let _ = std::fs::remove_file(port_file(&run_dir, p.id));
+        let _ = std::fs::remove_file(pid_file(&run_dir, p.id));
+    }
+
+    let mut children: Vec<(u32, Child)> = Vec::new();
+    let mut order: Vec<&_> = layout.subscribers().collect();
+    order.push(layout.source());
+    for spec in order {
+        let child = spawn_worker(&layout_path, spec.id, &run_dir)?;
+        if !wait {
+            std::fs::write(pid_file(&run_dir, spec.id), format!("{}\n", child.id()))
+                .map_err(|e| format!("pid file: {e}"))?;
+        }
+        children.push((spec.id, child));
+    }
+    if !wait {
+        println!(
+            "launched {} workers for deployment {} (run dir {})",
+            children.len(),
+            layout.name,
+            run_dir.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut failed = false;
+    for (id, mut child) in children {
+        let status = child.wait().map_err(|e| format!("wait worker {id}: {e}"))?;
+        if !status.success() {
+            eprintln!("worker {id} exited with {status}");
+            failed = true;
+        }
+    }
+    let report = run_dir.join("report.txt");
+    match std::fs::read_to_string(&report) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("no deployment report at {}: {e}", report.display());
+            failed = true;
+        }
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn read_pids(run_dir: &Path) -> Result<Vec<(u32, u32)>, String> {
+    let mut pids = Vec::new();
+    let entries = std::fs::read_dir(run_dir).map_err(|e| format!("{}: {e}", run_dir.display()))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(id) = name
+            .strip_prefix("proc-")
+            .and_then(|s| s.strip_suffix(".pid"))
+        {
+            let id: u32 = id.parse().map_err(|_| format!("bad pid file {name}"))?;
+            let pid: u32 = std::fs::read_to_string(entry.path())
+                .map_err(|e| format!("{name}: {e}"))?
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad pid in {name}"))?;
+            pids.push((id, pid));
+        }
+    }
+    pids.sort_unstable();
+    Ok(pids)
+}
+
+fn alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+fn cmd_status(args: &[String]) -> Result<ExitCode, String> {
+    let run_dir = flag(args, "run-dir")?;
+    let pids = read_pids(&run_dir)?;
+    if pids.is_empty() {
+        println!("no launched workers under {}", run_dir.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    for (id, pid) in pids {
+        println!(
+            "process {id}: pid {pid} {}",
+            if alive(pid) { "running" } else { "exited" }
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_kill(args: &[String]) -> Result<ExitCode, String> {
+    let run_dir = flag(args, "run-dir")?;
+    let mut killed = 0usize;
+    for (id, pid) in read_pids(&run_dir)? {
+        if alive(pid) {
+            let status = Command::new("kill")
+                .arg(pid.to_string())
+                .status()
+                .map_err(|e| format!("kill {pid}: {e}"))?;
+            if status.success() {
+                killed += 1;
+            } else {
+                eprintln!("kill {pid} (process {id}) failed with {status}");
+            }
+        }
+        let _ = std::fs::remove_file(pid_file(&run_dir, id));
+    }
+    println!("killed {killed} workers");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_inspect(args: &[String]) -> Result<ExitCode, String> {
+    let run_dir = flag(args, "run-dir")?;
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&run_dir)
+        .map_err(|e| format!("{}: {e}", run_dir.display()))?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().ends_with("report.txt"))
+        })
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        println!("no reports under {}", run_dir.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    for path in names {
+        println!("==> {}", path.display());
+        match std::fs::read_to_string(&path) {
+            Ok(text) => print!("{text}"),
+            Err(e) => eprintln!("  unreadable: {e}"),
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The hidden per-process entrypoint `launch`/`smoke` re-exec.
+fn cmd_worker(args: &[String]) -> Result<ExitCode, String> {
+    let layout_path = flag(args, "layout")?;
+    let run_dir = flag(args, "run-dir")?;
+    let process: u32 = flag(args, "process")?
+        .to_string_lossy()
+        .parse()
+        .map_err(|_| "bad --process id".to_string())?;
+    let layout = HostLayout::from_path(&layout_path).map_err(|e| e.to_string())?;
+    let spec = layout
+        .process(process)
+        .ok_or_else(|| format!("no process {process} in layout"))?;
+    let lifetime = match std::env::var("GASF_WIRE_LIFETIME_SECS") {
+        Ok(v) => Duration::from_secs(
+            v.parse()
+                .map_err(|_| "bad GASF_WIRE_LIFETIME_SECS".to_string())?,
+        ),
+        Err(_) => Duration::from_secs(300),
+    };
+    match spec.role {
+        Role::Subscriber => {
+            run_subscriber(&layout, process, &run_dir, lifetime).map_err(|e| e.to_string())?;
+            Ok(ExitCode::SUCCESS)
+        }
+        Role::Source => {
+            let outcome =
+                run_source(&layout, &run_dir, WireConfig::default()).map_err(|e| e.to_string())?;
+            if outcome.equivalent {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for m in &outcome.mismatches {
+                    eprintln!("mismatch: {m}");
+                }
+                Err(format!(
+                    "deployment {} is NOT stream-equivalent (see {})",
+                    layout.name,
+                    report_file(&run_dir, process).display()
+                ))
+            }
+        }
+    }
+}

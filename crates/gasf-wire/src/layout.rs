@@ -1,0 +1,528 @@
+//! Host layouts: mapping overlay nodes onto OS processes.
+//!
+//! A [`HostLayout`] describes one localhost deployment — which process
+//! hosts which overlay [`NodeId`]s, where each process listens, and the
+//! deterministic workload the source process replays. Layouts load from
+//! a small TOML subset (see [`HostLayout::from_toml`]) with environment
+//! overrides for the workload knobs, so CI can shrink a deployment
+//! without editing the file:
+//!
+//! ```toml
+//! [deployment]
+//! name = "local3"
+//!
+//! [workload]
+//! tuples = 400
+//! seed = 42
+//! algorithm = "region-greedy"
+//! strategy = "earliest"
+//! parallelism = 1
+//!
+//! [[process]]
+//! id = 0
+//! role = "source"
+//! addr = "127.0.0.1:0"
+//! nodes = [0]
+//!
+//! [[process]]
+//! id = 1
+//! role = "subscriber"
+//! addr = "127.0.0.1:0"
+//! nodes = [1, 2]
+//! ```
+//!
+//! Port `0` means "bind an ephemeral port and publish it in a
+//! `proc-<id>.port` file under the run directory" — deployments never
+//! race over fixed ports. Environment overrides: `GASF_WIRE_TUPLES`,
+//! `GASF_WIRE_SEED`, `GASF_WIRE_ALGORITHM`, `GASF_WIRE_STRATEGY`,
+//! `GASF_WIRE_PARALLELISM`.
+
+use crate::codec::WireError;
+use gasf_core::engine::{Algorithm, OutputStrategy};
+use gasf_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::Path;
+
+/// What a process does in the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Replays the workload trace through a middleware partition and
+    /// drains its emissions over the wire.
+    Source,
+    /// Hosts subscriber nodes: receives emission frames, maintains
+    /// per-node stream digests, answers status queries.
+    Subscriber,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Source => write!(f, "source"),
+            Role::Subscriber => write!(f, "subscriber"),
+        }
+    }
+}
+
+/// One OS process in the deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessSpec {
+    /// Stable id, unique within the layout (also names the port/report
+    /// files).
+    pub id: u32,
+    /// Source or subscriber.
+    pub role: Role,
+    /// Listen address; a `:0` port binds ephemerally and publishes the
+    /// real port in the run directory.
+    pub addr: String,
+    /// Overlay nodes this process hosts.
+    pub nodes: Vec<NodeId>,
+}
+
+/// The deterministic workload a deployment replays (NAMOS buoy trace +
+/// per-node delta filters derived from its stats).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Tuples to replay.
+    pub tuples: usize,
+    /// Trace generator seed.
+    pub seed: u64,
+    /// Second-stage algorithm.
+    pub algorithm: Algorithm,
+    /// Output strategy.
+    pub strategy: OutputStrategy,
+    /// Engine worker shards at the source.
+    pub parallelism: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            tuples: 400,
+            seed: 42,
+            algorithm: Algorithm::RegionGreedy,
+            strategy: OutputStrategy::Earliest,
+            parallelism: 1,
+        }
+    }
+}
+
+/// A parsed, validated deployment layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostLayout {
+    /// Deployment name (echoed in `Hello` frames and reports).
+    pub name: String,
+    /// The workload the source replays.
+    pub workload: WorkloadSpec,
+    /// The processes, in file order.
+    pub processes: Vec<ProcessSpec>,
+}
+
+impl HostLayout {
+    /// Parses a layout from the TOML subset shown in the module docs and
+    /// applies `GASF_WIRE_*` environment overrides.
+    ///
+    /// # Errors
+    /// [`WireError::Io`] with a line-numbered message for syntax errors,
+    /// unknown keys/roles, and validation failures (duplicate process
+    /// ids, overlapping node sets, not exactly one source).
+    pub fn from_toml(text: &str) -> Result<HostLayout, WireError> {
+        let mut layout = parse_layout(text)?;
+        layout.apply_env_overrides()?;
+        layout.validate()?;
+        Ok(layout)
+    }
+
+    /// Reads and parses a layout file.
+    ///
+    /// # Errors
+    /// Same as [`HostLayout::from_toml`], plus the read failure itself.
+    pub fn from_path(path: &Path) -> Result<HostLayout, WireError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| WireError::Io(format!("{}: {e}", path.display())))?;
+        HostLayout::from_toml(&text)
+    }
+
+    /// Total overlay nodes: highest hosted node index + 1 (the ring
+    /// topology the control plane builds spans exactly these).
+    pub fn total_nodes(&self) -> usize {
+        self.processes
+            .iter()
+            .flat_map(|p| p.nodes.iter())
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The (single) source process.
+    pub fn source(&self) -> &ProcessSpec {
+        self.processes
+            .iter()
+            .find(|p| p.role == Role::Source)
+            .expect("validated layouts have exactly one source")
+    }
+
+    /// Subscriber processes, in file order.
+    pub fn subscribers(&self) -> impl Iterator<Item = &ProcessSpec> {
+        self.processes.iter().filter(|p| p.role == Role::Subscriber)
+    }
+
+    /// All subscriber nodes across processes, ascending — the order
+    /// their per-node delta filters are derived in.
+    pub fn subscriber_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.subscribers().flat_map(|p| p.nodes.clone()).collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// The process hosting `node`, if any.
+    pub fn process_of(&self, node: NodeId) -> Option<&ProcessSpec> {
+        self.processes.iter().find(|p| p.nodes.contains(&node))
+    }
+
+    /// The process with id `id`, if any.
+    pub fn process(&self, id: u32) -> Option<&ProcessSpec> {
+        self.processes.iter().find(|p| p.id == id)
+    }
+
+    fn apply_env_overrides(&mut self) -> Result<(), WireError> {
+        if let Some(v) = env_var("GASF_WIRE_TUPLES")? {
+            self.workload.tuples = parse_env("GASF_WIRE_TUPLES", &v)?;
+        }
+        if let Some(v) = env_var("GASF_WIRE_SEED")? {
+            self.workload.seed = parse_env("GASF_WIRE_SEED", &v)?;
+        }
+        if let Some(v) = env_var("GASF_WIRE_ALGORITHM")? {
+            self.workload.algorithm = parse_algorithm(&v)?;
+        }
+        if let Some(v) = env_var("GASF_WIRE_STRATEGY")? {
+            self.workload.strategy = parse_strategy(&v)?;
+        }
+        if let Some(v) = env_var("GASF_WIRE_PARALLELISM")? {
+            self.workload.parallelism = parse_env("GASF_WIRE_PARALLELISM", &v)?;
+        }
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), WireError> {
+        let fail = |msg: String| Err(WireError::Io(format!("invalid layout: {msg}")));
+        if self.name.is_empty() {
+            return fail("deployment name is empty".into());
+        }
+        if self.processes.is_empty() {
+            return fail("no [[process]] entries".into());
+        }
+        let mut ids = BTreeSet::new();
+        let mut nodes = BTreeSet::new();
+        let mut sources = 0usize;
+        for p in &self.processes {
+            if !ids.insert(p.id) {
+                return fail(format!("duplicate process id {}", p.id));
+            }
+            if p.nodes.is_empty() {
+                return fail(format!("process {} hosts no nodes", p.id));
+            }
+            for n in &p.nodes {
+                if !nodes.insert(*n) {
+                    return fail(format!("node {n} hosted by two processes"));
+                }
+            }
+            if p.role == Role::Source {
+                sources += 1;
+                if p.nodes.len() != 1 {
+                    return fail(format!(
+                        "source process {} must host exactly one node",
+                        p.id
+                    ));
+                }
+            }
+            if !p.addr.contains(':') {
+                return fail(format!("process {} addr {:?} lacks a port", p.id, p.addr));
+            }
+        }
+        if sources != 1 {
+            return fail(format!("need exactly one source process, found {sources}"));
+        }
+        if self.workload.tuples == 0 || self.workload.parallelism == 0 {
+            return fail("workload tuples/parallelism must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+fn env_var(name: &str) -> Result<Option<String>, WireError> {
+    match std::env::var(name) {
+        Ok(v) if v.is_empty() => Ok(None),
+        Ok(v) => Ok(Some(v)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(e) => Err(WireError::Io(format!("{name}: {e}"))),
+    }
+}
+
+fn parse_env<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, WireError> {
+    v.parse()
+        .map_err(|_| WireError::Io(format!("{name}={v:?} is not a valid value")))
+}
+
+/// Parses an algorithm name (`region-greedy`, `per-candidate-set`,
+/// `self-interested`).
+///
+/// # Errors
+/// [`WireError::Io`] naming the unknown value.
+pub fn parse_algorithm(v: &str) -> Result<Algorithm, WireError> {
+    match v {
+        "region-greedy" => Ok(Algorithm::RegionGreedy),
+        "per-candidate-set" => Ok(Algorithm::PerCandidateSet),
+        "self-interested" => Ok(Algorithm::SelfInterested),
+        other => Err(WireError::Io(format!("unknown algorithm {other:?}"))),
+    }
+}
+
+/// Parses a strategy name (`earliest`, `per-candidate-set`,
+/// `batched:<n>`).
+///
+/// # Errors
+/// [`WireError::Io`] naming the unknown value.
+pub fn parse_strategy(v: &str) -> Result<OutputStrategy, WireError> {
+    match v {
+        "earliest" => Ok(OutputStrategy::Earliest),
+        "per-candidate-set" => Ok(OutputStrategy::PerCandidateSet),
+        other => match other.strip_prefix("batched:") {
+            Some(n) => Ok(OutputStrategy::Batched(parse_env("strategy", n)?)),
+            None => Err(WireError::Io(format!("unknown strategy {other:?}"))),
+        },
+    }
+}
+
+/// Renders an algorithm back to its layout-file name.
+pub fn algorithm_name(a: Algorithm) -> &'static str {
+    match a {
+        Algorithm::RegionGreedy => "region-greedy",
+        Algorithm::PerCandidateSet => "per-candidate-set",
+        Algorithm::SelfInterested => "self-interested",
+    }
+}
+
+/// Renders a strategy back to its layout-file name.
+pub fn strategy_name(s: OutputStrategy) -> String {
+    match s {
+        OutputStrategy::Earliest => "earliest".into(),
+        OutputStrategy::PerCandidateSet => "per-candidate-set".into(),
+        OutputStrategy::Batched(n) => format!("batched:{n}"),
+    }
+}
+
+// ---- TOML-subset parser ------------------------------------------------
+//
+// Supports exactly what layouts need: `[section]`, `[[section]]`,
+// `key = <integer | "string" | [int, ...]>`, `#` comments, blank lines.
+// Anything else is a line-numbered error — better a loud parse failure
+// than a silently ignored knob.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Deployment,
+    Workload,
+    Process(usize),
+}
+
+fn parse_layout(text: &str) -> Result<HostLayout, WireError> {
+    let mut name = String::new();
+    let mut workload = WorkloadSpec::default();
+    let mut processes: Vec<ProcessSpec> = Vec::new();
+    let mut section = Section::None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let err = |msg: String| WireError::Io(format!("layout line {lineno}: {msg}"));
+        let line = match raw.find('#') {
+            // Only strip comments outside quotes; layout strings never
+            // contain '#', so a simple scan is enough here.
+            Some(pos) if !raw[..pos].contains('"') || raw[..pos].matches('"').count() % 2 == 0 => {
+                &raw[..pos]
+            }
+            _ => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let sec = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err("unterminated [[section]]".into()))?;
+            if sec != "process" {
+                return Err(err(format!("unknown array section [[{sec}]]")));
+            }
+            processes.push(ProcessSpec {
+                id: u32::MAX,
+                role: Role::Subscriber,
+                addr: String::new(),
+                nodes: Vec::new(),
+            });
+            section = Section::Process(processes.len() - 1);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let sec = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated [section]".into()))?;
+            section = match sec {
+                "deployment" => Section::Deployment,
+                "workload" => Section::Workload,
+                other => return Err(err(format!("unknown section [{other}]"))),
+            };
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err("expected `key = value`".into()))?;
+        let (key, value) = (key.trim(), value.trim());
+        match section {
+            Section::None => return Err(err(format!("key {key:?} outside any section"))),
+            Section::Deployment => match key {
+                "name" => name = parse_string(value).map_err(err)?,
+                other => return Err(err(format!("unknown deployment key {other:?}"))),
+            },
+            Section::Workload => match key {
+                "tuples" => workload.tuples = parse_int(value).map_err(err)? as usize,
+                "seed" => workload.seed = parse_int(value).map_err(err)?,
+                "parallelism" => workload.parallelism = parse_int(value).map_err(err)? as usize,
+                "algorithm" => {
+                    workload.algorithm = parse_algorithm(&parse_string(value).map_err(err)?)?
+                }
+                "strategy" => {
+                    workload.strategy = parse_strategy(&parse_string(value).map_err(err)?)?
+                }
+                other => return Err(err(format!("unknown workload key {other:?}"))),
+            },
+            Section::Process(i) => {
+                let p = &mut processes[i];
+                match key {
+                    "id" => p.id = parse_int(value).map_err(err)? as u32,
+                    "addr" => p.addr = parse_string(value).map_err(err)?,
+                    "role" => {
+                        p.role = match parse_string(value).map_err(err)?.as_str() {
+                            "source" => Role::Source,
+                            "subscriber" => Role::Subscriber,
+                            other => return Err(err(format!("unknown role {other:?}"))),
+                        }
+                    }
+                    "nodes" => {
+                        p.nodes = parse_int_list(value)
+                            .map_err(err)?
+                            .into_iter()
+                            .map(|n| NodeId(n as u32))
+                            .collect()
+                    }
+                    other => return Err(err(format!("unknown process key {other:?}"))),
+                }
+            }
+        }
+    }
+    Ok(HostLayout {
+        name,
+        workload,
+        processes,
+    })
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_owned)
+        .ok_or_else(|| format!("expected a quoted string, got {v:?}"))
+}
+
+fn parse_int(v: &str) -> Result<u64, String> {
+    v.replace('_', "")
+        .parse()
+        .map_err(|_| format!("expected an integer, got {v:?}"))
+}
+
+fn parse_int_list(v: &str) -> Result<Vec<u64>, String> {
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [a, b, ...], got {v:?}"))?
+        .trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner.split(',').map(|s| parse_int(s.trim())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# three-process localhost deployment
+[deployment]
+name = "local3"
+
+[workload]
+tuples = 400
+seed = 42
+algorithm = "region-greedy"
+strategy = "batched:7"
+parallelism = 2
+
+[[process]]
+id = 0
+role = "source"
+addr = "127.0.0.1:0"
+nodes = [0]
+
+[[process]]
+id = 1
+role = "subscriber"
+addr = "127.0.0.1:0"
+nodes = [1, 2]
+
+[[process]]
+id = 2
+role = "subscriber"
+addr = "127.0.0.1:0"
+nodes = [3, 4]
+"#;
+
+    #[test]
+    fn sample_layout_parses_and_validates() {
+        let l = HostLayout::from_toml(SAMPLE).unwrap();
+        assert_eq!(l.name, "local3");
+        assert_eq!(l.workload.tuples, 400);
+        assert_eq!(l.workload.strategy, OutputStrategy::Batched(7));
+        assert_eq!(l.workload.parallelism, 2);
+        assert_eq!(l.processes.len(), 3);
+        assert_eq!(l.total_nodes(), 5);
+        assert_eq!(l.source().id, 0);
+        assert_eq!(
+            l.subscriber_nodes(),
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(l.process_of(NodeId(3)).unwrap().id, 2);
+    }
+
+    #[test]
+    fn duplicate_nodes_are_rejected() {
+        let bad = SAMPLE.replace("nodes = [3, 4]", "nodes = [2, 4]");
+        let e = HostLayout::from_toml(&bad).unwrap_err();
+        assert!(e.to_string().contains("hosted by two processes"), "{e}");
+    }
+
+    #[test]
+    fn two_sources_are_rejected() {
+        let bad = SAMPLE.replacen("role = \"subscriber\"", "role = \"source\"", 1);
+        assert!(HostLayout::from_toml(&bad).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_fail_with_line_numbers() {
+        let bad = format!("{SAMPLE}\nbogus = 1\n");
+        let e = HostLayout::from_toml(&bad).unwrap_err();
+        assert!(e.to_string().contains("layout line"), "{e}");
+    }
+}

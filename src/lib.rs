@@ -10,7 +10,9 @@
 //! * [`solar`] — the Solar-like pub/sub middleware tying engines to the
 //!   overlay,
 //! * [`sources`] — deterministic synthetic data sources shaped after the
-//!   paper's deployments.
+//!   paper's deployments,
+//! * [`wire`] — the real-socket side of the transport seam: framed TCP
+//!   transport, host layouts and the `gasfctl` deployment tool.
 //!
 //! See the repository `README.md` for the paper → module map and the
 //! workspace layout.
@@ -22,6 +24,7 @@ pub use gasf_core as core;
 pub use gasf_net as net;
 pub use gasf_solar as solar;
 pub use gasf_sources as sources;
+pub use gasf_wire as wire;
 
 /// Filter (re)grouping strategies, re-exported at the facade root:
 /// deployments drive the live control plane —

@@ -1,0 +1,212 @@
+//! Round-trip oracle for the `gasf-wire` codec: encode → decode is the
+//! identity on `Emission`, `Delivery` and every control frame, including
+//! the edge cases a length-prefixed binary format gets wrong first —
+//! empty `FilterSet`s, empty value rows, non-finite floats (NaN, ±∞,
+//! -0.0 must survive bit-for-bit via `to_bits`), high filter indices
+//! (trailing-zero block trimming), and near-max frame sizes.
+
+use gasf_core::bitset::FilterSet;
+use gasf_core::candidate::FilterId;
+use gasf_core::engine::Emission;
+use gasf_core::time::Micros;
+use gasf_core::tuple::Tuple;
+use gasf_net::{Delivery, GroupId, NodeId};
+use gasf_wire::codec::{Reader, WireDecode, WireEncode};
+use gasf_wire::frame::read_frame;
+use gasf_wire::{Frame, NodeDigest, SubscriberReport, WireError, DEFAULT_MAX_FRAME};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn emission(seq: u64, ts: u64, values: Vec<f64>, recipients: &[usize]) -> Emission {
+    Emission {
+        tuple: Arc::new(Tuple::from_wire(seq, Micros(ts), values)),
+        recipients: recipients
+            .iter()
+            .map(|&i| FilterId::from_index(i))
+            .collect(),
+        emitted_at: Micros(ts),
+    }
+}
+
+fn round_trip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(value: &T) -> T {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    let mut r = Reader::new(&buf);
+    let back = T::decode(&mut r).expect("decodes");
+    r.finish().expect("no trailing bytes");
+    back
+}
+
+fn frame_round_trip(frame: &Frame) -> Frame {
+    let mut wire = Vec::new();
+    frame.encode_into(&mut wire);
+    let mut cursor = &wire[..];
+    let back = read_frame(&mut cursor, DEFAULT_MAX_FRAME)
+        .expect("reads")
+        .expect("not EOF");
+    assert!(cursor.is_empty(), "frame consumed exactly");
+    back
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary emissions survive the codec exactly — values compared
+    /// through `to_bits` equality by `Tuple`'s `PartialEq`.
+    #[test]
+    fn emission_round_trips(
+        seq in 0u64..u64::MAX,
+        ts in 0u64..u64::MAX,
+        values in proptest::collection::vec(-1.0e12f64..1.0e12, 0..24),
+        recipients in proptest::collection::vec(0usize..4096, 0..48),
+    ) {
+        let e = emission(seq, ts, values, &recipients);
+        prop_assert_eq!(round_trip(&e), e);
+    }
+
+    /// Deliveries (the accounting half of the protocol) round trip.
+    #[test]
+    fn delivery_round_trips(
+        nodes in proptest::collection::vec(0u32..10_000, 0..16),
+        lat in 0u64..1_000_000,
+        bytes in 0u64..u64::MAX,
+        hops in 0usize..1000,
+        repair in 0u64..u64::MAX,
+    ) {
+        let latencies: BTreeMap<NodeId, Micros> = nodes
+            .iter()
+            .map(|&n| (NodeId(n), Micros(lat + n as u64)))
+            .collect();
+        let d = Delivery { latencies, bytes_on_wire: bytes, overlay_hops: hops, repair_bytes: repair };
+        prop_assert_eq!(round_trip(&d), d);
+    }
+
+    /// Every frame variant survives the framed stream path
+    /// (`encode_into` → `read_frame`), not just body decode.
+    #[test]
+    fn frames_round_trip(
+        process in 0u32..64,
+        group in 0u64..u64::MAX,
+        src in 0u32..1024,
+        nodes in proptest::collection::vec(0u32..1024, 0..8),
+        seq in 0u64..1_000_000,
+        count in 0u64..1_000_000,
+        hash in 0u64..u64::MAX,
+    ) {
+        let frames = [
+            Frame::Hello { process, deployment: format!("d{group}") },
+            Frame::Emission {
+                group: GroupId::from_raw(group),
+                src: NodeId(src),
+                nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+                emission: emission(seq, seq * 3, vec![seq as f64], &[0, 9]),
+            },
+            Frame::Finish,
+            Frame::StatusRequest,
+            Frame::StatusReport(SubscriberReport {
+                process,
+                frames: count,
+                emissions: count / 2,
+                bytes: hash,
+                done: count % 2 == 0,
+                per_node: nodes
+                    .iter()
+                    .map(|&n| NodeDigest { node: NodeId(n), count, hash })
+                    .collect(),
+            }),
+            Frame::Shutdown,
+        ];
+        for f in frames {
+            prop_assert_eq!(frame_round_trip(&f), f);
+        }
+    }
+
+    /// FilterSets round trip through the raw-block encoding whatever the
+    /// bit pattern, with trailing-zero trimming canonical on both sides.
+    #[test]
+    fn filterset_round_trips(indices in proptest::collection::vec(0usize..8192, 0..64)) {
+        let set: FilterSet = indices.iter().map(|&i| FilterId::from_index(i)).collect();
+        prop_assert_eq!(round_trip(&set), set);
+    }
+}
+
+/// An emission whose recipient set is empty — the engine never sends
+/// one, but the codec must not conflate "no blocks" with corruption.
+#[test]
+fn empty_filterset_and_empty_values_round_trip() {
+    let set = FilterSet::default();
+    assert_eq!(round_trip(&set), set);
+
+    let e = emission(0, 0, vec![], &[]);
+    assert_eq!(round_trip(&e), e);
+    let f = Frame::Emission {
+        group: GroupId::from_raw(0),
+        src: NodeId(0),
+        nodes: vec![],
+        emission: e,
+    };
+    assert_eq!(frame_round_trip(&f), f);
+}
+
+/// Non-finite and signed-zero floats must survive bit-for-bit; a codec
+/// that routes f64 through text or comparisons loses all of these.
+#[test]
+fn non_finite_floats_round_trip_bit_for_bit() {
+    let values = vec![
+        f64::NAN,
+        -f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -0.0,
+        0.0,
+    ];
+    let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+    let e = emission(7, 11, values, &[3]);
+    let back = round_trip(&e);
+    let back_bits: Vec<u64> = back.tuple.values().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(back_bits, bits);
+}
+
+/// A frame just under the size cap round trips; one byte over the cap is
+/// rejected *before* the body allocation.
+#[test]
+fn max_size_frames_round_trip_and_oversize_is_rejected() {
+    // ~1.2 MiB emission: 150k values + a sparse high-index recipient set.
+    let values: Vec<f64> = (0..150_000).map(|i| i as f64 * 0.5).collect();
+    let recipients: Vec<usize> = (0..10_000).step_by(7).collect();
+    let e = emission(u64::MAX, u64::MAX, values, &recipients);
+    let f = Frame::Emission {
+        group: GroupId::from_raw(u64::MAX),
+        src: NodeId(u32::MAX),
+        nodes: (0..512).map(NodeId).collect(),
+        emission: e,
+    };
+    let mut wire = Vec::new();
+    f.encode_into(&mut wire);
+    assert!(wire.len() > 1 << 20, "frame is actually big");
+
+    // Round trips under a cap just big enough.
+    let mut cursor = &wire[..];
+    let back = read_frame(&mut cursor, wire.len()).unwrap().unwrap();
+    assert_eq!(back, f);
+
+    // The same bytes under a smaller cap fail with Oversize, loudly.
+    let mut cursor = &wire[..];
+    let err = read_frame(&mut cursor, wire.len() - 5).unwrap_err();
+    assert!(matches!(err, WireError::Oversize { .. }), "{err}");
+}
+
+/// Truncating an encoded emission anywhere produces an error, never a
+/// silent partial decode.
+#[test]
+fn truncation_always_errors() {
+    let e = emission(5, 9, vec![1.5, -2.5, 3.5], &[0, 63, 64, 200]);
+    let mut buf = Vec::new();
+    e.encode(&mut buf);
+    for cut in 0..buf.len() {
+        let mut r = Reader::new(&buf[..cut]);
+        let result = Emission::decode(&mut r);
+        assert!(result.is_err(), "decode succeeded on a {cut}-byte prefix");
+    }
+}
