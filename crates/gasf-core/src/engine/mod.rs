@@ -49,6 +49,7 @@ mod decide;
 #[cfg(test)]
 mod tests;
 
+use crate::batch::TupleBatch;
 use crate::bitset::FilterSet;
 use crate::candidate::{CloseCause, FilterAction, FilterId, TimeCover};
 use crate::cuts::{RuntimePredictor, TimeConstraint};
@@ -351,6 +352,7 @@ impl GroupEngineBuilder {
             predictor: RuntimePredictor::with_window(self.predictor_window, self.overestimate_us),
             utility: GroupUtility::new(),
             tracker: RegionTracker::new(),
+            cover_buf: Vec::new(),
             pool: TuplePool::new(),
             pending: BTreeMap::new(),
             releasable: BTreeSet::new(),
@@ -499,6 +501,8 @@ pub struct GroupEngine {
     predictor: RuntimePredictor,
     utility: GroupUtility,
     tracker: RegionTracker,
+    /// Reusable open-cover buffer for the batch-path region drain.
+    cover_buf: Vec<TimeCover>,
     /// Intern pool owning the live tuples that may still be chosen/emitted.
     pool: TuplePool,
     /// Decided but not yet emitted outputs (recipient sets by id).
@@ -543,19 +547,31 @@ pub(crate) fn validate_stream_order(
     last_seq: Option<u64>,
     tuple: &Tuple,
 ) -> Result<(), Error> {
+    validate_stream_order_at(last_ts, last_seq, tuple.timestamp(), tuple.seq())
+}
+
+/// Position form of [`validate_stream_order`], for the columnar path: a
+/// [`TupleBatch`] validated its internal contiguity at construction, so
+/// only its head row needs checking against the engine frontier.
+pub(crate) fn validate_stream_order_at(
+    last_ts: Option<Micros>,
+    last_seq: Option<u64>,
+    ts: Micros,
+    seq: u64,
+) -> Result<(), Error> {
     if let Some(last) = last_ts {
-        if tuple.timestamp() <= last {
+        if ts <= last {
             return Err(Error::OutOfOrder {
                 last_us: last.as_micros(),
-                got_us: tuple.timestamp().as_micros(),
+                got_us: ts.as_micros(),
             });
         }
     }
     if let Some(last) = last_seq {
-        if tuple.seq() != last + 1 {
+        if seq != last + 1 {
             return Err(Error::NonContiguousSeq {
                 expected: last + 1,
-                got: tuple.seq(),
+                got: seq,
             });
         }
     }
@@ -679,6 +695,16 @@ impl GroupEngine {
     /// cleanup is what makes the engine usable on unbounded streams.
     pub fn buffered_tuples(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Number of tuple payloads materialised from columnar batch rows so
+    /// far (see [`TuplePool::materializations`]). Payloads materialise
+    /// only at emission, so on the columnar path this stays at the
+    /// emission count rather than the input count — the steady-state
+    /// no-per-tuple-allocation property pinned by the batch regression
+    /// tests.
+    pub fn tuple_materializations(&self) -> u64 {
+        self.pool.materializations()
     }
 
     /// The output watermark: the stream time up to which every region has
@@ -809,11 +835,19 @@ impl GroupEngine {
     /// so the continuation is byte-identical to a static rebuild with the
     /// post-churn roster.
     fn apply_control_ops<S: EmissionSink>(&mut self, sink: &mut S) {
+        self.apply_control_ops_to_scratch();
+        self.drain_scratch(sink);
+    }
+
+    /// [`apply_control_ops`](Self::apply_control_ops) minus the sink
+    /// handoff: the boundary tail stays staged in the scratch buffer, so
+    /// the per-step columnar path can attribute it to the step whose push
+    /// crossed the boundary.
+    fn apply_control_ops_to_scratch(&mut self) {
         let start = Instant::now();
         let now = self.last_ts.unwrap_or(Micros::ZERO);
         self.drain_open_state(now);
         self.metrics.cpu += start.elapsed();
-        self.drain_scratch(sink);
         self.advance_epoch();
     }
 
@@ -1033,6 +1067,7 @@ impl GroupEngine {
             predictor: RuntimePredictor::with_window(snap.predictor_window, snap.overestimate_us),
             utility: GroupUtility::new(),
             tracker: RegionTracker::new(),
+            cover_buf: Vec::new(),
             pool: TuplePool::new(),
             pending: BTreeMap::new(),
             releasable: BTreeSet::new(),
@@ -1139,15 +1174,7 @@ impl GroupEngine {
         // (Fig. 3.3): if the region span plus the predicted greedy run time
         // would exceed the constraint, force-close everything now.
         if self.algorithm == Algorithm::RegionGreedy {
-            if let Some(c) = self.constraint {
-                if let Some(oldest) = self.oldest_pending_candidate() {
-                    let predicted = self.predictor.predict(self.pending_candidates() + 1);
-                    let span = now.saturating_sub(oldest);
-                    if span.checked_add(predicted).is_none_or(|t| t >= c.max_delay) {
-                        self.cut_all(now);
-                    }
-                }
-            }
+            self.maybe_cut_all(now);
         }
 
         // Second stage: solve/complete any regions that became ready.
@@ -1201,6 +1228,162 @@ impl GroupEngine {
             self.push_into(t, sink)?;
         }
         Ok(())
+    }
+
+    /// Feeds a columnar [`TupleBatch`] through the batch-native hot path,
+    /// writing everything the batch releases into `sink`.
+    ///
+    /// Byte-identical to [`push_into`](Self::push_into) on each
+    /// materialised row (pinned by `tests/tests/batch_equivalence.rs`),
+    /// but evaluated column-at-a-time: the compiled roster derives every
+    /// CSE key class over whole columns first, rows are interned lazily
+    /// (payloads materialise only if emitted), and each row's fused pass
+    /// drops its admission mask into the existing bitset machinery with
+    /// one bulk utility probe. Queued control ops apply at the boundary
+    /// before the batch — a batch is never split by a safe point.
+    ///
+    /// On the interpreted tier the batch is simply replayed row by row
+    /// through the reference path. A row whose key derivation fails (a
+    /// missing value) is also delegated to the reference path, which
+    /// reproduces the exact per-tuple error and partial state.
+    ///
+    /// # Errors
+    /// Same contract as [`push_into`](Self::push_into), plus
+    /// [`Error::SchemaMismatch`] when the batch width differs from the
+    /// engine schema.
+    pub fn push_batch_columnar<S: EmissionSink>(
+        &mut self,
+        batch: &Arc<TupleBatch>,
+        sink: &mut S,
+    ) -> Result<(), Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.validate_batch_head(batch)?;
+        if !self.control_queue.is_empty() {
+            self.apply_control_ops(sink);
+        }
+        let ok = if self.compiled.is_some() {
+            let n = self.columnar_rows(batch, |_| {});
+            self.drain_scratch(sink);
+            n
+        } else {
+            0
+        };
+        for r in ok..batch.rows() {
+            self.push_into(batch.materialize_row(r), sink)?;
+        }
+        Ok(())
+    }
+
+    /// Sharded-worker form of
+    /// [`push_batch_columnar`](Self::push_batch_columnar): pushes each
+    /// row's released emissions as its own entry of `out`, so the merge
+    /// layer keeps its per-step `(input step, route)` ordering across
+    /// routes that batch at different phases. Emissions from a safe-point
+    /// boundary crossed by this batch land in the first row's entry —
+    /// exactly where the per-tuple path would drain them.
+    ///
+    /// On error, `out` holds the steps completed before the failing row
+    /// (the failing row contributes no entry).
+    pub(crate) fn push_batch_columnar_steps(
+        &mut self,
+        batch: &Arc<TupleBatch>,
+        out: &mut Vec<Vec<Emission>>,
+    ) -> Result<(), Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.validate_batch_head(batch)?;
+        if !self.control_queue.is_empty() {
+            self.apply_control_ops_to_scratch();
+        }
+        let ok = if self.compiled.is_some() {
+            self.columnar_rows(batch, |scratch| out.push(std::mem::take(scratch)))
+        } else {
+            0
+        };
+        for r in ok..batch.rows() {
+            let mut sink = VecSink::new();
+            let result = self.push_into(batch.materialize_row(r), &mut sink);
+            let step = sink.into_vec();
+            match result {
+                Ok(()) => out.push(step),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Head-of-batch admission checks: width against the engine schema,
+    /// stream order of row 0 against the engine frontier. Rows past the
+    /// head were validated by the batch constructor (contiguous seqs,
+    /// strictly increasing timestamps), so no per-row check remains.
+    fn validate_batch_head(&self, batch: &TupleBatch) -> Result<(), Error> {
+        if batch.schema().len() != self.schema.len() {
+            return Err(Error::SchemaMismatch {
+                expected: self.schema.len(),
+                actual: batch.schema().len(),
+            });
+        }
+        validate_stream_order_at(
+            self.last_ts,
+            self.last_seq,
+            batch.timestamp(0),
+            batch.seq(0),
+        )
+    }
+
+    /// The columnar core loop (compiled tier only): derive key columns
+    /// for the derivable prefix, bulk-intern those rows, then run the
+    /// fused second stage row by row over the pre-derived columns.
+    /// `per_row` observes the scratch buffer after every row — a no-op
+    /// for whole-batch sinks, a move for the per-step sharded form.
+    /// Returns the number of rows consumed.
+    fn columnar_rows(
+        &mut self,
+        batch: &Arc<TupleBatch>,
+        mut per_row: impl FnMut(&mut Vec<Emission>),
+    ) -> usize {
+        let start = Instant::now();
+        let ok = self
+            .compiled
+            .as_mut()
+            .expect("columnar rows run on the compiled tier")
+            .derive_batch(batch);
+        self.pool.intern_rows(batch, ok);
+        for r in 0..ok {
+            let now = batch.timestamp(r);
+            let id = TupleId::from_seq(batch.seq(r));
+            self.last_ts = Some(now);
+            self.last_seq = Some(batch.seq(r));
+            self.metrics.input_tuples += 1;
+            if self.algorithm == Algorithm::PerCandidateSet {
+                self.per_filter_cuts(now);
+            }
+            let mut step = std::mem::take(&mut self.step);
+            self.compiled
+                .as_mut()
+                .expect("columnar rows run on the compiled tier")
+                .evaluate_row(r, id, now, &mut step);
+            self.apply_step_columnar(id, now, &mut step);
+            self.step = step;
+            if self.algorithm == Algorithm::RegionGreedy {
+                self.maybe_cut_all(now);
+            }
+            self.drain_regions_columnar(now);
+            self.flush_to_scratch(now);
+            self.maybe_drop(id);
+            per_row(&mut self.scratch);
+        }
+        self.metrics.cpu += start.elapsed();
+        ok
     }
 
     /// Runs an entire stream through the engine into `sink`
@@ -1347,6 +1530,47 @@ impl GroupEngine {
             self.apply_action(i, id, now, action);
         }
         debug_assert_eq!(next, events.len(), "event for an untouched slot");
+        events.clear();
+        step.events = events; // hand the allocation back for reuse
+    }
+
+    /// Columnar form of [`apply_step`](Self::apply_step): the admission
+    /// mask's popcount lands on the new tuple as one bulk utility probe,
+    /// references follow as a block scan, and only the (rare) events walk
+    /// slot by slot. Byte-identical to the per-slot replay because a
+    /// step's closed sets and dismissals never involve the current tuple
+    /// (window seal precedes push, the delta vicinity seal excludes the
+    /// current tuple, and dismissals prune previously admitted ids), so
+    /// hoisting its admissions and references commutes with the events —
+    /// which keep their ascending slot order, preserving the
+    /// dismissal-before-decision interleaving that group utilities see.
+    fn apply_step_columnar(&mut self, id: TupleId, now: Micros, step: &mut StepActions) {
+        let mut admissions = 0u32;
+        for fid in step.admitted.iter() {
+            self.metrics.per_filter[fid.index()].admitted += 1;
+            admissions += 1;
+        }
+        self.utility.increment_by(id, admissions);
+        for fid in step.references.iter() {
+            let i = fid.index();
+            self.metrics.per_filter[i].references += 1;
+            if self.algorithm == Algorithm::SelfInterested && self.si_emits_at_reference(i) {
+                self.enqueue(id, fid);
+                self.metrics.per_filter[i].chosen += 1;
+            }
+        }
+        let mut events = std::mem::take(&mut step.events);
+        for (slot, ev) in &mut events {
+            let i = *slot as usize;
+            for d in std::mem::take(&mut ev.dismissed) {
+                self.metrics.per_filter[i].dismissed += 1;
+                self.utility.decrement(d);
+                self.maybe_drop(d);
+            }
+            if let Some(set) = ev.closed.take() {
+                self.handle_closed_set(i, now, set);
+            }
+        }
         events.clear();
         step.events = events; // hand the allocation back for reuse
     }
@@ -1506,6 +1730,21 @@ impl GroupEngine {
         }
     }
 
+    /// The RG+C group timely cut (Fig. 3.3), shared by the per-tuple and
+    /// columnar ingest paths: force-close everything when the open span
+    /// plus the predicted greedy run time would breach the constraint.
+    fn maybe_cut_all(&mut self, now: Micros) {
+        if let Some(c) = self.constraint {
+            if let Some(oldest) = self.oldest_pending_candidate() {
+                let predicted = self.predictor.predict(self.pending_candidates() + 1);
+                let span = now.saturating_sub(oldest);
+                if span.checked_add(predicted).is_none_or(|t| t >= c.max_delay) {
+                    self.cut_all(now);
+                }
+            }
+        }
+    }
+
     fn drain_regions(&mut self, now: Micros) {
         let open_covers: Vec<TimeCover> = (0..self.slots.len())
             .filter(|&i| self.slots[i].is_some())
@@ -1514,6 +1753,27 @@ impl GroupEngine {
         for region in self.tracker.drain_ready(&open_covers, now) {
             self.complete_region(region, now);
         }
+    }
+
+    /// Batch-path variant of [`drain_regions`](Self::drain_regions):
+    /// sources the open covers from the compiled roster's open-slot index
+    /// (O(open slots) per row instead of a full roster scan) and reuses
+    /// one buffer across rows. The cover list is identical to the full
+    /// scan's, so region completion — and therefore every emission — is
+    /// byte-identical to the single-tuple reference path.
+    fn drain_regions_columnar(&mut self, now: Micros) {
+        if !self.tracker.any_time_ready(now) {
+            return;
+        }
+        let mut covers = std::mem::take(&mut self.cover_buf);
+        self.compiled
+            .as_ref()
+            .expect("columnar rows run on the compiled tier")
+            .open_covers_into(&mut covers);
+        for region in self.tracker.drain_ready(&covers, now) {
+            self.complete_region(region, now);
+        }
+        self.cover_buf = covers;
     }
 
     fn complete_region(&mut self, region: Region, _now: Micros) {
@@ -1612,7 +1872,9 @@ impl GroupEngine {
     /// Builds one emission (with all release-side accounting) onto the
     /// scratch buffer.
     fn emit_to_scratch(&mut self, id: TupleId, recipients: FilterSet, now: Micros) {
-        let Some(tuple) = self.pool.get(id).cloned() else {
+        // `resolve`, not `get`: rows interned from a columnar batch
+        // materialise their payload here, at emission, and only here.
+        let Some(tuple) = self.pool.resolve(id) else {
             debug_assert!(false, "pending tuple {id} missing from pool");
             return;
         };

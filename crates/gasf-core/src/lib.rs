@@ -107,6 +107,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod batch;
 pub mod bitset;
 pub mod candidate;
 pub mod cuts;

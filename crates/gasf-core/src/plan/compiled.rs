@@ -15,6 +15,7 @@
 //! order); the equivalence suite pins the two byte-identical.
 
 use super::{Expr, Gate, RosterPlan};
+use crate::batch::TupleBatch;
 use crate::bitset::FilterSet;
 use crate::candidate::{CandidateTuple, CloseCause, ClosedSet, FilterAction, FilterId, TimeCover};
 use crate::engine::Algorithm;
@@ -89,10 +90,10 @@ fn record(step: &mut StepActions, slot: u32, action: FilterAction) {
     }
 }
 
-fn candidate_of(tuple: &Tuple, key: f64) -> CandidateTuple {
+fn candidate_at(id: TupleId, ts: Micros, key: f64) -> CandidateTuple {
     CandidateTuple {
-        id: tuple.id(),
-        timestamp: tuple.timestamp(),
+        id,
+        timestamp: ts,
         key,
     }
 }
@@ -152,6 +153,59 @@ impl KeyDeriver {
                     sum += tuple.require(*a)?;
                 }
                 Ok(sum / attrs.len() as f64)
+            }
+        }
+    }
+
+    /// First row of `batch[..rows]` whose [`derive`](Self::derive) would
+    /// fail (a required attribute is NaN), or `rows` when every row is
+    /// derivable. Pure — no deriver state is touched.
+    fn first_missing_row(&self, batch: &TupleBatch, rows: usize) -> usize {
+        let first_nan = |a: &AttrId| -> usize {
+            batch.column(*a)[..rows]
+                .iter()
+                .position(|v| v.is_nan())
+                .unwrap_or(rows)
+        };
+        match self {
+            KeyDeriver::Single(a) => first_nan(a),
+            KeyDeriver::Trend { attr, .. } => first_nan(attr),
+            KeyDeriver::Mean(attrs) => attrs.iter().map(first_nan).min().unwrap_or(rows),
+        }
+    }
+
+    /// Derives `out[0..rows]` column-at-a-time. Every float operation
+    /// happens in exactly the order the per-row [`derive`](Self::derive)
+    /// loop would have used (rows outer, attributes inner), so the
+    /// results — and any trend state left behind — are bit-identical.
+    /// The caller guarantees (via [`first_missing_row`]) that no required
+    /// value in `0..rows` is NaN.
+    ///
+    /// [`first_missing_row`]: Self::first_missing_row
+    fn derive_column(&mut self, batch: &TupleBatch, rows: usize, out: &mut Vec<f64>) {
+        out.clear();
+        match self {
+            KeyDeriver::Single(a) => out.extend_from_slice(&batch.column(*a)[..rows]),
+            KeyDeriver::Trend { attr, prev } => {
+                let col = &batch.column(*attr)[..rows];
+                for (r, &v) in col.iter().enumerate() {
+                    let now = batch.timestamp(r);
+                    let trend = match *prev {
+                        Some((t0, v0)) if now > t0 => (v - v0) / (now - t0).as_secs_f64(),
+                        _ => 0.0,
+                    };
+                    *prev = Some((now, v));
+                    out.push(trend);
+                }
+            }
+            KeyDeriver::Mean(attrs) => {
+                for r in 0..rows {
+                    let mut sum = 0.0;
+                    for a in attrs.iter() {
+                        sum += batch.column(*a)[r];
+                    }
+                    out.push(sum / attrs.len() as f64);
+                }
             }
         }
     }
@@ -239,12 +293,19 @@ impl DeltaArena {
         set
     }
 
-    fn on_reference(&mut self, m: usize, tuple: &Tuple, key: f64, action: &mut FilterAction) {
+    fn on_reference(
+        &mut self,
+        m: usize,
+        id: TupleId,
+        ts: Micros,
+        key: f64,
+        action: &mut FilterAction,
+    ) {
         // Keep only the contiguous run (by id, i.e. arrival order)
         // immediately preceding the reference whose keys are within slack
         // of it.
         let mut keep_from = self.open[m].len();
-        let mut expected = tuple.id();
+        let mut expected = id;
         for (i, c) in self.open[m].iter().enumerate().rev() {
             if c.id.next() == expected && (c.key - key).abs() <= self.slack[m] {
                 keep_from = i;
@@ -256,8 +317,8 @@ impl DeltaArena {
         for c in self.open[m].drain(..keep_from) {
             action.dismissed.push(c.id);
         }
-        self.open[m].push(candidate_of(tuple, key));
-        self.reference_id[m] = Some(tuple.id());
+        self.open[m].push(candidate_at(id, ts, key));
+        self.reference_id[m] = Some(id);
         self.reference_val[m] = key;
         if !self.stateful[m] {
             self.base[m] = key;
@@ -267,12 +328,19 @@ impl DeltaArena {
         action.reference = true;
     }
 
-    fn search_step(&mut self, m: usize, tuple: &Tuple, key: f64, action: &mut FilterAction) {
+    fn search_step(
+        &mut self,
+        m: usize,
+        id: TupleId,
+        ts: Micros,
+        key: f64,
+        action: &mut FilterAction,
+    ) {
         let dist = (key - self.base[m]).abs();
         if dist >= self.delta[m] {
-            self.on_reference(m, tuple, key, action);
+            self.on_reference(m, id, ts, key, action);
         } else if dist >= self.delta[m] - self.slack[m] {
-            self.open[m].push(candidate_of(tuple, key));
+            self.open[m].push(candidate_at(id, ts, key));
             self.phase[m] = Phase::Tentative;
             action.admitted = true;
         }
@@ -342,8 +410,8 @@ impl WindowArena {
     /// One tuple through one window member: maybe close the previous
     /// window, then accumulate. Admission is unconditional and recorded by
     /// the caller's block-union, not here.
-    fn step(&mut self, m: usize, tuple: &Tuple, v: f64) -> Option<ClosedSet> {
-        let w = tuple.timestamp().as_micros() / self.window[m].as_micros().max(1);
+    fn step(&mut self, m: usize, id: TupleId, ts: Micros, v: f64) -> Option<ClosedSet> {
+        let w = ts.as_micros() / self.window[m].as_micros().max(1);
         let mut closed = None;
         if self.current[m] != Some(w) {
             if self.current[m].is_some() {
@@ -351,7 +419,7 @@ impl WindowArena {
             }
             self.current[m] = Some(w);
         }
-        self.open[m].push(candidate_of(tuple, v));
+        self.open[m].push(candidate_at(id, ts, v));
         if matches!(self.gate[m], WindowGate::Stratified { .. }) {
             self.min_val[m] = self.min_val[m].min(v);
             self.max_val[m] = self.max_val[m].max(v);
@@ -426,19 +494,71 @@ struct ClassState {
 
 /// Inserts `m` into the cohort for its current base, keeping the
 /// `(qualify, member)` sort order.
-fn insert_cohort(cohorts: &mut BTreeMap<u64, Vec<u32>>, delta: &DeltaArena, m: u32) {
-    let list = cohorts.entry(delta.base[m as usize].to_bits()).or_default();
+fn insert_cohort(class: &mut ClassState, delta: &DeltaArena, m: u32) {
+    let list = class
+        .cohorts
+        .entry(delta.base[m as usize].to_bits())
+        .or_default();
     let q = delta.qualify[m as usize];
     let pos = list.partition_point(|&o| (delta.qualify[o as usize], o) <= (q, m));
     list.insert(pos, m);
 }
 
-fn remove_from_cohort(cohorts: &mut BTreeMap<u64, Vec<u32>>, bits: u64, m: u32) {
-    if let Some(list) = cohorts.get_mut(&bits) {
+/// Removes `m` from the cohort keyed by `bits` (its base at insertion
+/// time).
+fn remove_from_cohort(class: &mut ClassState, bits: u64, m: u32) {
+    if let Some(list) = class.cohorts.get_mut(&bits) {
         list.retain(|&o| o != m);
         if list.is_empty() {
-            cohorts.remove(&bits);
+            class.cohorts.remove(&bits);
         }
+    }
+}
+
+/// Dense bitmask over engine slots whose open candidate set is currently
+/// non-empty. Maintained at every arena mutation site, so the batch
+/// ingest path can enumerate open covers in O(open slots) instead of
+/// scanning the whole roster each row. Bits are exact (set iff the slot's
+/// open set is non-empty) and iteration is ascending by slot, so the
+/// cover list it yields is identical to a full roster scan.
+#[derive(Debug, Default)]
+struct OpenIndex {
+    words: Vec<u64>,
+    /// Cover of each slot's open set, valid only where the bit is set.
+    /// Written at mutation time — when the open vec is hot in cache — so
+    /// the per-row drain reads one dense array instead of chasing
+    /// `member_of` → arena → candidate vec per open slot.
+    covers: Vec<TimeCover>,
+}
+
+impl OpenIndex {
+    fn with_slots(n: usize) -> OpenIndex {
+        OpenIndex {
+            words: vec![0; n.div_ceil(64)],
+            covers: vec![TimeCover::point(Micros::ZERO); n],
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, slot: usize, cover: Option<TimeCover>) {
+        let (w, b) = (slot / 64, slot % 64);
+        match cover {
+            Some(c) => {
+                self.words[w] |= 1 << b;
+                self.covers[slot] = c;
+            }
+            None => self.words[w] &= !(1 << b),
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            // `successors` computes the next value eagerly, so the
+            // clear-lowest-bit step must be total at w = 0.
+            std::iter::successors(Some(word), |&w| Some(w & w.wrapping_sub(1)))
+                .take_while(|&w| w != 0)
+                .map(move |w| wi * 64 + w.trailing_zeros() as usize)
+        })
     }
 }
 
@@ -462,10 +582,16 @@ pub struct CompiledRoster {
     member_of: Vec<Option<MemberRef>>,
     /// Per-class derived-key scratch, refilled each tuple.
     keys: Vec<f64>,
+    /// Per-class derived-key *columns*, refilled each batch by
+    /// [`derive_batch`](Self::derive_batch) (class-major; allocations are
+    /// reused across batches).
+    key_cols: Vec<Vec<f64>>,
     /// Relocation scratch (members changing bucket mid-pass are staged so
     /// a tuple never reaches the same member twice).
     to_vicinity: Vec<u32>,
     to_cohort: Vec<u32>,
+    /// Slots whose open set is non-empty (batch-path cover enumeration).
+    open_idx: OpenIndex,
 }
 
 impl CompiledRoster {
@@ -540,6 +666,7 @@ impl CompiledRoster {
             }
         }
         let keys = vec![0.0; classes.len()];
+        let key_cols = vec![Vec::new(); classes.len()];
         Ok(CompiledRoster {
             plan,
             classes,
@@ -547,8 +674,10 @@ impl CompiledRoster {
             windows: warena,
             member_of,
             keys,
+            key_cols,
             to_vicinity: Vec::new(),
             to_cohort: Vec::new(),
+            open_idx: OpenIndex::with_slots(width),
         })
     }
 
@@ -583,14 +712,67 @@ impl CompiledRoster {
         for (ci, class) in self.classes.iter_mut().enumerate() {
             self.keys[ci] = class.deriver.derive(tuple)?;
         }
-        // Stage 2 — fused evaluation per class.
+        self.evaluate_derived(tuple.id(), tuple.timestamp(), step);
+        Ok(())
+    }
+
+    /// Derives every key class over `batch` column-at-a-time, filling the
+    /// per-class key columns for [`evaluate_row`](Self::evaluate_row).
+    ///
+    /// Returns the number of *derivable* leading rows: the prefix before
+    /// the first row on which any class's derivation would fail (a
+    /// required value is NaN). Deriver state (trend history) advances for
+    /// exactly that prefix, so delegating the failing row to the
+    /// single-tuple path afterwards reproduces the per-tuple run — error,
+    /// partial state and all — bit for bit.
+    pub(crate) fn derive_batch(&mut self, batch: &TupleBatch) -> usize {
+        let rows = batch.rows();
+        let ok_rows = self
+            .classes
+            .iter()
+            .map(|c| c.deriver.first_missing_row(batch, rows))
+            .min()
+            .unwrap_or(rows);
+        for (ci, class) in self.classes.iter_mut().enumerate() {
+            class
+                .deriver
+                .derive_column(batch, ok_rows, &mut self.key_cols[ci]);
+        }
+        ok_rows
+    }
+
+    /// Runs one already-derived batch row through every member — stage 2
+    /// of [`process_tuple`] against row `r`'s column of keys. Only valid
+    /// for `r` within the prefix the last [`derive_batch`](Self::derive_batch)
+    /// returned.
+    ///
+    /// [`process_tuple`]: Self::process_tuple
+    pub(crate) fn evaluate_row(
+        &mut self,
+        r: usize,
+        id: TupleId,
+        ts: Micros,
+        step: &mut StepActions,
+    ) {
+        step.clear();
+        for ci in 0..self.keys.len() {
+            self.keys[ci] = self.key_cols[ci][r];
+        }
+        self.evaluate_derived(id, ts, step);
+    }
+
+    /// Stage 2 — fused evaluation per class over `self.keys`. Shared by
+    /// the per-tuple and columnar paths: the tuple identity is fully
+    /// captured by `(id, ts, keys)`, so both paths run the identical
+    /// member loops and produce the identical step.
+    fn evaluate_derived(&mut self, id: TupleId, ts: Micros, step: &mut StepActions) {
         for ci in 0..self.classes.len() {
             let key = self.keys[ci];
             // Window members: accumulate, closing on window boundaries;
             // admission is one block-union over the whole class.
             for wi in 0..self.classes[ci].window_members.len() {
                 let m = self.classes[ci].window_members[wi] as usize;
-                if let Some(set) = self.windows.step(m, tuple, key) {
+                if let Some(set) = self.windows.step(m, id, ts, key) {
                     let slot = self.windows.slot[m];
                     step.events.push((
                         slot,
@@ -600,6 +782,11 @@ impl CompiledRoster {
                         },
                     ));
                 }
+                // `step` always pushes the current tuple.
+                self.open_idx.update(
+                    self.windows.slot[m] as usize,
+                    cover_of(&self.windows.open[m]),
+                );
             }
             step.admitted.union_with(&self.classes[ci].sampler_mask);
             step.touched.union_with(&self.classes[ci].sampler_mask);
@@ -608,7 +795,10 @@ impl CompiledRoster {
             for ii in 0..self.classes[ci].initial.len() {
                 let m = self.classes[ci].initial[ii] as usize;
                 let mut action = FilterAction::none();
-                self.delta.on_reference(m, tuple, key, &mut action);
+                self.delta.on_reference(m, id, ts, key, &mut action);
+                // The reference itself stays open.
+                self.open_idx
+                    .update(self.delta.slot[m] as usize, cover_of(&self.delta.open[m]));
                 record(step, self.delta.slot[m], action);
                 self.to_vicinity.push(m as u32);
             }
@@ -621,12 +811,14 @@ impl CompiledRoster {
                 let m = self.classes[ci].vicinity[vi] as usize;
                 let mut action = FilterAction::none();
                 if (key - self.delta.reference_val[m]).abs() <= self.delta.slack[m] {
-                    self.delta.open[m].push(candidate_of(tuple, key));
+                    self.delta.open[m].push(candidate_at(id, ts, key));
                     action.admitted = true;
                 } else {
                     action.closed = Some(self.delta.seal(m, CloseCause::Natural));
-                    self.delta.search_step(m, tuple, key, &mut action);
+                    self.delta.search_step(m, id, ts, key, &mut action);
                 }
+                self.open_idx
+                    .update(self.delta.slot[m] as usize, cover_of(&self.delta.open[m]));
                 record(step, self.delta.slot[m], action);
                 if self.delta.phase[m] == Phase::Vicinity {
                     vi += 1;
@@ -636,9 +828,9 @@ impl CompiledRoster {
                 }
             }
 
-            // Cohorts: one distance + one binary search per distinct base
-            // decides which members this tuple can touch at all; the
-            // non-qualifying suffix provably produces no action.
+            // Cohorts: one distance + one binary search per distinct
+            // base; the non-qualifying suffix provably produces no
+            // action, so only the qualifying prefix runs `search_step`.
             for (&bits, members) in self.classes[ci].cohorts.iter_mut() {
                 let base = f64::from_bits(bits);
                 let dist = (key - base).abs();
@@ -651,7 +843,9 @@ impl CompiledRoster {
                     let m = members[r] as usize;
                     if r < cut {
                         let mut action = FilterAction::none();
-                        self.delta.search_step(m, tuple, key, &mut action);
+                        self.delta.search_step(m, id, ts, key, &mut action);
+                        self.open_idx
+                            .update(self.delta.slot[m] as usize, cover_of(&self.delta.open[m]));
                         record(step, self.delta.slot[m], action);
                         if self.delta.phase[m] == Phase::Vicinity {
                             self.to_vicinity.push(m as u32);
@@ -673,33 +867,37 @@ impl CompiledRoster {
             self.to_vicinity.clear();
             for i in 0..self.to_cohort.len() {
                 let m = self.to_cohort[i];
-                insert_cohort(&mut self.classes[ci].cohorts, &self.delta, m);
+                insert_cohort(&mut self.classes[ci], &self.delta, m);
             }
             self.to_cohort.clear();
         }
         // Engine replay order is ascending slot (≤ 1 event per slot).
         step.events.sort_unstable_by_key(|(slot, _)| *slot);
-        Ok(())
     }
 
     /// Force-closes the open set of the filter in `slot` (timely cut /
     /// epoch boundary / end of stream). No-op for vacancies.
     pub(crate) fn force_close(&mut self, slot: usize, cause: CloseCause) -> ForceCloseOutcome {
         match self.member_of.get(slot).copied().flatten() {
-            Some(MemberRef::Window(m)) => ForceCloseOutcome {
-                closed: self.windows.seal(m as usize, cause),
-                dismissed: Vec::new(),
-            },
+            Some(MemberRef::Window(m)) => {
+                let closed = self.windows.seal(m as usize, cause);
+                self.open_idx.update(slot, None);
+                ForceCloseOutcome {
+                    closed,
+                    dismissed: Vec::new(),
+                }
+            }
             Some(MemberRef::Delta(m)) => {
                 let mi = m as usize;
                 let was_vicinity = self.delta.phase[mi] == Phase::Vicinity;
                 let out = self.delta.force_close(mi, cause);
+                self.open_idx.update(slot, cover_of(&self.delta.open[mi]));
                 if was_vicinity {
                     // Sealed out of the vicinity: the member now searches
                     // from its (unchanged) base.
                     let ci = self.delta.class[mi] as usize;
                     self.classes[ci].vicinity.retain(|&o| o != m);
-                    insert_cohort(&mut self.classes[ci].cohorts, &self.delta, m);
+                    insert_cohort(&mut self.classes[ci], &self.delta, m);
                 }
                 out
             }
@@ -721,8 +919,8 @@ impl CompiledRoster {
                 && matches!(self.delta.phase[mi], Phase::Searching | Phase::Tentative)
             {
                 let ci = self.delta.class[mi] as usize;
-                remove_from_cohort(&mut self.classes[ci].cohorts, old.to_bits(), m);
-                insert_cohort(&mut self.classes[ci].cohorts, &self.delta, m);
+                remove_from_cohort(&mut self.classes[ci], old.to_bits(), m);
+                insert_cohort(&mut self.classes[ci], &self.delta, m);
             }
         }
     }
@@ -732,6 +930,17 @@ impl CompiledRoster {
         match self.member_of.get(slot).copied().flatten()? {
             MemberRef::Delta(m) => cover_of(&self.delta.open[m as usize]),
             MemberRef::Window(m) => cover_of(&self.windows.open[m as usize]),
+        }
+    }
+
+    /// Fills `out` (cleared first) with the cover of every slot whose
+    /// open set is non-empty, ascending by slot — the identical list a
+    /// full roster scan produces, in O(open slots). The batch ingest
+    /// path calls this once per row for its region-drain check.
+    pub(crate) fn open_covers_into(&self, out: &mut Vec<TimeCover>) {
+        out.clear();
+        for slot in self.open_idx.iter() {
+            out.push(self.open_idx.covers[slot]);
         }
     }
 
@@ -942,6 +1151,143 @@ mod tests {
         assert!(step.admitted.contains(FilterId::from_index(0)));
         assert!(!step.admitted.contains(FilterId::from_index(1)));
         assert!(!step.touched.contains(FilterId::from_index(1)));
+    }
+
+    fn assert_steps_equal(a: &StepActions, b: &StepActions, ctx: &str) {
+        assert_eq!(a.admitted, b.admitted, "admitted blocks: {ctx}");
+        assert_eq!(a.references, b.references, "reference blocks: {ctx}");
+        assert_eq!(a.touched, b.touched, "touched blocks: {ctx}");
+        assert_eq!(a.events.len(), b.events.len(), "event count: {ctx}");
+        for ((sa, ea), (sb, eb)) in a.events.iter().zip(&b.events) {
+            assert_eq!(sa, sb, "event slot: {ctx}");
+            assert_eq!(ea.dismissed, eb.dismissed, "dismissed: {ctx}");
+            assert_eq!(ea.closed, eb.closed, "closed: {ctx}");
+        }
+    }
+
+    /// Deterministic xorshift so the randomised oracle sweep needs no
+    /// external RNG.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        fn chance(&mut self, p: f64) -> bool {
+            self.next_f64() < p
+        }
+    }
+
+    /// The columnar-evaluation oracle: random rosters over random column
+    /// batches (random batch splits, NaN holes included) produce, row for
+    /// row, bit-identical block masks and events to both the per-tuple
+    /// compiled pass and the interpreted trait objects.
+    #[test]
+    fn columnar_evaluation_matches_per_tuple_and_interpreted() {
+        let schema = Schema::new(["t", "u"]);
+        for seed in 1..=16u64 {
+            let mut rng = XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            // Random roster: always one delta, plus a random mix of every
+            // other taxonomy branch.
+            let mut specs = vec![FilterSpec::delta(
+                "t",
+                15.0 + 25.0 * rng.next_f64(),
+                2.0 + 5.0 * rng.next_f64(),
+            )];
+            if rng.chance(0.6) {
+                specs.push(FilterSpec::delta("t", 35.0, 8.0));
+            }
+            if rng.chance(0.6) {
+                specs.push(FilterSpec::trend_delta("t", 300.0, 50.0));
+            }
+            if rng.chance(0.6) {
+                specs.push(FilterSpec::multi_attr_delta(["t", "u"], 25.0, 4.0));
+            }
+            if rng.chance(0.5) {
+                specs.push(FilterSpec::reservoir("t", Micros::from_millis(50), 2));
+            }
+            if rng.chance(0.5) {
+                specs.push(FilterSpec::stratified_sample(
+                    "u",
+                    Micros::from_millis(70),
+                    30.0,
+                    60.0,
+                    20.0,
+                ));
+            }
+            let roster: Vec<(FilterId, FilterSpec)> = specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| (FilterId::from_index(i), s))
+                .collect();
+            let compile = |algorithm| {
+                CompiledRoster::compile(roster.iter().map(|(id, s)| (*id, s)), &schema, algorithm)
+                    .unwrap()
+            };
+            let mut by_tuple = compile(Algorithm::PerCandidateSet);
+            let mut by_batch = compile(Algorithm::PerCandidateSet);
+            let mut oracles: Vec<Box<dyn GroupFilter>> = roster
+                .iter()
+                .map(|(id, s)| build_filter(s, *id, &schema).unwrap())
+                .collect();
+
+            // Random column data: a walk on `t`, a correlated `u` with
+            // occasional NaN holes on half the seeds.
+            let mut tuples = Vec::new();
+            let mut b = crate::tuple::TupleBuilder::new(&schema);
+            let mut val = 50.0;
+            for i in 0..200u64 {
+                val += (rng.next_f64() - 0.5) * 40.0;
+                b.at_millis(i * 10 + 1).set("t", val);
+                if seed % 2 == 1 || !rng.chance(0.02) {
+                    b.set("u", val * 0.5 + rng.next_f64());
+                }
+                tuples.push(b.build().unwrap());
+            }
+
+            let mut step_t = StepActions::default();
+            let mut step_b = StepActions::default();
+            let mut pos = 0usize;
+            'stream: while pos < tuples.len() {
+                let size = 1 + (rng.next_u64() % 9) as usize;
+                let chunk = &tuples[pos..(pos + size).min(tuples.len())];
+                let batch = TupleBatch::from_tuples(&schema, chunk).unwrap();
+                let ok = by_batch.derive_batch(&batch);
+                for (r, t) in chunk.iter().enumerate().take(ok) {
+                    by_tuple.process_tuple(t, &mut step_t).unwrap();
+                    by_batch.evaluate_row(r, t.id(), t.timestamp(), &mut step_b);
+                    let ctx = format!("seed {seed} tuple {}", t.seq());
+                    assert_steps_equal(&step_b, &step_t, &ctx);
+                    // ... and the interpreted trait objects agree too.
+                    for (slot, oracle) in oracles.iter_mut().enumerate() {
+                        let want = oracle.process(t).unwrap();
+                        let fid = FilterId::from_index(slot);
+                        assert_eq!(step_b.admitted.contains(fid), want.admitted, "{ctx}");
+                        assert_eq!(step_b.references.contains(fid), want.reference, "{ctx}");
+                    }
+                }
+                if ok < chunk.len() {
+                    // The failing row errors identically on both tiers;
+                    // the engine stops a stream there, and so do we.
+                    let row = batch.materialize_row(ok);
+                    let e1 = by_tuple.process_tuple(&row, &mut step_t).unwrap_err();
+                    let e2 = by_batch.process_tuple(&row, &mut step_b).unwrap_err();
+                    assert_eq!(format!("{e1:?}"), format!("{e2:?}"), "seed {seed}");
+                    break 'stream;
+                }
+                pos += chunk.len();
+            }
+        }
     }
 
     #[test]

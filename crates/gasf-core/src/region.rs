@@ -148,6 +148,16 @@ impl RegionTracker {
         all
     }
 
+    /// Whether any pending region has passed its time bound (`now >=
+    /// cover.max`). A region still inside its cover can never be ready
+    /// regardless of open sets, so a `false` here guarantees
+    /// [`drain_ready`](Self::drain_ready) would drain nothing — the batch
+    /// ingest path uses this to skip building the open-cover list on the
+    /// (common) rows where no region can complete.
+    pub fn any_time_ready(&self, now: Micros) -> bool {
+        self.pending.iter().any(|r| now >= r.cover.max)
+    }
+
     /// Earliest timestamp across pending regions (used for cut accounting).
     pub fn earliest_pending(&self) -> Option<Micros> {
         self.pending.iter().map(|r| r.cover.min).min()

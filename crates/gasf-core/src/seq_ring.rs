@@ -76,6 +76,13 @@ impl<T> SeqRing<T> {
         true
     }
 
+    /// Pre-allocates room for `additional` more slots past the current
+    /// end, so a bulk run of [`set`](Self::set)s performs at most one
+    /// `VecDeque` growth instead of amortised per-entry reallocation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+    }
+
     /// The entry at `seq`, if live.
     pub fn get(&self, seq: u64) -> Option<&T> {
         self.index(seq).and_then(|i| self.slots[i].as_ref())

@@ -55,6 +55,7 @@
 //! delivered, then the first error in `(step, route)` order is returned
 //! and the engine refuses further input.
 
+use crate::batch::TupleBatch;
 use crate::candidate::FilterId;
 use crate::engine::{ControlOp, GroupEngine, GroupEngineBuilder};
 use crate::error::Error;
@@ -68,6 +69,7 @@ use crate::time::Micros;
 use crate::tuple::Tuple;
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -103,6 +105,12 @@ struct FinishReply {
 #[derive(Debug)]
 enum ToShard {
     Batch(Vec<Tuple>),
+    /// A columnar tuple batch, shared across shards as one `Arc` (the
+    /// broadcast clones the pointer, never the columns). The worker runs
+    /// it through each route's batch-native path and replies with the
+    /// same per-step layout as [`ToShard::Batch`], so the caller-side
+    /// merge is oblivious to which representation was shipped.
+    Columnar(Arc<TupleBatch>),
     /// A control-plane op for one route, interleaved with the data
     /// batches so it lands at the exact stream position it was issued at
     /// (the caller flushes its partial batch first). The worker queues it
@@ -141,6 +149,9 @@ struct CheckpointReply {
 enum ReplayEntry {
     /// A dispatched input batch (every shard received it).
     Batch(Vec<Tuple>),
+    /// A dispatched columnar batch (every shard received it; the log
+    /// holds the same shared `Arc` the workers got).
+    Columnar(Arc<TupleBatch>),
     /// A control op (only the owning shard received it).
     Control(u32, ControlOp),
 }
@@ -937,6 +948,16 @@ impl ShardedEngine {
                         }
                     }
                 }
+                ReplayEntry::Columnar(batch) => {
+                    tx.send(ToShard::Columnar(Arc::clone(batch)))
+                        .map_err(|_| dead())?;
+                    if to_discard > 0 {
+                        match rx.recv() {
+                            Ok(FromShard::Batch(_)) => to_discard -= 1,
+                            _ => return Err(dead()),
+                        }
+                    }
+                }
             }
         }
         self.shards[si].tx = Some(tx);
@@ -1119,6 +1140,87 @@ impl ShardedEngine {
     ) -> Result<(), Error> {
         for t in tuples {
             self.push_into(t, sink)?;
+        }
+        Ok(())
+    }
+
+    /// Feeds a columnar [`TupleBatch`], broadcast to every shard as one
+    /// shared `Arc` and consumed by each route through
+    /// [`GroupEngine::push_batch_columnar`]'s batch-native path. The
+    /// workers reply with per-*row* step outputs, so the caller-side
+    /// `(input step, route)` merge — and therefore the emission byte
+    /// sequence — is identical to pushing the same rows one at a time.
+    ///
+    /// Any partially staged single-tuple buffer is flushed first: the
+    /// staged tuples precede this batch in the stream. A columnar batch
+    /// is one dispatch unit — it is never split by the staging buffer,
+    /// and checkpoints/control ops land only at its boundaries.
+    ///
+    /// # Errors
+    /// Same contract as [`push_into`](Self::push_into): ordering of the
+    /// batch head is validated eagerly on the caller thread, shard-side
+    /// errors surface on the merge that observes them and poison the
+    /// engine.
+    pub fn push_batch_columnar<S: EmissionSink>(
+        &mut self,
+        batch: &Arc<TupleBatch>,
+        sink: &mut S,
+    ) -> Result<(), Error> {
+        if self.finished {
+            return Err(Error::Finished);
+        }
+        self.deliver_staged(sink);
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        crate::engine::validate_stream_order_at(
+            self.last_ts,
+            self.last_seq,
+            batch.timestamp(0),
+            batch.seq(0),
+        )?;
+        if !self.buf.is_empty() {
+            if let Err(e) = self.dispatch_batch() {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        }
+        let rows = batch.rows();
+        self.last_ts = Some(batch.timestamp(rows - 1));
+        self.last_seq = Some(batch.seq(rows - 1));
+        self.input_tuples += rows as u64;
+        let stamps: Vec<Micros> = if self.track_step_costs {
+            batch.timestamps().to_vec()
+        } else {
+            Vec::new()
+        };
+        if self.try_log_replay(rows) {
+            self.replay_log
+                .push(ReplayEntry::Columnar(Arc::clone(batch)));
+        }
+        for si in 0..self.shards.len() {
+            let sent = match self.shards[si].tx.as_ref() {
+                Some(tx) => tx.send(ToShard::Columnar(Arc::clone(batch))).is_ok(),
+                None => false,
+            };
+            if !sent {
+                // Dead worker: the respawn replays the logged suffix —
+                // including this batch — so no re-send is needed.
+                if let Err(e) = self.recover_shard(si) {
+                    self.poisoned = Some(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+        self.in_flight.push_back(stamps);
+        while self.in_flight.len() > self.queue_depth {
+            if let Err(e) = self.merge_oldest(sink) {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -1471,6 +1573,68 @@ fn shard_worker(
                         out.cpu = start.elapsed();
                         reply.steps.push(out);
                     }
+                }
+                if tx.send(FromShard::Batch(reply)).is_err() {
+                    return; // caller went away
+                }
+            }
+            ToShard::Columnar(batch) => {
+                let rows = batch.rows();
+                let mut reply = BatchReply {
+                    steps: Vec::with_capacity(rows),
+                    error: poisoned.clone(),
+                };
+                if poisoned.is_none() {
+                    // Each route consumes the whole batch column-at-a-time
+                    // and hands back per-row step outputs; those are then
+                    // reassembled into the per-step, per-route layout the
+                    // caller's merge expects.
+                    let mut per_route: Vec<(u32, Vec<Vec<crate::engine::Emission>>)> =
+                        Vec::with_capacity(engines.len());
+                    let mut err: Option<(usize, u32, Error)> = None;
+                    let start = Instant::now();
+                    for (route, engine) in &mut engines {
+                        let mut steps: Vec<Vec<crate::engine::Emission>> = Vec::with_capacity(rows);
+                        if let Err(e) = engine.push_batch_columnar_steps(&batch, &mut steps) {
+                            // The failing row is the first one the route
+                            // produced no step entry for.
+                            let row = steps.len();
+                            if err.as_ref().is_none_or(|f| (row, *route) < (f.0, f.1)) {
+                                err = Some((row, *route, e));
+                            }
+                        }
+                        per_route.push((*route, steps));
+                    }
+                    // Whole-batch wall clock, attributed evenly across the
+                    // rows (per-step costs are monitoring data; the merge
+                    // order never depends on them).
+                    let per_step_cpu = start.elapsed() / rows.max(1) as u32;
+                    // Reassemble, truncating at the earliest failure the
+                    // way the per-tuple loop stops: steps past the failing
+                    // row are dropped, and at the failing row only routes
+                    // *before* the failing one contribute (the ones the
+                    // per-tuple loop would have run before breaking).
+                    let cut = err.as_ref().map(|e| (e.0, e.1));
+                    let steps_n = cut.map_or(rows, |(row, _)| row + 1);
+                    for step in 0..steps_n {
+                        let mut out = StepOut {
+                            cpu: per_step_cpu,
+                            batches: Vec::new(),
+                        };
+                        for (route, steps) in &mut per_route {
+                            if cut.is_some_and(|(erow, eroute)| step == erow && *route >= eroute) {
+                                continue;
+                            }
+                            if let Some(emissions) = steps.get_mut(step) {
+                                if !emissions.is_empty() {
+                                    out.batches.push((*route, std::mem::take(emissions)));
+                                }
+                            }
+                        }
+                        reply.steps.push(out);
+                    }
+                    poisoned = err;
+                    reply.error = poisoned.clone();
                 }
                 if tx.send(FromShard::Batch(reply)).is_err() {
                     return; // caller went away

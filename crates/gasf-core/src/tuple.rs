@@ -27,6 +27,7 @@
 //!   memory stays bounded by the live window (the region span), not the
 //!   stream length.
 
+use crate::batch::TupleBatch;
 use crate::error::Error;
 use crate::schema::{AttrId, Schema};
 use crate::seq_ring::SeqRing;
@@ -69,16 +70,36 @@ impl fmt::Display for TupleId {
     }
 }
 
+/// Where an interned tuple's payload lives: already materialised behind a
+/// shared `Arc`, or still a row of a columnar [`TupleBatch`] (materialised
+/// lazily, the first time the payload is actually needed — i.e. at
+/// emission).
+#[derive(Debug, Clone)]
+enum PoolSlot {
+    Tuple(Arc<Tuple>),
+    Row(Arc<TupleBatch>, u32),
+}
+
 /// Intern table owning the engine's live tuple window.
 ///
 /// Tuples are interned in arrival order; the pool stores each payload once
-/// behind an `Arc` and resolves [`TupleId`]s in O(1) via a dense ring
-/// buffer (`id - base` indexing). Releasing ids from the front — which is
-/// what region cleanup does, since regions complete oldest-first — trims
-/// the ring, keeping memory proportional to the live window.
+/// and resolves [`TupleId`]s in O(1) via a dense ring buffer (`id - base`
+/// indexing). Releasing ids from the front — which is what region cleanup
+/// does, since regions complete oldest-first — trims the ring, keeping
+/// memory proportional to the live window.
+///
+/// Two ingest shapes share the ring:
+/// * [`intern`](Self::intern) — the single-tuple path, one `Arc<Tuple>`
+///   per tuple;
+/// * [`intern_rows`](Self::intern_rows) — the columnar path: one bulk
+///   ring reservation and one `Arc<TupleBatch>` refcount bump per row,
+///   **no per-tuple allocation**. Payloads materialise lazily through
+///   [`resolve`](Self::resolve), so rows that are never emitted never
+///   become `Arc<Tuple>`s at all.
 #[derive(Debug, Default)]
 pub struct TuplePool {
-    ring: SeqRing<Arc<Tuple>>,
+    ring: SeqRing<PoolSlot>,
+    materialized: u64,
 }
 
 impl TuplePool {
@@ -103,18 +124,66 @@ impl TuplePool {
             self.ring.end()
         );
         let arc = Arc::new(tuple);
-        self.ring.set(id.seq(), Arc::clone(&arc));
+        self.ring.set(id.seq(), PoolSlot::Tuple(Arc::clone(&arc)));
         (id, arc)
     }
 
-    /// The shared payload of a live id, or `None` once released.
-    pub fn get(&self, id: TupleId) -> Option<&Arc<Tuple>> {
-        self.ring.get(id.seq())
+    /// Bulk-interns the first `rows` rows of a columnar batch as lazy
+    /// slots: the ring grows once, each slot holds `(batch, row)` and the
+    /// payload is only gathered into an `Arc<Tuple>` if
+    /// [`resolve`](Self::resolve) is ever called for it.
+    ///
+    /// # Panics
+    /// Same ordering contract as [`intern`](Self::intern), checked on the
+    /// batch's first row (rows within a batch are contiguous by
+    /// construction).
+    pub fn intern_rows(&mut self, batch: &Arc<TupleBatch>, rows: usize) {
+        let rows = rows.min(batch.rows());
+        if rows == 0 {
+            return;
+        }
+        assert!(
+            batch.first_seq() >= self.ring.end(),
+            "tuple {} interned out of order (expected >= {})",
+            batch.first_seq(),
+            self.ring.end()
+        );
+        self.ring.reserve(rows);
+        for r in 0..rows {
+            self.ring
+                .set(batch.seq(r), PoolSlot::Row(Arc::clone(batch), r as u32));
+        }
     }
 
-    /// Whether the id is still live in the pool.
+    /// The shared payload of a live, already-materialised id. Lazily
+    /// interned batch rows read as `None` here until
+    /// [`resolve`](Self::resolve)d — use [`contains`](Self::contains) for
+    /// liveness.
+    pub fn get(&self, id: TupleId) -> Option<&Arc<Tuple>> {
+        match self.ring.get(id.seq())? {
+            PoolSlot::Tuple(arc) => Some(arc),
+            PoolSlot::Row(..) => None,
+        }
+    }
+
+    /// The shared payload of a live id, materialising a lazy batch row in
+    /// place on first resolution; `None` once released.
+    pub fn resolve(&mut self, id: TupleId) -> Option<Arc<Tuple>> {
+        let slot = self.ring.get_mut(id.seq())?;
+        if let PoolSlot::Row(batch, r) = slot {
+            let arc = Arc::new(batch.materialize_row(*r as usize));
+            *slot = PoolSlot::Tuple(arc);
+            self.materialized += 1;
+        }
+        match slot {
+            PoolSlot::Tuple(arc) => Some(Arc::clone(arc)),
+            PoolSlot::Row(..) => unreachable!("lazy slot materialised above"),
+        }
+    }
+
+    /// Whether the id is still live in the pool (materialised or lazy).
     pub fn contains(&self, id: TupleId) -> bool {
-        self.get(id).is_some()
+        self.ring.get(id.seq()).is_some()
     }
 
     /// Releases an id, dropping the pool's reference to the payload.
@@ -132,6 +201,14 @@ impl TuplePool {
     /// Whether no tuple is live.
     pub fn is_empty(&self) -> bool {
         self.ring.is_empty()
+    }
+
+    /// How many lazy batch rows have been materialised into `Arc<Tuple>`s
+    /// over the pool's lifetime — the steady-state columnar path keeps
+    /// this equal to the number of *emitted* rows, not ingested ones (the
+    /// allocation-regression contract of `batch_equivalence`).
+    pub fn materializations(&self) -> u64 {
+        self.materialized
     }
 }
 
@@ -509,6 +586,56 @@ mod tests {
         assert!(pool.contains(c));
         assert!(!pool.contains(TupleId::from_seq(12)));
         assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn pool_interns_batch_rows_lazily() {
+        let s = Schema::new(["t"]);
+        let mut b = TupleBuilder::new(&s);
+        let tuples: Vec<Tuple> = (0..6)
+            .map(|i| b.at_millis(i * 10 + 1).set("t", i as f64).build().unwrap())
+            .collect();
+        let batch = Arc::new(crate::batch::TupleBatch::from_tuples(&s, &tuples).unwrap());
+        let mut pool = TuplePool::new();
+        pool.intern_rows(&batch, 4);
+        assert_eq!(pool.len(), 4);
+        assert_eq!(
+            pool.materializations(),
+            0,
+            "interning allocates no payloads"
+        );
+        let id = TupleId::from_seq(2);
+        assert!(pool.contains(id));
+        assert!(pool.get(id).is_none(), "lazy row not materialised yet");
+        let arc = pool.resolve(id).unwrap();
+        assert_eq!(&*arc, &tuples[2]);
+        assert_eq!(pool.materializations(), 1);
+        // second resolve reuses the materialised payload
+        let again = pool.resolve(id).unwrap();
+        assert!(Arc::ptr_eq(&arc, &again));
+        assert_eq!(pool.materializations(), 1);
+        assert!(pool.get(id).is_some(), "materialised slot now reads back");
+        // rows past the requested prefix were not interned
+        assert!(!pool.contains(TupleId::from_seq(4)));
+        // single-tuple interning continues after the batch run
+        let (id5, _) = pool.intern(tuples[4].clone());
+        assert_eq!(id5.seq(), 4);
+        pool.release(id);
+        assert!(pool.resolve(id).is_none(), "released ids never resolve");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn pool_rejects_batch_rows_behind_the_frontier() {
+        let s = Schema::new(["t"]);
+        let mut b = TupleBuilder::new(&s);
+        let tuples: Vec<Tuple> = (0..3)
+            .map(|i| b.at_millis(i * 10 + 1).set("t", 0.0).build().unwrap())
+            .collect();
+        let batch = Arc::new(crate::batch::TupleBatch::from_tuples(&s, &tuples).unwrap());
+        let mut pool = TuplePool::new();
+        pool.intern(Tuple::new(&s, 9, Micros(1), vec![0.0]).unwrap());
+        pool.intern_rows(&batch, 3);
     }
 
     #[test]

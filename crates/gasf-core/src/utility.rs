@@ -41,6 +41,21 @@ impl GroupUtility {
         }
     }
 
+    /// Increments the utility of `id` by `n` in one ring probe — the
+    /// columnar path's bulk form of [`increment`](Self::increment), used
+    /// when a whole admission mask's popcount lands on one tuple.
+    /// `n == 0` and spent seqs are no-ops.
+    pub fn increment_by(&mut self, id: TupleId, n: u32) {
+        if n == 0 {
+            return;
+        }
+        if let Some(c) = self.counts.get_mut(id.seq()) {
+            *c += n;
+        } else {
+            self.counts.set(id.seq(), n);
+        }
+    }
+
     /// Decrements the utility of `id`, removing the entry at zero.
     ///
     /// Decrementing an absent entry is a no-op: dismissal events may arrive
@@ -113,6 +128,25 @@ mod tests {
         assert_eq!(u.len(), 1);
         u.decrement(id(5)); // no-op
         assert_eq!(u.get(id(5)), 0);
+    }
+
+    #[test]
+    fn increment_by_matches_repeated_increments() {
+        let mut a = GroupUtility::new();
+        let mut b = GroupUtility::new();
+        a.increment_by(id(5), 3);
+        for _ in 0..3 {
+            b.increment(id(5));
+        }
+        assert_eq!(a.get(id(5)), b.get(id(5)));
+        a.increment_by(id(5), 0);
+        assert_eq!(a.get(id(5)), 3, "zero bulk increment is a no-op");
+        a.increment_by(id(6), 2);
+        assert_eq!(a.get(id(6)), 2, "fresh id enters with the bulk count");
+        a.remove(id(5));
+        a.remove(id(6));
+        a.increment_by(id(3), 4);
+        assert_eq!(a.get(id(3)), 0, "spent seqs ignore bulk increments");
     }
 
     #[test]

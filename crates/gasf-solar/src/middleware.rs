@@ -49,6 +49,7 @@
 use crate::flow::{FlowDecision, FlowMonitor, Metered};
 use crate::graph::OperatorGraph;
 use crate::regroup::{self, GroupingStrategy};
+use gasf_core::batch::TupleBatch;
 use gasf_core::candidate::FilterId;
 use gasf_core::cuts::TimeConstraint;
 use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
@@ -64,6 +65,7 @@ use gasf_net::{GroupId, NodeId, Overlay, RepairReport, Transport};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a registered source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -870,6 +872,23 @@ impl Middleware {
         self.pipeline(source)?.push_batch(tuples)
     }
 
+    /// Pushes columnar [`TupleBatch`]es through a source's pipeline — the
+    /// batch-native feed (see [`Pipeline::push_columnar`]).
+    ///
+    /// # Errors
+    /// Same as [`process`](Self::process); stops at the first failure.
+    pub fn push_batches<'a>(
+        &mut self,
+        source: SourceId,
+        batches: impl IntoIterator<Item = &'a Arc<TupleBatch>>,
+    ) -> Result<(), SolarError> {
+        let mut pipeline = self.pipeline(source)?;
+        for b in batches {
+            pipeline.push_columnar(b)?;
+        }
+        Ok(())
+    }
+
     /// Ends a source's stream and disseminates the tail.
     ///
     /// # Errors
@@ -1511,6 +1530,78 @@ impl Pipeline<'_> {
     ) -> Result<(), SolarError> {
         for t in tuples {
             self.push(t)?;
+        }
+        Ok(())
+    }
+
+    /// Pushes one columnar [`TupleBatch`] through every part of the
+    /// source — the batch-native data path. Every part shares the same
+    /// `Arc` (no per-part copy of the columns), each engine consumes it
+    /// through its columnar hot path, and the flow monitor observes the
+    /// batch as per-row samples with the batch cost amortised across
+    /// them, so flow decisions stay comparable to per-tuple feeding.
+    ///
+    /// Emission bytes on the wire are identical to
+    /// [`push`](Self::push)ing the rows one at a time.
+    ///
+    /// # Errors
+    /// Same as [`push`](Self::push).
+    pub fn push_columnar(&mut self, batch: &Arc<TupleBatch>) -> Result<(), SolarError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let source = self.source;
+        let n_parts = self.mw.sources[source].parts.len();
+        for p in 0..n_parts {
+            self.push_part_columnar(p, batch)?;
+        }
+        Ok(())
+    }
+
+    fn push_part_columnar(&mut self, p: usize, batch: &Arc<TupleBatch>) -> Result<(), SolarError> {
+        let wire = self.wire.as_deref_mut();
+        let mw = &mut *self.mw;
+        let src_node = mw.sources[self.source].node;
+        let s = &mut mw.sources[self.source];
+        let part = &mut s.parts[p];
+        // A pending op means this batch crosses the epoch boundary at its
+        // head (columnar batches are never split by a safe point) —
+        // afterwards stale tree members can safely leave.
+        let at_boundary =
+            matches!(&part.engine, EngineHost::Single(e) if e.pending_control_ops() > 0);
+        let transport: &mut dyn Transport = match wire {
+            Some(w) => w,
+            None => &mut mw.overlay,
+        };
+        let sink = MulticastSink {
+            transport,
+            apps: &mut mw.apps,
+            filter_apps: &part.filter_apps,
+            group: part.group,
+            src_node,
+            error: None,
+        };
+        let mut sink = Metered::new(sink, &mut s.flow);
+        match &mut part.engine {
+            EngineHost::Single(engine) => {
+                let cpu_before = engine.metrics().cpu;
+                engine.push_batch_columnar(batch, &mut sink)?;
+                let cpu_spent = engine.metrics().cpu.saturating_sub(cpu_before);
+                let per_row = cpu_spent / batch.rows().max(1) as u32;
+                for r in 0..batch.rows() {
+                    sink.monitor().observe(batch.timestamp(r), per_row);
+                }
+            }
+            EngineHost::Sharded(engine) => {
+                engine.push_batch_columnar(batch, &mut sink)?;
+                for (arrival, cpu) in engine.take_step_costs() {
+                    sink.monitor().observe(arrival, cpu);
+                }
+            }
+        }
+        sink.inner_mut().take_error()?;
+        if at_boundary {
+            Self::process_deferred_leaves(mw, self.source, p)?;
         }
         Ok(())
     }

@@ -17,6 +17,7 @@
 //! be replayed through an engine without ordering errors.
 
 use crate::stats::SourceStats;
+use gasf_core::batch::TupleBatch;
 use gasf_core::error::Error;
 use gasf_core::schema::Schema;
 use gasf_core::time::Micros;
@@ -126,6 +127,27 @@ impl Trace {
         Micros(span.as_micros() / (self.tuples.len() as u64 - 1))
     }
 
+    /// Chunks the trace into columnar [`TupleBatch`]es of (at most)
+    /// `batch_size` rows each — the native feed for the engines' batch
+    /// hot path ([`GroupEngine::push_batch_columnar`]). The last batch
+    /// carries the remainder; `batch_size` is clamped to at least 1.
+    ///
+    /// A trace is strictly ordered by construction, so the conversion
+    /// cannot fail.
+    ///
+    /// [`GroupEngine::push_batch_columnar`]:
+    ///     gasf_core::engine::GroupEngine::push_batch_columnar
+    pub fn batches(&self, batch_size: usize) -> Vec<TupleBatch> {
+        let size = batch_size.max(1);
+        self.tuples
+            .chunks(size)
+            .map(|chunk| {
+                TupleBatch::from_tuples(&self.schema, chunk)
+                    .expect("trace invariants imply valid batches")
+            })
+            .collect()
+    }
+
     /// Extracts the time series of one attribute as `(timestamp, value)`
     /// pairs — used by the figure dumps (Figs. 4.21–4.23).
     ///
@@ -213,6 +235,19 @@ mod tests {
         let schema = Schema::new(["t"]);
         let single = Trace::new(schema.clone(), series(&schema, "t", &[(0, 1.0)])).unwrap();
         assert_eq!(single.mean_interval(), Micros::ZERO);
+    }
+
+    #[test]
+    fn batches_chunk_and_roundtrip() {
+        let t = mk();
+        let batches = t.batches(2);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].rows(), 2);
+        assert_eq!(batches[1].rows(), 1, "last batch takes the remainder");
+        let rebuilt: Vec<_> = batches.iter().flat_map(|b| b.materialize()).collect();
+        assert_eq!(rebuilt, t.tuples(), "batching is lossless");
+        assert_eq!(t.batches(0).len(), 3, "batch size clamps to 1");
+        assert_eq!(t.batches(100).len(), 1);
     }
 
     #[test]
