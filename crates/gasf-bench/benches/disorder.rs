@@ -1,0 +1,137 @@
+//! Cost of the event-time front end.
+//!
+//! `disorder/ingest/<variant>` replays the shared 2 000-tuple NAMOS
+//! trace through the `wide_roster` 256-filter compiled roster into a
+//! [`NullSink`]:
+//!
+//! * `no_front_end` — the bare ordered hot path (the pre-event-time
+//!   baseline every other variant is measured against),
+//! * `bound0` — in-order arrivals through a zero-bound
+//!   [`ReorderBuffer`]: the pay-for-what-you-use overhead of the trivial
+//!   watermark (one comparison + an empty-map probe per tuple),
+//! * `bound16ms` / `bound1024ms` — arrivals jittered within the bound
+//!   (via [`Disorder`]) and reordered back; prices the buffer occupancy
+//!   and the release scan at small and large disorder.
+//!
+//! `disorder/window/<kind>` prices the windowed aggregation filters
+//! standalone: the full trace observed into a [`WindowFilter`] and
+//! closed by a per-100-tuple watermark schedule.
+//!
+//! The shuffle itself runs outside the timed loop — arrival order is an
+//! input, not work.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use gasf_core::engine::{Algorithm, GroupEngine, GroupEngineBuilder};
+use gasf_core::event_time::{Aggregate, EventTimeConfig, ReorderBuffer, WindowFilter, WindowKind};
+use gasf_core::quality::FilterSpec;
+use gasf_core::sink::NullSink;
+use gasf_core::time::Micros;
+use gasf_core::tuple::Tuple;
+use gasf_sources::{Disorder, Trace};
+use std::hint::black_box;
+
+const ROSTER_WIDTH: usize = 256;
+
+fn roster(trace: &Trace) -> Vec<FilterSpec> {
+    let s = trace.stats("tmpr4").unwrap().mean_abs_delta;
+    (0..ROSTER_WIDTH)
+        .map(|i| FilterSpec::delta("tmpr4", s * (3.0 + 0.25 * i as f64), s * 0.6))
+        .collect()
+}
+
+fn engine_builder(trace: &Trace, specs: &[FilterSpec]) -> GroupEngineBuilder {
+    GroupEngine::builder(trace.schema().clone())
+        .algorithm(Algorithm::RegionGreedy)
+        .filters(specs.iter().cloned())
+}
+
+/// The baseline: ordered tuples straight into the engine.
+fn run_bare(trace: &Trace, specs: &[FilterSpec]) -> u64 {
+    let mut engine = engine_builder(trace, specs).build().expect("roster builds");
+    engine
+        .run_into(trace.tuples().iter().cloned(), &mut NullSink)
+        .expect("bench stream is well-formed");
+    engine.metrics().emissions
+}
+
+/// Arrivals through a reorder buffer, releases into the engine.
+fn run_buffered(trace: &Trace, specs: &[FilterSpec], arrivals: &[Tuple], bound: Micros) -> u64 {
+    let mut engine = engine_builder(trace, specs).build().expect("roster builds");
+    let mut buf = ReorderBuffer::new(EventTimeConfig::bounded(bound));
+    let mut released = Vec::new();
+    for t in arrivals {
+        let late = buf.push_into(t.clone(), &mut released);
+        debug_assert!(late.is_none(), "within-bound jitter is never late");
+        for r in released.drain(..) {
+            engine.push_into(r, &mut NullSink).expect("ordered release");
+        }
+    }
+    buf.flush_into(&mut released);
+    for r in released.drain(..) {
+        engine.push_into(r, &mut NullSink).expect("ordered release");
+    }
+    engine.finish_into(&mut NullSink).expect("finish succeeds");
+    engine.metrics().emissions
+}
+
+fn run_window(trace: &Trace, kind: WindowKind) -> usize {
+    let attr = trace.schema().attr("tmpr4").expect("namos schema");
+    let mut wf = WindowFilter::new(attr, kind, Aggregate::Mean);
+    let mut out = Vec::new();
+    for (i, t) in trace.tuples().iter().enumerate() {
+        wf.observe(t);
+        if i % 100 == 99 {
+            wf.advance_into(t.timestamp(), &mut out);
+        }
+    }
+    wf.finish_into(&mut out);
+    out.len()
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = common::trace();
+    let specs = roster(&trace);
+
+    let mut g = c.benchmark_group("disorder");
+    g.bench_function(BenchmarkId::new("ingest", "no_front_end"), |b| {
+        b.iter(|| black_box(run_bare(&trace, &specs)))
+    });
+    for (label, bound) in [
+        ("bound0", Micros::ZERO),
+        ("bound16ms", Micros::from_millis(16)),
+        ("bound1024ms", Micros::from_millis(1024)),
+    ] {
+        let arrivals = Disorder::bounded(bound).seed(9).apply(&trace);
+        g.bench_function(BenchmarkId::new("ingest", label), |b| {
+            b.iter(|| black_box(run_buffered(&trace, &specs, &arrivals, bound)))
+        });
+    }
+    for (label, kind) in [
+        (
+            "tumbling1s",
+            WindowKind::Tumbling {
+                size: Micros::from_millis(1000),
+            },
+        ),
+        (
+            "sliding1s_100ms",
+            WindowKind::Sliding {
+                size: Micros::from_millis(1000),
+                slide: Micros::from_millis(100),
+            },
+        ),
+    ] {
+        g.bench_function(BenchmarkId::new("window", label), |b| {
+            b.iter(|| black_box(run_window(&trace, kind)))
+        });
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

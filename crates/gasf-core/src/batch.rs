@@ -13,10 +13,12 @@
 //! crate::engine::GroupEngine::push_batch_columnar)).
 //!
 //! **Ordering is validated at construction**: rows carry contiguous
-//! sequence numbers (`first_seq + row`) and strictly increasing
-//! timestamps, so an engine only has to check the batch's *first* row
-//! against its stream frontier — the per-row checks of the single-tuple
-//! path are hoisted out of the loop.
+//! sequence numbers (`first_seq + row`) and non-decreasing timestamps
+//! (equal timestamps are legal sensor output — the dense sequence range
+//! is the deterministic tiebreak, matching the reorder buffer's
+//! `(timestamp, seq)` release order), so an engine only has to check the
+//! batch's *first* row against its stream frontier — the per-row checks
+//! of the single-tuple path are hoisted out of the loop.
 //!
 //! A batch row materialises back into an ordinary [`Tuple`] bit-for-bit
 //! ([`materialize_row`](TupleBatch::materialize_row) gathers across the
@@ -53,7 +55,7 @@ impl TupleBatch {
     ///   `schema`,
     /// * [`Error::NonContiguousSeq`] if sequence numbers are not
     ///   contiguous,
-    /// * [`Error::OutOfOrder`] if timestamps are not strictly increasing.
+    /// * [`Error::OutOfOrder`] if timestamps decrease.
     pub fn from_tuples(schema: &Schema, tuples: &[Tuple]) -> Result<TupleBatch, Error> {
         let rows = tuples.len();
         let mut timestamps = Vec::with_capacity(rows);
@@ -75,7 +77,7 @@ impl TupleBatch {
                 });
             }
             if let Some(&last) = timestamps.last() {
-                if t.timestamp() <= last {
+                if t.timestamp() < last {
                     return Err(Error::OutOfOrder {
                         last_us: last.as_micros(),
                         got_us: t.timestamp().as_micros(),
@@ -102,7 +104,7 @@ impl TupleBatch {
     /// * [`Error::SchemaMismatch`] if the column count differs from the
     ///   schema width or any column's length differs from the timestamp
     ///   column's,
-    /// * [`Error::OutOfOrder`] if timestamps are not strictly increasing.
+    /// * [`Error::OutOfOrder`] if timestamps decrease.
     pub fn from_columns(
         schema: &Schema,
         first_seq: u64,
@@ -124,7 +126,7 @@ impl TupleBatch {
             }
         }
         for w in timestamps.windows(2) {
-            if w[1] <= w[0] {
+            if w[1] < w[0] {
                 return Err(Error::OutOfOrder {
                     last_us: w[0].as_micros(),
                     got_us: w[1].as_micros(),
@@ -294,6 +296,28 @@ mod tests {
     }
 
     #[test]
+    fn equal_timestamps_are_legal() {
+        // Non-decreasing, not strictly increasing: equal timestamps with
+        // the dense seq range as the tiebreak are valid sensor output.
+        let s = schema();
+        let same = Micros::from_millis(7);
+        let tuples: Vec<Tuple> = (0..3)
+            .map(|i| Tuple::from_wire(i, same, vec![i as f64, 0.0]))
+            .collect();
+        let batch = TupleBatch::from_tuples(&s, &tuples).unwrap();
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.materialize(), tuples);
+        let cols = TupleBatch::from_columns(
+            &s,
+            0,
+            vec![same, same],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        )
+        .unwrap();
+        assert_eq!(cols.rows(), 2);
+    }
+
+    #[test]
     fn rejects_schema_width_mismatch() {
         let (s, _) = fixture(0);
         let narrow = Tuple::from_wire(0, Micros(1), vec![1.0]);
@@ -323,7 +347,7 @@ mod tests {
             TupleBatch::from_columns(
                 &s,
                 0,
-                vec![Micros(2), Micros(2)],
+                vec![Micros(2), Micros(1)],
                 vec![vec![1.0, 2.0], vec![3.0, 4.0]]
             ),
             Err(Error::OutOfOrder { .. })

@@ -560,7 +560,10 @@ pub(crate) fn validate_stream_order_at(
     seq: u64,
 ) -> Result<(), Error> {
     if let Some(last) = last_ts {
-        if ts <= last {
+        // Non-decreasing, not strictly increasing: equal timestamps are
+        // legal sensor output and the dense seq check below is the
+        // deterministic tiebreak (the reorder buffer's release order).
+        if ts < last {
             return Err(Error::OutOfOrder {
                 last_us: last.as_micros(),
                 got_us: ts.as_micros(),
@@ -1324,7 +1327,7 @@ impl GroupEngine {
     /// Head-of-batch admission checks: width against the engine schema,
     /// stream order of row 0 against the engine frontier. Rows past the
     /// head were validated by the batch constructor (contiguous seqs,
-    /// strictly increasing timestamps), so no per-row check remains.
+    /// non-decreasing timestamps), so no per-row check remains.
     fn validate_batch_head(&self, batch: &TupleBatch) -> Result<(), Error> {
         if batch.schema().len() != self.schema.len() {
             return Err(Error::SchemaMismatch {

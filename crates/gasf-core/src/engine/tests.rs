@@ -295,9 +295,12 @@ fn ordering_violations_rejected() {
         .build()
         .unwrap();
     engine.push(tuples[0].clone()).unwrap();
-    // same timestamp again
-    let bad_ts = tuples[0].clone().with_seq(1);
+    // a decreasing timestamp
+    let bad_ts = Tuple::from_wire(1, Micros::from_millis(5), tuples[0].values().to_vec());
     assert!(matches!(engine.push(bad_ts), Err(Error::OutOfOrder { .. })));
+    // an equal timestamp with the next dense seq is legal (non-decreasing
+    // order; the seq range is the tiebreak)
+    engine.push(tuples[0].with_seq(1)).unwrap();
     // gap in sequence numbers
     let bad_seq = tuples[2].clone().with_seq(5);
     assert!(matches!(
@@ -305,7 +308,7 @@ fn ordering_violations_rejected() {
         Err(Error::NonContiguousSeq { .. })
     ));
     // a correct continuation still works
-    engine.push(tuples[1].clone()).unwrap();
+    engine.push(tuples[1].with_seq(2)).unwrap();
 }
 
 #[test]

@@ -20,7 +20,8 @@ pub enum Error {
         /// Number of values the tuple carried.
         actual: usize,
     },
-    /// Tuples must arrive in strictly increasing timestamp order.
+    /// Tuples must arrive in non-decreasing timestamp order (equal
+    /// timestamps are legal; dense sequence numbers are the tiebreak).
     OutOfOrder {
         /// Timestamp of the previously accepted tuple (microseconds).
         last_us: u64,

@@ -113,6 +113,7 @@ pub mod candidate;
 pub mod cuts;
 pub mod engine;
 pub mod error;
+pub mod event_time;
 pub mod filter;
 pub mod hitting_set;
 pub mod metrics;

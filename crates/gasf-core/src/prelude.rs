@@ -9,6 +9,10 @@ pub use crate::candidate::{CandidateTuple, CloseCause, ClosedSet, FilterId, Time
 pub use crate::cuts::{RuntimePredictor, TimeConstraint};
 pub use crate::engine::{Algorithm, Emission, GroupEngine, GroupEngineBuilder, OutputStrategy};
 pub use crate::error::Error;
+pub use crate::event_time::{
+    Aggregate, EventTimeConfig, LatePolicy, LateTuple, ReorderBuffer, Watermark, WindowFilter,
+    WindowKind, WindowOutput,
+};
 pub use crate::filter::{
     build_filter, DeltaCompression, GroupFilter, MultiAttrDelta, ReservoirSampler,
     StratifiedSampler, TrendDelta,

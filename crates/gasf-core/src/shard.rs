@@ -1835,9 +1835,10 @@ mod tests {
         let mut sink = VecSink::new();
         let tuples = stream(&s, 3);
         e.push_into(tuples[1].clone(), &mut sink).unwrap();
-        // same timestamp → out of order, detected before any batch ships
+        // decreasing timestamp → out of order, detected before any batch
+        // ships (an equal timestamp would be legal)
         assert!(matches!(
-            e.push_into(tuples[1].clone(), &mut sink),
+            e.push_into(tuples[0].with_seq(2), &mut sink),
             Err(Error::OutOfOrder { .. })
         ));
         // seq gap → non-contiguous

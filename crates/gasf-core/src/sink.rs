@@ -85,6 +85,18 @@ pub trait EmissionSink {
         }
     }
 
+    /// Consumes a **patch** emission: a late-tuple correction produced
+    /// under [`LatePolicy::EmitPatch`](crate::event_time::LatePolicy)
+    /// after the watermark already passed the tuple's timestamp.
+    ///
+    /// The flag travels out-of-band of the [`Emission`] payload (the
+    /// ordered stream's wire format is untouched): sinks that
+    /// distinguish corrections override this, sinks that don't inherit
+    /// the default and treat a patch like any other emission.
+    fn accept_patch(&mut self, emission: &Emission) {
+        self.accept(emission);
+    }
+
     /// Flushes any internally buffered state.
     ///
     /// Called by [`GroupEngine::finish_into`](crate::engine::GroupEngine::finish_into)
@@ -104,6 +116,10 @@ impl<S: EmissionSink + ?Sized> EmissionSink for &mut S {
 
     fn accept_batch(&mut self, emissions: &[Emission]) {
         (**self).accept_batch(emissions);
+    }
+
+    fn accept_patch(&mut self, emission: &Emission) {
+        (**self).accept_patch(emission);
     }
 
     fn flush(&mut self) {

@@ -50,6 +50,10 @@ pub struct FlowMonitor {
     emitted: u64,
     /// Recipient labels across those emissions (the multicast fan-out).
     emitted_labels: u64,
+    /// Late tuples dropped ahead of this stage (event-time accounting).
+    late_dropped: u64,
+    /// Patch emissions (late-tuple corrections) that flowed through.
+    patches: u64,
 }
 
 impl FlowMonitor {
@@ -68,6 +72,8 @@ impl FlowMonitor {
             samples: 0,
             emitted: 0,
             emitted_labels: 0,
+            late_dropped: 0,
+            patches: 0,
         }
     }
 
@@ -124,6 +130,38 @@ impl FlowMonitor {
     /// emitted` is the mean multicast fan-out.
     pub fn emitted_labels(&self) -> u64 {
         self.emitted_labels
+    }
+
+    /// Records one late tuple dropped by the reorder stage under
+    /// [`LatePolicy::Drop`](gasf_core::event_time::LatePolicy).
+    pub fn observe_late_drop(&mut self) {
+        self.late_dropped += 1;
+    }
+
+    /// Records one **patch** emission (a late-tuple correction released
+    /// under [`LatePolicy::EmitPatch`](gasf_core::event_time::LatePolicy));
+    /// fed by [`Metered::accept_patch`]. A patch also counts as an
+    /// emission in [`emitted`](Self::emitted).
+    pub fn observe_patch(&mut self, emission: &Emission) {
+        self.patches += 1;
+        self.observe_emission(emission);
+    }
+
+    /// Late tuples dropped ahead of this stage.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Patch emissions observed on the output side.
+    pub fn patches(&self) -> u64 {
+        self.patches
+    }
+
+    /// Restores the event-time counters (used when recovering a part from
+    /// a checkpoint so late/patch accounting survives the hop).
+    pub fn restore_event_time_counts(&mut self, late_dropped: u64, patches: u64) {
+        self.late_dropped = late_dropped;
+        self.patches = patches;
     }
 
     /// The recommended remedy at the current utilisation.
@@ -196,6 +234,11 @@ impl<S: EmissionSink> EmissionSink for Metered<'_, S> {
             self.monitor.observe_emission(e);
         }
         self.inner.accept_batch(emissions);
+    }
+
+    fn accept_patch(&mut self, emission: &Emission) {
+        self.monitor.observe_patch(emission);
+        self.inner.accept_patch(emission);
     }
 
     fn flush(&mut self) {
@@ -291,6 +334,41 @@ mod tests {
         assert_eq!(metered.into_inner().len(), 2);
         assert_eq!(monitor.emitted(), 2);
         assert_eq!(monitor.emitted_labels(), 4);
+    }
+
+    #[test]
+    fn metered_accounts_patches_separately() {
+        use gasf_core::bitset::FilterSet;
+        use gasf_core::candidate::FilterId;
+        use gasf_core::schema::Schema;
+        use gasf_core::sink::VecSink;
+        use gasf_core::tuple::TupleBuilder;
+        use std::sync::Arc;
+
+        let schema = Schema::new(["t"]);
+        let mut b = TupleBuilder::new(&schema);
+        let tuple = Arc::new(b.at_millis(10).set("t", 1.0).build().unwrap());
+        let mut recipients = FilterSet::new();
+        recipients.insert(FilterId::from_index(1));
+        let e = Emission {
+            tuple,
+            recipients,
+            emitted_at: Micros::from_millis(10),
+        };
+
+        let mut monitor = FlowMonitor::default();
+        let mut metered = Metered::new(VecSink::new(), &mut monitor);
+        metered.accept(&e);
+        metered.accept_patch(&e);
+        // The patch reached the inner sink like any emission…
+        assert_eq!(metered.into_inner().len(), 2);
+        // …and the monitor kept both the aggregate and the patch count.
+        assert_eq!(monitor.emitted(), 2);
+        assert_eq!(monitor.patches(), 1);
+        monitor.observe_late_drop();
+        assert_eq!(monitor.late_dropped(), 1);
+        monitor.restore_event_time_counts(7, 3);
+        assert_eq!((monitor.late_dropped(), monitor.patches()), (7, 3));
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod regroup;
 pub use flow::{FlowDecision, FlowMonitor, Metered};
 pub use graph::{OpKind, OperatorGraph, OperatorId};
 pub use middleware::{
-    AppReport, Middleware, MiddlewareConfig, MiddlewareSnapshot, MulticastSink, Pipeline,
-    RunReport, SolarError, SourceId, SubscriptionHandle,
+    AppReport, EventTimeStats, Middleware, MiddlewareConfig, MiddlewareSnapshot, MulticastSink,
+    Pipeline, RunReport, SolarError, SourceId, SubscriptionHandle,
 };
 pub use regroup::{is_valid_partition, partition, GroupingStrategy, Partition};

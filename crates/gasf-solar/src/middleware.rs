@@ -50,9 +50,13 @@ use crate::flow::{FlowDecision, FlowMonitor, Metered};
 use crate::graph::OperatorGraph;
 use crate::regroup::{self, GroupingStrategy};
 use gasf_core::batch::TupleBatch;
+use gasf_core::bitset::FilterSet;
 use gasf_core::candidate::FilterId;
 use gasf_core::cuts::TimeConstraint;
 use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
+use gasf_core::event_time::{
+    EventTimeConfig, LateOutcome, LateTuple, ReorderBuffer, ReorderSnapshot,
+};
 use gasf_core::metrics::EngineMetrics;
 use gasf_core::quality::FilterSpec;
 use gasf_core::schema::Schema;
@@ -184,6 +188,14 @@ pub struct MiddlewareConfig {
     /// depends on measured wall clock on *both* paths, so no two runs —
     /// inline or sharded — are guaranteed identical there.)
     pub parallelism: usize,
+    /// Event-time front end. `Some(cfg)` puts a per-source
+    /// [`ReorderBuffer`] **ahead of** every part's engine: tuples may
+    /// arrive in any order within `cfg.bound` of event time, the buffer
+    /// releases them to the ordered path only once the source's watermark
+    /// passes them, and tuples later than the bound are handled per
+    /// `cfg.late` ([`LatePolicy`](gasf_core::event_time::LatePolicy)). `None` (the default) is the classic
+    /// arrival-order contract: the stream must already be ordered.
+    pub event_time: Option<EventTimeConfig>,
 }
 
 impl Default for MiddlewareConfig {
@@ -193,6 +205,7 @@ impl Default for MiddlewareConfig {
             strategy: OutputStrategy::Earliest,
             constraint: None,
             parallelism: 1,
+            event_time: None,
         }
     }
 }
@@ -274,6 +287,11 @@ struct SourceEntry {
     /// with their replacements (reset by [`Middleware::deploy`]).
     generation: u64,
     flow: FlowMonitor,
+    /// Event-time front end ([`MiddlewareConfig::event_time`]): one
+    /// watermark + reorder buffer per source, sitting ahead of the part
+    /// fan-out (every part sees the full stream, so reordering once ahead
+    /// of all parts is equivalent to reordering per part).
+    reorder: Option<ReorderBuffer>,
 }
 
 impl SourceEntry {
@@ -320,6 +338,22 @@ pub struct AppReport {
     pub tuples: u64,
     /// Mean end-to-end latency (filtering + overlay multicast).
     pub mean_e2e_latency: Micros,
+}
+
+/// Event-time accounting of one source's reorder front end
+/// ([`Middleware::event_time_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventTimeStats {
+    /// Tuples currently held back waiting for the watermark.
+    pub buffered: usize,
+    /// Tuples released to the ordered path so far.
+    pub released: u64,
+    /// Late tuples dropped under [`LatePolicy::Drop`](gasf_core::event_time::LatePolicy::Drop).
+    pub late_dropped: u64,
+    /// Patch emissions produced under [`LatePolicy::EmitPatch`](gasf_core::event_time::LatePolicy::EmitPatch).
+    pub patches: u64,
+    /// The source's current watermark (`None` before the first tuple).
+    pub watermark: Option<Micros>,
 }
 
 /// Result of running one trace through a source.
@@ -390,6 +424,9 @@ pub(crate) struct SourceState {
     archived: Vec<EngineMetrics>,
     generation: u64,
     flow: FlowMonitor,
+    /// Watermark + reorder-buffer state (sources with an event-time
+    /// front end): buffered-but-unreleased tuples survive the hop.
+    reorder: Option<ReorderSnapshot>,
     parts: Vec<PartState>,
 }
 
@@ -511,6 +548,7 @@ impl Middleware {
             archived: Vec::new(),
             generation: 0,
             flow: FlowMonitor::default(),
+            reorder: self.config.event_time.map(ReorderBuffer::new),
         });
         self.deployed = false;
         Ok(SourceId(self.sources.len() - 1))
@@ -779,6 +817,9 @@ impl Middleware {
             }
             s.archived.clear();
             s.generation = 0;
+            // Deploy restarts the stream, so the event-time front end
+            // restarts with it (fresh watermark, empty buffer).
+            s.reorder = self.config.event_time.map(ReorderBuffer::new);
             let active: Vec<usize> = s
                 .subscribers
                 .iter()
@@ -909,6 +950,29 @@ impl Middleware {
             .ok_or_else(|| SolarError::UnknownId(source.to_string()))
     }
 
+    /// Event-time statistics of a source's reorder front end. All zeros
+    /// (with `buffered == 0`) for sources without
+    /// [`MiddlewareConfig::event_time`].
+    ///
+    /// # Errors
+    /// Returns [`SolarError::UnknownId`] for unknown sources.
+    pub fn event_time_stats(&self, source: SourceId) -> Result<EventTimeStats, SolarError> {
+        let s = self
+            .sources
+            .get(source.0)
+            .ok_or_else(|| SolarError::UnknownId(source.to_string()))?;
+        Ok(match &s.reorder {
+            Some(buf) => EventTimeStats {
+                buffered: buf.buffered(),
+                released: buf.released(),
+                late_dropped: buf.late_dropped(),
+                patches: buf.patches(),
+                watermark: buf.watermark().current(),
+            },
+            None => EventTimeStats::default(),
+        })
+    }
+
     /// Runs a full trace through a source's pipeline and reports the
     /// outcome. Resets per-app statistics and traffic counters first, so
     /// reports from consecutive runs are independent.
@@ -1030,6 +1094,7 @@ impl Middleware {
                 archived: s.archived.clone(),
                 generation: s.generation,
                 flow: s.flow.clone(),
+                reorder: s.reorder.as_ref().map(ReorderBuffer::snapshot),
                 parts,
             });
         }
@@ -1154,6 +1219,7 @@ impl Middleware {
                 archived: s.archived.clone(),
                 generation: s.generation,
                 flow: s.flow.clone(),
+                reorder: s.reorder.as_ref().map(ReorderBuffer::restore),
             });
         }
         Ok(mw)
@@ -1428,14 +1494,119 @@ impl Pipeline<'_> {
     /// Pushes one tuple through every part of the source; released
     /// emissions are multicast as they stream out of the release paths.
     ///
+    /// With an event-time front end
+    /// ([`MiddlewareConfig::event_time`]) the tuple first enters the
+    /// source's [`ReorderBuffer`]: it may arrive out of event order
+    /// (within the bound), and only the prefix the watermark has passed
+    /// flows on to the engines — in event order, re-sequenced densely, so
+    /// everything downstream runs exactly as on the ordered path. Tuples
+    /// later than the bound never reach an engine; they are dropped (and
+    /// counted) or turned into patch emissions per the [`LatePolicy`](gasf_core::event_time::LatePolicy).
+    ///
     /// # Errors
     /// Engine errors first (ordering violations, finished streams), then
     /// any network error raised while disseminating this step's emissions.
     pub fn push(&mut self, tuple: Tuple) -> Result<(), SolarError> {
+        let Some(mut buf) = self.mw.sources[self.source].reorder.take() else {
+            return self.push_ordered(tuple);
+        };
+        let mut released = Vec::new();
+        let outcome = buf.push_into(tuple, &mut released);
+        let mut result = Ok(());
+        for t in released {
+            result = self.push_ordered(t);
+            if result.is_err() {
+                break;
+            }
+        }
+        if result.is_ok() {
+            result = self.settle_late(&buf, outcome);
+        }
+        self.mw.sources[self.source].reorder = Some(buf);
+        result
+    }
+
+    /// The ordered fast path: fans one (already stream-ordered) tuple out
+    /// to every part of the source.
+    fn push_ordered(&mut self, tuple: Tuple) -> Result<(), SolarError> {
         let source = self.source;
         let n_parts = self.mw.sources[source].parts.len();
         for p in 0..n_parts {
             self.push_part(p, tuple.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Applies a late-tuple outcome from the reorder buffer: count the
+    /// drop, or multicast a patch emission to every part.
+    fn settle_late(
+        &mut self,
+        buf: &ReorderBuffer,
+        outcome: Option<LateOutcome>,
+    ) -> Result<(), SolarError> {
+        match outcome {
+            None => Ok(()),
+            Some(LateOutcome::Dropped) => {
+                self.mw.sources[self.source].flow.observe_late_drop();
+                Ok(())
+            }
+            Some(LateOutcome::Patch(late)) => {
+                // A patch is stamped at the watermark frontier, not at the
+                // tuple's (long-passed) event time — deterministic under
+                // equal watermark schedules, and its measured latency is
+                // exactly how late the tuple was.
+                let emitted_at = buf
+                    .watermark()
+                    .max_seen()
+                    .unwrap_or_else(|| late.tuple.timestamp());
+                self.patch_all_parts(late, emitted_at)
+            }
+        }
+    }
+
+    /// Disseminates one patch emission through every part's multicast
+    /// sink ([`EmissionSink::accept_patch`]), addressed to the part's
+    /// currently active subscriptions. The engines are bypassed: the
+    /// ordered stream (and all state built from it) never sees the late
+    /// tuple.
+    fn patch_all_parts(&mut self, late: LateTuple, emitted_at: Micros) -> Result<(), SolarError> {
+        let payload = Arc::new(late.tuple);
+        let n_parts = self.mw.sources[self.source].parts.len();
+        for p in 0..n_parts {
+            let wire = self.wire.as_deref_mut();
+            let mw = &mut *self.mw;
+            let src_node = mw.sources[self.source].node;
+            let s = &mut mw.sources[self.source];
+            let part = &mut s.parts[p];
+            let mut recipients = FilterSet::new();
+            for (i, &a) in part.filter_apps.iter().enumerate() {
+                if mw.apps[a].active {
+                    recipients.insert(FilterId::from_index(i));
+                }
+            }
+            if recipients.is_empty() {
+                continue;
+            }
+            let transport: &mut dyn Transport = match wire {
+                Some(w) => w,
+                None => &mut mw.overlay,
+            };
+            let sink = MulticastSink {
+                transport,
+                apps: &mut mw.apps,
+                filter_apps: &part.filter_apps,
+                group: part.group,
+                src_node,
+                error: None,
+            };
+            let mut sink = Metered::new(sink, &mut s.flow);
+            let emission = Emission {
+                tuple: Arc::clone(&payload),
+                recipients,
+                emitted_at,
+            };
+            sink.accept_patch(&emission);
+            sink.inner_mut().take_error()?;
         }
         Ok(())
     }
@@ -1544,11 +1715,19 @@ impl Pipeline<'_> {
     /// Emission bytes on the wire are identical to
     /// [`push`](Self::push)ing the rows one at a time.
     ///
+    /// With an event-time front end the batch's rows pass through the
+    /// source's [`ReorderBuffer`] first (batches may arrive disordered
+    /// within the bound); whatever the watermark releases is re-packed
+    /// into a fresh ordered batch and fed to the engines' columnar path.
+    ///
     /// # Errors
     /// Same as [`push`](Self::push).
     pub fn push_columnar(&mut self, batch: &Arc<TupleBatch>) -> Result<(), SolarError> {
         if batch.is_empty() {
             return Ok(());
+        }
+        if self.mw.sources[self.source].reorder.is_some() {
+            return self.push_columnar_buffered(batch);
         }
         let source = self.source;
         let n_parts = self.mw.sources[source].parts.len();
@@ -1556,6 +1735,48 @@ impl Pipeline<'_> {
             self.push_part_columnar(p, batch)?;
         }
         Ok(())
+    }
+
+    /// The event-time columnar path: rows → reorder buffer → one
+    /// re-packed ordered batch per released run.
+    fn push_columnar_buffered(&mut self, batch: &Arc<TupleBatch>) -> Result<(), SolarError> {
+        let mut buf = self.mw.sources[self.source]
+            .reorder
+            .take()
+            .expect("checked");
+        let mut released = Vec::new();
+        let mut outcomes = Vec::new();
+        for row in batch.materialize() {
+            if let Some(o) = buf.push_into(row, &mut released) {
+                outcomes.push(o);
+            }
+        }
+        let mut result = Ok(());
+        if !released.is_empty() {
+            // The released run is ordered with dense seqs by the buffer's
+            // contract, so re-packing cannot fail.
+            let schema = self.mw.sources[self.source].schema.clone();
+            let ordered = TupleBatch::from_tuples(&schema, &released)
+                .map(Arc::new)
+                .map_err(SolarError::from);
+            result = ordered.and_then(|b| {
+                let n_parts = self.mw.sources[self.source].parts.len();
+                for p in 0..n_parts {
+                    self.push_part_columnar(p, &b)?;
+                }
+                Ok(())
+            });
+        }
+        if result.is_ok() {
+            for o in outcomes {
+                result = self.settle_late(&buf, Some(o));
+                if result.is_err() {
+                    break;
+                }
+            }
+        }
+        self.mw.sources[self.source].reorder = Some(buf);
+        result
     }
 
     fn push_part_columnar(&mut self, p: usize, batch: &Arc<TupleBatch>) -> Result<(), SolarError> {
@@ -1606,11 +1827,26 @@ impl Pipeline<'_> {
         Ok(())
     }
 
-    /// Ends the stream on every part, disseminating the tails.
+    /// Ends the stream on every part, disseminating the tails. An
+    /// event-time front end is flushed first: everything still buffered
+    /// is released in event order (end-of-stream is the final watermark).
     ///
     /// # Errors
     /// Same as [`push`](Self::push).
     pub fn finish(mut self) -> Result<(), SolarError> {
+        if let Some(mut buf) = self.mw.sources[self.source].reorder.take() {
+            let mut released = Vec::new();
+            buf.flush_into(&mut released);
+            let mut result = Ok(());
+            for t in released {
+                result = self.push_ordered(t);
+                if result.is_err() {
+                    break;
+                }
+            }
+            self.mw.sources[self.source].reorder = Some(buf);
+            result?;
+        }
         let source = self.source;
         let n_parts = self.mw.sources[source].parts.len();
         for p in 0..n_parts {
@@ -2184,7 +2420,7 @@ mod tests {
         use super::*;
 
         /// Deterministic slice of a report (wall-clock-free).
-        fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, Vec<AppReport>) {
+        pub(super) fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, Vec<AppReport>) {
             (
                 r.engine.input_tuples,
                 r.engine.output_tuples,
@@ -2358,6 +2594,126 @@ mod tests {
         assert!(e.to_string().contains("deploy"));
         let e = SolarError::NotSubscribed("sub3".into());
         assert!(e.to_string().contains("sub3"));
+    }
+
+    /// Shuffles a stream within `bound` of event time, deterministically.
+    fn shuffle_within(tuples: &[Tuple], bound: Micros, salt: u64) -> Vec<Tuple> {
+        let mut keyed: Vec<(Micros, u64, Tuple)> = tuples
+            .iter()
+            .map(|t| {
+                // Cheap deterministic jitter in [0, bound): splitmix64
+                // finalizer over (seq, salt).
+                let mut x = t.seq().wrapping_add(salt);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+                x ^= x >> 31;
+                let j = x % bound.as_micros().max(1);
+                (
+                    t.timestamp().checked_add(Micros(j)).unwrap(),
+                    t.seq(),
+                    t.clone(),
+                )
+            })
+            .collect();
+        keyed.sort_by_key(|&(d, s, _)| (d, s));
+        keyed.into_iter().map(|(_, _, t)| t).collect()
+    }
+
+    #[test]
+    fn event_time_front_end_matches_ordered_run() {
+        use gasf_core::event_time::EventTimeConfig;
+        let bound = Micros::from_millis(50);
+        let config = MiddlewareConfig {
+            event_time: Some(EventTimeConfig::bounded(bound)),
+            ..Default::default()
+        };
+        let ordered = {
+            let (mut mw, src, schema) = setup(MiddlewareConfig::default());
+            mw.run_trace(src, stream(&schema, 400)).unwrap()
+        };
+        let disordered = {
+            let (mut mw, src, schema) = setup(config);
+            let tuples = stream(&schema, 400);
+            let shuffled = shuffle_within(&tuples, bound, 17);
+            assert_ne!(shuffled, tuples, "the shuffle must actually disorder");
+            let report = mw.run_trace(src, shuffled).unwrap();
+            let stats = mw.event_time_stats(src).unwrap();
+            assert_eq!(stats.late_dropped, 0, "jitter within bound is never late");
+            assert_eq!(stats.released, 400);
+            assert_eq!(stats.buffered, 0, "finish flushes the buffer");
+            report
+        };
+        assert_eq!(
+            fault_tolerance::fingerprint(&ordered),
+            fault_tolerance::fingerprint(&disordered),
+            "reordered arrivals must reproduce the ordered run byte for byte"
+        );
+    }
+
+    #[test]
+    fn late_tuples_drop_or_patch_per_policy() {
+        use gasf_core::event_time::{EventTimeConfig, LatePolicy};
+        let bound = Micros::from_millis(20);
+        let run = |late: LatePolicy| {
+            let (mut mw, src, schema) = setup(MiddlewareConfig {
+                event_time: Some(EventTimeConfig::bounded(bound).late(late)),
+                ..Default::default()
+            });
+            let tuples = stream(&schema, 200);
+            let mut arrivals = shuffle_within(&tuples, Micros::from_millis(10), 3);
+            // Hold one early tuple back to the end: a guaranteed straggler.
+            let straggler = arrivals.remove(5);
+            arrivals.push(straggler);
+            mw.run_trace(src, arrivals).unwrap();
+            let stats = mw.event_time_stats(src).unwrap();
+            let report = mw.report(src).unwrap();
+            (stats, report)
+        };
+
+        let (drop_stats, drop_report) = run(LatePolicy::Drop);
+        assert_eq!(drop_stats.late_dropped, 1, "the straggler is dropped");
+        assert_eq!(drop_stats.patches, 0);
+        assert_eq!(drop_report.engine.input_tuples, 199, "engines never see it");
+
+        let (patch_stats, patch_report) = run(LatePolicy::EmitPatch);
+        assert_eq!(patch_stats.late_dropped, 0);
+        assert_eq!(patch_stats.patches, 1, "the straggler becomes a patch");
+        assert_eq!(patch_report.engine.input_tuples, 199);
+        // The patch was delivered to subscribers beyond the engine output.
+        let drop_delivered: u64 = drop_report.per_app.iter().map(|a| a.tuples).sum();
+        let patch_delivered: u64 = patch_report.per_app.iter().map(|a| a.tuples).sum();
+        assert_eq!(
+            patch_delivered,
+            drop_delivered + 3,
+            "one patch reaches each of the three subscriptions"
+        );
+    }
+
+    #[test]
+    fn event_time_state_survives_checkpoint_recover() {
+        use gasf_core::event_time::EventTimeConfig;
+        let bound = Micros::from_millis(100);
+        let (mut mw, src, schema) = setup(MiddlewareConfig {
+            event_time: Some(EventTimeConfig::bounded(bound)),
+            ..Default::default()
+        });
+        let tuples = stream(&schema, 100);
+        // Push an in-order prefix: the last few tuples sit in the buffer
+        // (the watermark trails max_seen by the bound).
+        let mut pipeline = mw.pipeline(src).unwrap();
+        for t in &tuples[..60] {
+            pipeline.push(t.clone()).unwrap();
+        }
+        let before = mw.event_time_stats(src).unwrap();
+        assert!(before.buffered > 0, "bound must hold tuples back");
+        let snap = mw.checkpoint().unwrap();
+        let recovered =
+            Middleware::recover(Overlay::new(Topology::ring(7).build()), &snap).unwrap();
+        let after = recovered.event_time_stats(src).unwrap();
+        assert_eq!(before, after, "watermark + buffer state survive the hop");
+        drop(schema);
     }
 }
 // (appended test module extension)

@@ -1,0 +1,214 @@
+//! Disorder injection: turning ordered traces into realistic arrival
+//! sequences.
+//!
+//! Every generator in this crate produces an event-time-ordered
+//! [`Trace`]; real deployments deliver those tuples over lossy radio
+//! links and store-and-forward relays, so the *arrival* order the
+//! filtering node sees is a jittered permutation of event order. A
+//! [`Disorder`] spec models that seam deterministically:
+//!
+//! * **per-tuple delay jitter** — every tuple is delayed by a uniform
+//!   random amount in `[0, bound]`, and arrivals are sorted by delayed
+//!   time (a *bounded shuffle*: no tuple is displaced by more than
+//!   `bound` of event time, exactly the promise a
+//!   [`Watermark`](gasf_core::event_time::Watermark) with the same bound
+//!   relies on), and
+//! * **late stragglers** — optionally, every `straggler_every`-th tuple
+//!   is additionally delayed by `straggler_delay` *beyond* the bound, so
+//!   it arrives after the watermark passed it and exercises the
+//!   [`LatePolicy`](gasf_core::event_time::LatePolicy) paths.
+//!
+//! The same seed always produces the same arrival sequence, which is
+//! what lets `tests/disorder_equivalence.rs` pin "disordered, then
+//! reordered by the buffer" against the pre-sorted trace byte for byte.
+
+use crate::trace::Trace;
+use gasf_core::time::Micros;
+use gasf_core::tuple::Tuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic disorder spec: bounded shuffle + optional stragglers.
+///
+/// ```rust
+/// use gasf_core::time::Micros;
+/// use gasf_sources::{Disorder, NamosBuoy};
+///
+/// let trace = NamosBuoy::new().tuples(200).seed(7).generate();
+/// let arrivals = Disorder::bounded(Micros::from_millis(160))
+///     .seed(3)
+///     .apply(&trace);
+/// assert_eq!(arrivals.len(), trace.len());
+/// // Same spec, same trace → same arrival sequence.
+/// let again = Disorder::bounded(Micros::from_millis(160)).seed(3).apply(&trace);
+/// assert_eq!(arrivals, again);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disorder {
+    /// Maximum delivery delay of the bounded shuffle (event time). Zero
+    /// keeps the trace in order.
+    bound: Micros,
+    /// Every n-th tuple becomes a straggler (0 disables stragglers).
+    straggler_every: usize,
+    /// Extra delay a straggler suffers beyond `bound`.
+    straggler_delay: Micros,
+    /// RNG seed for the per-tuple jitter.
+    seed: u64,
+}
+
+impl Disorder {
+    /// A bounded shuffle with at most `bound` of displacement, no
+    /// stragglers, seed 0.
+    pub fn bounded(bound: Micros) -> Self {
+        Disorder {
+            bound,
+            straggler_every: 0,
+            straggler_delay: Micros::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Sets the jitter seed (same seed ⇒ identical arrival sequence).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Makes every `every`-th tuple a straggler, delayed `delay` beyond
+    /// the bound (so it arrives late by construction). `every = 0`
+    /// disables stragglers.
+    pub fn stragglers(mut self, every: usize, delay: Micros) -> Self {
+        self.straggler_every = every;
+        self.straggler_delay = delay;
+        self
+    }
+
+    /// The displacement bound.
+    pub fn bound(&self) -> Micros {
+        self.bound
+    }
+
+    /// Whether the spec produces stragglers.
+    pub fn has_stragglers(&self) -> bool {
+        self.straggler_every > 0 && self.straggler_delay > Micros::ZERO
+    }
+
+    /// Applies the spec to a trace, returning the **arrival** sequence:
+    /// the same tuples (event timestamps and source seqs untouched — the
+    /// seq is the reorder tiebreak), permuted by delivery delay.
+    ///
+    /// Each tuple's delivery time is `timestamp + jitter` with jitter
+    /// uniform in `[0, bound]` (stragglers add `bound + straggler_delay`
+    /// on top); arrivals are stably sorted by `(delivery time, seq)`.
+    /// With no stragglers, no tuple is displaced by more than `bound`,
+    /// so a reorder buffer with the same bound loses nothing.
+    pub fn apply(&self, trace: &Trace) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6469_736f_7264_6572);
+        let mut keyed: Vec<(Micros, u64, Tuple)> = trace
+            .iter()
+            .map(|t| {
+                let jitter = if self.bound > Micros::ZERO {
+                    Micros(rng.gen_range(0..self.bound.as_micros().saturating_add(1)))
+                } else {
+                    Micros::ZERO
+                };
+                let straggle = if self.straggler_every > 0
+                    && (t.seq() as usize).is_multiple_of(self.straggler_every)
+                    && t.seq() > 0
+                {
+                    self.bound
+                        .checked_add(self.straggler_delay)
+                        .unwrap_or(Micros::MAX)
+                } else {
+                    Micros::ZERO
+                };
+                let delay = jitter.checked_add(straggle).unwrap_or(Micros::MAX);
+                let delivered = t.timestamp().checked_add(delay).unwrap_or(Micros::MAX);
+                (delivered, t.seq(), t.clone())
+            })
+            .collect();
+        keyed.sort_by_key(|&(delivered, seq, _)| (delivered, seq));
+        keyed.into_iter().map(|(_, _, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NamosBuoy;
+    use gasf_core::event_time::{EventTimeConfig, ReorderBuffer};
+
+    fn trace() -> Trace {
+        NamosBuoy::new().tuples(300).seed(11).generate()
+    }
+
+    #[test]
+    fn zero_bound_is_identity() {
+        let t = trace();
+        let arrivals = Disorder::bounded(Micros::ZERO).apply(&t);
+        assert_eq!(arrivals, t.tuples());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = trace();
+        let d = Disorder::bounded(Micros::from_millis(100)).seed(5);
+        assert_eq!(d.apply(&t), d.apply(&t));
+        let other = Disorder::bounded(Micros::from_millis(100))
+            .seed(6)
+            .apply(&t);
+        assert_ne!(d.apply(&t), other, "different seed, different shuffle");
+    }
+
+    #[test]
+    fn shuffle_actually_disorders() {
+        let t = trace();
+        let arrivals = Disorder::bounded(Micros::from_millis(100))
+            .seed(5)
+            .apply(&t);
+        assert_ne!(arrivals, t.tuples(), "bound 10 intervals must displace");
+        // Same multiset: sorting arrivals by (ts, seq) recovers the trace.
+        let mut sorted = arrivals.clone();
+        sorted.sort_by_key(|x| (x.timestamp(), x.seq()));
+        assert_eq!(sorted, t.tuples());
+    }
+
+    #[test]
+    fn displacement_stays_within_the_bound() {
+        let t = trace();
+        let bound = Micros::from_millis(80);
+        let arrivals = Disorder::bounded(bound).seed(9).apply(&t);
+        // The watermark guarantee: feeding arrivals to a buffer with the
+        // same bound drops nothing and yields the sorted trace.
+        let mut buf = ReorderBuffer::new(EventTimeConfig::bounded(bound));
+        let mut out = Vec::new();
+        for a in arrivals {
+            assert!(buf.push_into(a, &mut out).is_none(), "never late");
+        }
+        buf.flush_into(&mut out);
+        assert_eq!(out, t.tuples());
+    }
+
+    #[test]
+    fn stragglers_arrive_late() {
+        let t = trace();
+        let bound = Micros::from_millis(40);
+        let d = Disorder::bounded(bound)
+            .seed(2)
+            .stragglers(50, Micros::from_millis(500));
+        assert!(d.has_stragglers());
+        let arrivals = d.apply(&t);
+        let mut buf = ReorderBuffer::new(EventTimeConfig::bounded(bound));
+        let mut out = Vec::new();
+        let mut late = 0u64;
+        for a in arrivals {
+            if buf.push_into(a, &mut out).is_some() {
+                late += 1;
+            }
+        }
+        buf.flush_into(&mut out);
+        assert!(late > 0, "stragglers must be late");
+        assert_eq!(buf.late_dropped(), late);
+        assert_eq!(out.len() as u64 + late, t.len() as u64);
+    }
+}

@@ -34,6 +34,7 @@
 mod chlorine;
 mod cow;
 pub mod csv;
+mod disorder;
 mod fire;
 mod namos;
 mod stats;
@@ -43,6 +44,7 @@ mod volcano;
 pub use chlorine::ChlorinePlume;
 pub use cow::CowOrientation;
 pub use csv::{from_csv, to_csv, CsvError};
+pub use disorder::Disorder;
 pub use fire::FireHrr;
 pub use namos::NamosBuoy;
 pub use stats::SourceStats;
@@ -74,6 +76,22 @@ impl SourceKind {
             SourceKind::Fire => FireHrr::new().tuples(n).seed(seed).generate(),
             SourceKind::Chlorine => ChlorinePlume::new().tuples(n).seed(seed).generate(),
         }
+    }
+
+    /// Generates a trace of `n` tuples and the **arrival** sequence a
+    /// filtering node would see under `disorder` — the event-time
+    /// companion to [`generate`](Self::generate). The trace stays
+    /// ordered (it is the reorder-buffer oracle); the returned vector is
+    /// the jittered permutation to actually feed the pipeline.
+    pub fn generate_arrivals(
+        self,
+        n: usize,
+        seed: u64,
+        disorder: Disorder,
+    ) -> (Trace, Vec<gasf_core::tuple::Tuple>) {
+        let trace = self.generate(n, seed);
+        let arrivals = disorder.apply(&trace);
+        (trace, arrivals)
     }
 
     /// The primary attribute the paper filters on for this source.

@@ -160,6 +160,18 @@ impl NamosBuoy {
         }
         Trace::new(schema, tuples).expect("generated stream is ordered")
     }
+
+    /// Generates the trace plus the **arrival** sequence a filtering node
+    /// would see under `disorder` (bounded shuffle, jitter, stragglers).
+    /// The trace stays event-time-ordered — it is the reorder oracle.
+    pub fn generate_arrivals(
+        &self,
+        disorder: crate::Disorder,
+    ) -> (Trace, Vec<gasf_core::tuple::Tuple>) {
+        let trace = self.generate();
+        let arrivals = disorder.apply(&trace);
+        (trace, arrivals)
+    }
 }
 
 impl Default for NamosBuoy {

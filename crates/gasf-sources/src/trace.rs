@@ -12,9 +12,12 @@
 //! * [`Trace::truncate`] / [`Trace::mean_interval`] — workload sizing
 //!   helpers for the bench harness.
 //!
-//! Construction validates ordering ([`Trace::new`] rejects non-monotone
-//! timestamps or non-contiguous sequence numbers), so a `Trace` can always
-//! be replayed through an engine without ordering errors.
+//! Construction validates ordering ([`Trace::new`] rejects decreasing
+//! timestamps or non-contiguous sequence numbers; equal timestamps are
+//! legal, with the dense seq range as the tiebreak), so a `Trace` can
+//! always be replayed through an engine without ordering errors. For the
+//! event-time path, [`Disorder`](crate::Disorder) turns an ordered trace
+//! into a jittered *arrival* sequence without touching the trace itself.
 
 use crate::stats::SourceStats;
 use gasf_core::batch::TupleBatch;
@@ -25,8 +28,8 @@ use gasf_core::tuple::Tuple;
 
 /// A finite recorded stream: the unit the experiment harness replays.
 ///
-/// Invariants (enforced at construction): tuples are strictly increasing in
-/// both timestamp and (dense) sequence number, matching what
+/// Invariants (enforced at construction): timestamps are non-decreasing
+/// and sequence numbers dense (strictly increasing by one), matching what
 /// [`GroupEngine::push`](gasf_core::engine::GroupEngine::push) requires.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
@@ -42,7 +45,7 @@ impl Trace {
     /// tuples violate the stream invariants.
     pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Result<Self, Error> {
         for pair in tuples.windows(2) {
-            if pair[1].timestamp() <= pair[0].timestamp() {
+            if pair[1].timestamp() < pair[0].timestamp() {
                 return Err(Error::OutOfOrder {
                     last_us: pair[0].timestamp().as_micros(),
                     got_us: pair[1].timestamp().as_micros(),
@@ -132,7 +135,7 @@ impl Trace {
     /// hot path ([`GroupEngine::push_batch_columnar`]). The last batch
     /// carries the remainder; `batch_size` is clamped to at least 1.
     ///
-    /// A trace is strictly ordered by construction, so the conversion
+    /// A trace is stream-ordered by construction, so the conversion
     /// cannot fail.
     ///
     /// [`GroupEngine::push_batch_columnar`]:

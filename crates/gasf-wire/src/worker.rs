@@ -71,6 +71,7 @@ pub fn build_middleware(layout: &HostLayout) -> Result<(Middleware, SourceId, Tr
         strategy: layout.workload.strategy,
         constraint: None,
         parallelism: layout.workload.parallelism,
+        event_time: None,
     };
     let mut mw = Middleware::with_config(overlay, config);
     let src_node = layout.source().nodes[0];

@@ -1,0 +1,85 @@
+//! Property tests for [`RuntimePredictor`] on the degenerate inputs that
+//! show up in practice and used to be easy to regress: a window full of
+//! **constant region sizes** (the least-squares denominator collapses),
+//! a **single observation**, and **zero-CPU samples** (timer granularity
+//! rounds a fast region to 0 µs). In every case the predictor must stay
+//! defined, finite, and non-negative — a NaN or negative prediction here
+//! silently disables the cut heuristic in the sharded engine.
+
+use gasf_core::cuts::RuntimePredictor;
+use gasf_core::time::Micros;
+use proptest::prelude::*;
+
+proptest! {
+    /// Constant sizes make the least-squares denominator exactly zero:
+    /// `fit` must decline rather than divide, and `predict` must fall
+    /// back to the conservative max-observed runtime for *any* queried
+    /// size — never NaN, never negative.
+    #[test]
+    fn constant_sizes_fall_back_to_max_observed(
+        size in 1usize..50_000,
+        cpus in proptest::collection::vec(0u64..5_000_000, 2..24),
+        query in 0usize..100_000,
+        overestimate in 0.0f64..10_000.0,
+    ) {
+        let mut p = RuntimePredictor::with_window(cpus.len(), overestimate);
+        for &c in &cpus {
+            p.observe(size, Micros(c));
+        }
+        prop_assert_eq!(p.fit(), None, "constant sizes have no defined slope");
+        let max = *cpus.iter().max().unwrap() as f64;
+        let us = p.predict_us(query);
+        prop_assert!(us.is_finite());
+        prop_assert!((us - (max + overestimate)).abs() < 1e-6);
+        prop_assert_eq!(p.predict(query), Micros((max + overestimate).round() as u64));
+    }
+
+    /// One observation is never enough for a line: `fit` is `None` and
+    /// the fallback predicts that single runtime regardless of size.
+    #[test]
+    fn single_observation_predicts_itself(
+        size in 0usize..100_000,
+        cpu in 0u64..10_000_000,
+        query in 0usize..100_000,
+    ) {
+        let mut p = RuntimePredictor::new();
+        p.observe(size, Micros(cpu));
+        prop_assert_eq!(p.observations(), 1);
+        prop_assert_eq!(p.fit(), None);
+        prop_assert_eq!(p.predict(query), Micros(cpu));
+    }
+
+    /// Zero-CPU samples (sub-microsecond regions) must clamp cleanly:
+    /// whatever mix of sizes and zero runtimes lands in the window, the
+    /// prediction is finite and ≥ 0 — extrapolating a downward-sloping
+    /// fit below zero is clamped, not returned.
+    #[test]
+    fn zero_cpu_samples_never_predict_negative(
+        obs in proptest::collection::vec((1usize..10_000, 0u64..3), 1..24),
+        query in 0usize..1_000_000,
+    ) {
+        let mut p = RuntimePredictor::with_window(obs.len(), 0.0);
+        for &(s, c) in &obs {
+            p.observe(s, Micros(c));
+        }
+        let us = p.predict_us(query);
+        prop_assert!(us.is_finite(), "prediction must be finite, got {}", us);
+        prop_assert!(us >= 0.0, "prediction must clamp at zero, got {}", us);
+        // An all-zero window predicts exactly zero everywhere.
+        if obs.iter().all(|&(_, c)| c == 0) {
+            prop_assert_eq!(p.predict(query), Micros(0));
+        }
+    }
+
+    /// The empty predictor (no observations at all) is also defined: it
+    /// predicts only its overestimation margin.
+    #[test]
+    fn empty_window_predicts_the_margin(
+        query in 0usize..100_000,
+        overestimate in 0.0f64..1_000.0,
+    ) {
+        let p = RuntimePredictor::with_window(8, overestimate);
+        prop_assert_eq!(p.fit(), None);
+        prop_assert!((p.predict_us(query) - overestimate).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,430 @@
+//! Pins the **event-time determinism contract**: a stream delivered out
+//! of order within a disorder bound, reordered by the middleware's
+//! watermark-driven [`ReorderBuffer`] front end, is **byte-identical** to
+//! the pre-sorted stream on the classic ordered path — same engine
+//! metrics, same per-subscription deliveries — across every `Algorithm` ×
+//! `OutputStrategy`, at parallelism ∈ {1, 2, 4}, for every disorder
+//! bound, and through a mid-stream checkpoint → recover hop that carries
+//! the watermark and the buffered-but-unreleased tuples.
+//!
+//! Also pinned here: the trivial front end (bound 0, in-order arrivals)
+//! equals the path with no front end at all; late-tuple policies (`Drop`
+//! counted, `EmitPatch` delivered and flagged) at every parallelism; and
+//! the windowed aggregation filters against a scalar oracle under random
+//! watermark schedules.
+//!
+//! The `GASF_TEST_DISORDER` environment knob (milliseconds) narrows the
+//! bound sweep to one bound (CI shards the matrix with it); unset, the
+//! suite covers 0, 16 and 1024 ms.
+
+use gasf_core::engine::{Algorithm, OutputStrategy};
+use gasf_core::event_time::{
+    Aggregate, EventTimeConfig, LatePolicy, ReorderBuffer, WindowFilter, WindowKind,
+};
+use gasf_core::quality::FilterSpec;
+use gasf_core::schema::Schema;
+use gasf_core::time::Micros;
+use gasf_core::tuple::{Tuple, TupleBuilder};
+use gasf_net::{NodeId, Overlay, Topology};
+use gasf_solar::{AppReport, Middleware, MiddlewareConfig, RunReport, SourceId};
+use gasf_sources::{Disorder, NamosBuoy, Trace};
+use proptest::prelude::*;
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::RegionGreedy,
+    Algorithm::PerCandidateSet,
+    Algorithm::SelfInterested,
+];
+
+const STRATEGIES: [OutputStrategy; 3] = [
+    OutputStrategy::Earliest,
+    OutputStrategy::PerCandidateSet,
+    OutputStrategy::Batched(7),
+];
+
+/// Disorder bounds under test. The `GASF_TEST_DISORDER` knob (in
+/// milliseconds) pins one bound (CI matrix sharding); unset, the
+/// canonical three are swept. Bound 0 is the trivial watermark: in-order
+/// arrivals, immediate release.
+fn disorder_bounds() -> Vec<Micros> {
+    match std::env::var("GASF_TEST_DISORDER") {
+        Ok(v) => vec![Micros::from_millis(v.parse().expect(
+            "GASF_TEST_DISORDER must be a disorder bound in milliseconds",
+        ))],
+        Err(_) => vec![
+            Micros::ZERO,
+            Micros::from_millis(16),
+            Micros::from_millis(1024),
+        ],
+    }
+}
+
+fn trace(tuples: usize, seed: u64) -> Trace {
+    NamosBuoy::new().tuples(tuples).seed(seed).generate()
+}
+
+/// A middleware over a 7-ring with three overlapping subscriptions on
+/// the NAMOS schema, deployed and ready to stream.
+fn setup(config: MiddlewareConfig, trace: &Trace) -> (Middleware, SourceId) {
+    let overlay = Overlay::new(Topology::ring(7).build());
+    let mut mw = Middleware::with_config(overlay, config);
+    let src = mw
+        .register_source("buoy", NodeId(0), trace.schema().clone())
+        .unwrap();
+    let s = trace.stats("tmpr4").unwrap().mean_abs_delta;
+    let _ = mw
+        .subscribe("a1", NodeId(2), src, FilterSpec::delta("tmpr4", s * 2.0, s))
+        .unwrap();
+    let _ = mw
+        .subscribe(
+            "a2",
+            NodeId(4),
+            src,
+            FilterSpec::delta("tmpr4", s * 3.0, s * 1.4),
+        )
+        .unwrap();
+    let _ = mw
+        .subscribe(
+            "a3",
+            NodeId(6),
+            src,
+            FilterSpec::delta("tmpr2", s * 2.2, s * 0.9),
+        )
+        .unwrap();
+    mw.deploy().unwrap();
+    (mw, src)
+}
+
+fn config(parallelism: usize, algorithm: Algorithm, strategy: OutputStrategy) -> MiddlewareConfig {
+    MiddlewareConfig {
+        algorithm,
+        strategy,
+        parallelism,
+        ..Default::default()
+    }
+}
+
+/// Deterministic slice of a run report (wall-clock-free): engine
+/// counters plus the full per-subscription delivery statistics.
+fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, Vec<AppReport>) {
+    (
+        r.engine.input_tuples,
+        r.engine.output_tuples,
+        r.engine.emissions,
+        r.engine.recipient_labels,
+        r.per_app.clone(),
+    )
+}
+
+/// The reference run: the pre-sorted trace through the classic ordered
+/// path (no event-time front end).
+fn run_ordered(cfg: MiddlewareConfig, trace: &Trace) -> (u64, u64, u64, u64, Vec<AppReport>) {
+    let (mut mw, src) = setup(cfg, trace);
+    let report = mw.run_trace(src, trace.tuples().iter().cloned()).unwrap();
+    fingerprint(&report)
+}
+
+/// The run under test: `arrivals` (a bounded permutation of the trace)
+/// through a middleware whose front end reorders with `bound`.
+fn run_disordered(
+    mut cfg: MiddlewareConfig,
+    trace: &Trace,
+    arrivals: Vec<Tuple>,
+    bound: Micros,
+) -> (u64, u64, u64, u64, Vec<AppReport>) {
+    cfg.event_time = Some(EventTimeConfig::bounded(bound));
+    let (mut mw, src) = setup(cfg, trace);
+    let report = mw.run_trace(src, arrivals).unwrap();
+    let stats = mw.event_time_stats(src).unwrap();
+    assert_eq!(stats.late_dropped, 0, "within-bound jitter is never late");
+    assert_eq!(stats.buffered, 0, "finish flushes the buffer");
+    fingerprint(&report)
+}
+
+#[test]
+fn reordered_arrivals_equal_presorted_for_every_combination() {
+    let trace = trace(400, 11);
+    for algorithm in ALGORITHMS {
+        for strategy in STRATEGIES {
+            for parallelism in [1usize, 2, 4] {
+                let cfg = config(parallelism, algorithm, strategy);
+                let expected = run_ordered(cfg, &trace);
+                for bound in disorder_bounds() {
+                    let label =
+                        format!("{algorithm:?}/{strategy:?}/n={parallelism}/bound={bound:?}");
+                    let arrivals = Disorder::bounded(bound).seed(7).apply(&trace);
+                    let got = run_disordered(cfg, &trace, arrivals, bound);
+                    assert_eq!(got, expected, "{label}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trivial_watermark_on_ordered_stream_equals_no_front_end() {
+    // Contract (b): an in-order stream under a zero-bound watermark is
+    // byte-identical to the path without any event-time front end — the
+    // front end is pay-for-what-you-use.
+    let trace = trace(400, 3);
+    for parallelism in [1usize, 2, 4] {
+        let cfg = config(
+            parallelism,
+            Algorithm::RegionGreedy,
+            OutputStrategy::Earliest,
+        );
+        let expected = run_ordered(cfg, &trace);
+        let got = run_disordered(cfg, &trace, trace.tuples().to_vec(), Micros::ZERO);
+        assert_eq!(got, expected, "n={parallelism}");
+    }
+}
+
+#[test]
+fn checkpoint_recover_hop_carries_watermark_and_buffer_state() {
+    // Contract (a), fault-tolerance leg: split the disordered arrival
+    // sequence at an arbitrary point, checkpoint (tuples are still held
+    // in the reorder buffer there), crash, recover on a fresh overlay,
+    // stream the rest — byte-identical to the pre-sorted fault-free run
+    // with the same checkpoint schedule. A checkpoint is a safe-point
+    // boundary, so "same schedule" means the ordered reference
+    // checkpoints after exactly the tuples the buffer had *released* by
+    // the cut — the engines see identical prefixes either way.
+    let trace = trace(400, 19);
+    const CUT: usize = 213;
+    for parallelism in [1usize, 2, 4] {
+        for bound in disorder_bounds() {
+            let label = format!("n={parallelism}/bound={bound:?}");
+            let cfg = config(
+                parallelism,
+                Algorithm::RegionGreedy,
+                OutputStrategy::Earliest,
+            );
+
+            let mut hop_cfg = cfg;
+            hop_cfg.event_time = Some(EventTimeConfig::bounded(bound));
+            let arrivals = Disorder::bounded(bound).seed(5).apply(&trace);
+            let (mut mw, src) = setup(hop_cfg, &trace);
+            let mut pipeline = mw.pipeline(src).unwrap();
+            for t in &arrivals[..CUT] {
+                pipeline.push(t.clone()).unwrap();
+            }
+            let snap = mw.checkpoint().unwrap();
+            let before = mw.event_time_stats(src).unwrap();
+            if bound > Micros::ZERO {
+                assert!(
+                    before.buffered > 0,
+                    "{label}: the cut must catch the buffer non-empty"
+                );
+            }
+            drop(mw); // the crash
+
+            let mut mw =
+                Middleware::recover(Overlay::new(Topology::ring(7).build()), &snap).unwrap();
+            assert_eq!(
+                mw.event_time_stats(src).unwrap(),
+                before,
+                "{label}: watermark + buffer survive the hop"
+            );
+            let mut pipeline = mw.pipeline(src).unwrap();
+            for t in &arrivals[CUT..] {
+                pipeline.push(t.clone()).unwrap();
+            }
+            pipeline.finish().unwrap();
+            let got = fingerprint(&mw.report(src).unwrap());
+
+            // Fault-free ordered reference with the matching schedule.
+            let released = before.released as usize;
+            let (mut mw, src) = setup(cfg, &trace);
+            let mut pipeline = mw.pipeline(src).unwrap();
+            for t in &trace.tuples()[..released] {
+                pipeline.push(t.clone()).unwrap();
+            }
+            let _snap = mw.checkpoint().unwrap();
+            let mut pipeline = mw.pipeline(src).unwrap();
+            for t in &trace.tuples()[released..] {
+                pipeline.push(t.clone()).unwrap();
+            }
+            pipeline.finish().unwrap();
+            let expected = fingerprint(&mw.report(src).unwrap());
+
+            assert_eq!(got, expected, "{label}");
+        }
+    }
+}
+
+#[test]
+fn late_policies_hold_at_every_parallelism() {
+    // Satellite: `Drop` counts the stragglers without the engines ever
+    // seeing them; `EmitPatch` turns each one into a flagged correction
+    // that reaches every active subscription, accounted by the
+    // FlowMonitor and the multicast sink.
+    let trace = trace(300, 23);
+    let bound = Micros::from_millis(40);
+    let spec = Disorder::bounded(bound)
+        .seed(2)
+        .stragglers(60, Micros::from_millis(400));
+    let arrivals = spec.apply(&trace);
+
+    // Count the stragglers the disorder spec actually produced late, via
+    // a standalone buffer with the same bound.
+    let mut oracle = ReorderBuffer::new(EventTimeConfig::bounded(bound));
+    let mut sunk = Vec::new();
+    let late_count = arrivals
+        .iter()
+        .filter(|t| oracle.push_into((*t).clone(), &mut sunk).is_some())
+        .count() as u64;
+    assert!(late_count > 0, "the spec must produce stragglers");
+
+    for parallelism in [1usize, 2, 4] {
+        let mut drop_cfg = config(
+            parallelism,
+            Algorithm::RegionGreedy,
+            OutputStrategy::Earliest,
+        );
+        drop_cfg.event_time = Some(EventTimeConfig::bounded(bound).late(LatePolicy::Drop));
+        let (mut mw, src) = setup(drop_cfg, &trace);
+        let drop_report = mw.run_trace(src, arrivals.iter().cloned()).unwrap();
+        let drop_stats = mw.event_time_stats(src).unwrap();
+        assert_eq!(drop_stats.late_dropped, late_count, "n={parallelism}");
+        assert_eq!(drop_stats.patches, 0);
+        assert_eq!(
+            drop_report.engine.input_tuples,
+            trace.len() as u64 - late_count,
+            "n={parallelism}: engines never see dropped stragglers"
+        );
+
+        let mut patch_cfg = drop_cfg;
+        patch_cfg.event_time = Some(EventTimeConfig::bounded(bound).late(LatePolicy::EmitPatch));
+        let (mut mw, src) = setup(patch_cfg, &trace);
+        let patch_report = mw.run_trace(src, arrivals.iter().cloned()).unwrap();
+        let patch_stats = mw.event_time_stats(src).unwrap();
+        assert_eq!(patch_stats.patches, late_count, "n={parallelism}");
+        assert_eq!(patch_stats.late_dropped, 0);
+        assert_eq!(
+            patch_report.engine.input_tuples, drop_report.engine.input_tuples,
+            "n={parallelism}: patches bypass the engines too"
+        );
+        // Each patch reaches each of the three subscriptions, beyond the
+        // regular deliveries (which are identical to the drop run).
+        let drop_delivered: u64 = drop_report.per_app.iter().map(|a| a.tuples).sum();
+        let patch_delivered: u64 = patch_report.per_app.iter().map(|a| a.tuples).sum();
+        assert_eq!(
+            patch_delivered,
+            drop_delivered + late_count * 3,
+            "n={parallelism}: every active subscription receives every patch"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// windowed aggregation vs a scalar oracle
+// ---------------------------------------------------------------------
+
+/// Scalar oracle: assigns every `(ts, value)` to each window
+/// `[k·slide, k·slide + size)` containing `ts` and aggregates per window;
+/// returns `(start, value, count)` in window-start order.
+fn window_oracle(
+    points: &[(u64, f64)],
+    size: u64,
+    slide: u64,
+    agg: Aggregate,
+) -> Vec<(u64, f64, u64)> {
+    use std::collections::BTreeMap;
+    let mut windows: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    for &(ts, v) in points {
+        let hi = ts / slide;
+        let lo = if ts >= size {
+            (ts - size) / slide + 1
+        } else {
+            0
+        };
+        for k in lo..=hi {
+            windows.entry(k * slide).or_default().push(v);
+        }
+    }
+    windows
+        .into_iter()
+        .map(|(start, vs)| {
+            let n = vs.len() as u64;
+            let value = match agg {
+                Aggregate::Min => vs.iter().copied().fold(f64::INFINITY, f64::min),
+                Aggregate::Max => vs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                Aggregate::Mean => vs.iter().sum::<f64>() / n as f64,
+                Aggregate::Count => n as f64,
+            };
+            (start, value, n)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random streams, random window geometry, random watermark
+    /// schedules: the concatenation of everything the watermark closes
+    /// (plus the end-of-stream flush) must equal the scalar oracle — and
+    /// the schedule only decides *when* windows close, never what they
+    /// contain.
+    #[test]
+    fn window_filters_match_the_scalar_oracle_under_random_watermarks(
+        raw in proptest::collection::vec((0u64..20_000, -100.0f64..100.0), 1..80),
+        size_ms in 1u64..40,
+        slide_div in 1u64..4,
+        agg_idx in 0usize..4,
+        marks in proptest::collection::vec(0u64..25_000, 0..10),
+    ) {
+        let agg = [Aggregate::Min, Aggregate::Max, Aggregate::Mean, Aggregate::Count][agg_idx];
+        let size = size_ms * 1000;
+        let slide = (size / slide_div).max(1);
+        let kind = if slide == size {
+            WindowKind::Tumbling { size: Micros(size) }
+        } else {
+            WindowKind::Sliding { size: Micros(size), slide: Micros(slide) }
+        };
+
+        let schema = Schema::new(["t"]);
+        let attr = schema.attr("t").unwrap();
+        let mut b = TupleBuilder::new(&schema);
+        let points: Vec<(u64, f64)> = raw;
+        let tuples: Vec<Tuple> = points
+            .iter()
+            .map(|&(ts, v)| b.at(Micros(ts)).set("t", v).build().unwrap())
+            .collect();
+
+        // Watermark schedule: sorted, then driven monotonically.
+        let mut schedule = marks;
+        schedule.sort_unstable();
+
+        let run = |schedule: &[u64]| {
+            let mut wf = WindowFilter::new(attr, kind, agg);
+            for t in &tuples {
+                wf.observe(t);
+            }
+            let mut out = Vec::new();
+            for &m in schedule {
+                wf.advance_into(Micros(m), &mut out);
+            }
+            wf.finish_into(&mut out);
+            out
+        };
+
+        let got = run(&schedule);
+        // Equal watermark schedules ⇒ byte-equal window streams.
+        prop_assert_eq!(&got, &run(&schedule));
+        // Any schedule yields the same total content as closing
+        // everything at end-of-stream.
+        prop_assert_eq!(&got, &run(&[]));
+
+        let expected = window_oracle(&points, size, slide, agg);
+        prop_assert_eq!(got.len(), expected.len());
+        for (o, (start, value, count)) in got.iter().zip(&expected) {
+            prop_assert_eq!(o.start, Micros(*start));
+            prop_assert_eq!(o.end, Micros(start + size));
+            prop_assert_eq!(o.count, *count);
+            prop_assert!(
+                (o.value - value).abs() <= 1e-9 * value.abs().max(1.0),
+                "window@{}: {} vs oracle {}", start, o.value, value
+            );
+        }
+    }
+}
