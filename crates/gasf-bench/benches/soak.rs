@@ -1,0 +1,38 @@
+//! Soak-harness timing: one full smoke-sized soak per iteration.
+//!
+//! `soak/run/10k_subs` times the complete 10⁴-subscription soak —
+//! build + subscribe + deploy + three pressure phases + churn + one
+//! forwarder fault + connector-seam tail — so the mean tracks the
+//! end-to-end cost of a living, overloaded deployment. The run's
+//! invariants ([`SoakOutcome::assert_sane`]) are checked on every
+//! iteration, so `GASF_BENCH_SMOKE=1 cargo bench --bench soak` doubles
+//! as the CI sanity gate for the soak layer. The million-subscriber
+//! numbers come from `cargo run -p gasf-bench --release --bin soak`
+//! and live in `BENCH_baseline.json`.
+
+mod common;
+
+use criterion::{criterion_main, Criterion};
+use gasf_bench::soak::{run_soak, SoakConfig, SoakOutcome};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = SoakConfig::smoke();
+    let mut g = c.benchmark_group("soak");
+    g.bench_function("run/10k_subs", |b| {
+        b.iter(|| {
+            let out: SoakOutcome = run_soak(black_box(&cfg));
+            out.assert_sane();
+            assert_eq!(out.faults, 1, "soak must inject exactly one fault");
+            assert!(out.churn_ops > 0, "soak must churn the roster");
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench(&mut c);
+}
+criterion_main!(benches);

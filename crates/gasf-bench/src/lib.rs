@@ -20,7 +20,9 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod soak;
 pub mod specs;
 
 pub use report::Table;
 pub use runner::{run_engine, RunOutcome, Variant};
+pub use soak::{run_soak, SoakConfig, SoakOutcome};

@@ -366,6 +366,7 @@ impl GroupEngineBuilder {
             finished: false,
             scratch: Vec::new(),
             control_queue: Vec::new(),
+            queued_structural: 0,
             next_filter_id: width as u32,
             epoch: 0,
             past_epochs: Vec::new(),
@@ -529,6 +530,11 @@ pub struct GroupEngine {
     scratch: Vec<Emission>,
     /// Queued roster changes, applied together at the next safe point.
     control_queue: Vec<ControlOp>,
+    /// How many queued ops are *structural* (`Add`/`Remove`). While
+    /// zero, the projected roster equals the live slots, so single-id
+    /// liveness checks are O(1) — the case the shedding ladder leans on
+    /// when it queues one `Update` per filter across a huge roster.
+    queued_structural: usize,
     /// The next never-used filter id (monotone; ids are never recycled).
     next_filter_id: u32,
     /// Epochs completed so far (bumped by every control-op application).
@@ -759,6 +765,7 @@ impl GroupEngine {
         validate_filter(&spec, id, &self.schema, self.algorithm)?;
         self.next_filter_id = id.0 + 1;
         self.control_queue.push(ControlOp::Add(id, spec));
+        self.queued_structural += 1;
         Ok(())
     }
 
@@ -786,6 +793,7 @@ impl GroupEngine {
             });
         }
         self.control_queue.push(ControlOp::Remove(id));
+        self.queued_structural += 1;
         Ok(())
     }
 
@@ -800,12 +808,30 @@ impl GroupEngine {
         if self.finished {
             return Err(Error::Finished);
         }
-        if !self.projected_roster().contains(&id.0) {
+        if !self.projected_live(id) {
             return Err(Error::UnknownFilter { id });
         }
         validate_filter(&spec, id, &self.schema, self.algorithm)?;
         self.control_queue.push(ControlOp::Update(id, spec));
         Ok(())
+    }
+
+    /// Whether `id` will be live once the queued ops apply. O(1) while
+    /// no structural op is queued; otherwise one pass over the queue
+    /// (last structural op on the id wins, matching apply order).
+    fn projected_live(&self, id: FilterId) -> bool {
+        let mut live = self.slots.get(id.index()).is_some_and(Option::is_some);
+        if self.queued_structural == 0 {
+            return live;
+        }
+        for op in &self.control_queue {
+            match op {
+                ControlOp::Add(i, _) if i.0 == id.0 => live = true,
+                ControlOp::Remove(i) if i.0 == id.0 => live = false,
+                _ => {}
+            }
+        }
+        live
     }
 
     /// The roster as it will look once the queued ops apply.
@@ -865,6 +891,7 @@ impl GroupEngine {
             .into_iter()
             .map(|s| s.map(|s| s.spec))
             .collect();
+        self.queued_structural = 0;
         for op in std::mem::take(&mut self.control_queue) {
             match op {
                 ControlOp::Add(id, spec) => {
@@ -1084,6 +1111,7 @@ impl GroupEngine {
             finished: false,
             scratch: Vec::new(),
             control_queue: Vec::new(),
+            queued_structural: 0,
             next_filter_id: snap.next_filter_id,
             epoch: snap.epoch,
             past_epochs: snap.past_epochs.clone(),
@@ -1206,6 +1234,7 @@ impl GroupEngine {
         // stream has no further safe point (a rebuilt roster would close
         // immediately without seeing input anyway).
         self.control_queue.clear();
+        self.queued_structural = 0;
         let now = self.last_ts.unwrap_or(Micros::ZERO);
         self.drain_open_state(now);
         self.metrics.cpu += start.elapsed();

@@ -62,6 +62,11 @@ pub enum Error {
         /// Sequence number of the offending tuple.
         seq: u64,
     },
+    /// A source or sink connector failed (I/O, framing, or transport).
+    Connector {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -90,6 +95,7 @@ impl fmt::Display for Error {
             Error::MissingValue { attr, seq } => {
                 write!(f, "tuple {seq} has no value for attribute #{attr}")
             }
+            Error::Connector { reason } => write!(f, "connector failure: {reason}"),
         }
     }
 }

@@ -110,6 +110,7 @@
 pub mod batch;
 pub mod bitset;
 pub mod candidate;
+pub mod connector;
 pub mod cuts;
 pub mod engine;
 pub mod error;
@@ -125,6 +126,7 @@ pub mod region;
 pub mod schema;
 mod seq_ring;
 pub mod shard;
+pub mod shed;
 pub mod sink;
 pub mod snapshot;
 pub mod time;

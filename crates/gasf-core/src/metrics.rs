@@ -175,6 +175,98 @@ impl EngineMetrics {
     }
 }
 
+/// A fixed-footprint log₂-bucketed latency histogram (microseconds).
+///
+/// Per-sample `Vec` accounting is fine at benchmark scale but not at
+/// soak scale — 10⁶ subscribers × many deliveries would spend gigabytes
+/// on samples nobody reads individually. This histogram spends 64
+/// counters total: bucket `b` covers latencies with `ilog2 == b`
+/// (bucket 0 is `{0, 1}` µs), so quantile estimates carry at most a
+/// factor-of-two error — ample for p50/p99 soak reporting, and
+/// completely deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// `buckets[b]` counts samples with `ilog2(max(us, 1)) == b`.
+    buckets: [u64; 64],
+    /// Total samples recorded.
+    count: u64,
+    /// Sum of all samples (exact mean).
+    sum_us: u64,
+    /// Largest sample seen (exact max).
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Micros) {
+        let us = latency.as_micros();
+        self.buckets[us.max(1).ilog2() as usize] += 1;
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean latency (zero when empty).
+    pub fn mean(&self) -> Micros {
+        Micros(self.sum_us.checked_div(self.count).unwrap_or(0))
+    }
+
+    /// Exact maximum latency.
+    pub fn max(&self) -> Micros {
+        Micros(self.max_us)
+    }
+
+    /// Estimated percentile (`pct` in `[0, 100]`): the upper edge of the
+    /// bucket containing the rank, clamped to the exact max. Zero when
+    /// empty.
+    pub fn percentile(&self, pct: f64) -> Micros {
+        if self.count == 0 {
+            return Micros::ZERO;
+        }
+        let rank = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if b >= 63 { u64::MAX } else { (2u64 << b) - 1 };
+                return Micros(upper.min(self.max_us));
+            }
+        }
+        Micros(self.max_us)
+    }
+
+    /// Adds another histogram's counts into this one.
+    pub fn absorb(&mut self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
 /// Five-number summary with 1.5·IQR outliers — the paper's box plots.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BoxPlot {
@@ -380,6 +472,40 @@ mod tests {
         assert!(BoxPlot::from_samples(&[f64::NAN]).is_none());
         let b = BoxPlot::from_samples(&[f64::NAN, 2.0]).unwrap();
         assert_eq!(b.median, 2.0);
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_bound_samples() {
+        let mut h = LatencyHistogram::new();
+        for us in [0u64, 1, 2, 3, 100, 1000, 1001, 5000, 100_000, 1_000_000] {
+            h.record(Micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), Micros(1_000_000));
+        assert_eq!(h.mean(), Micros(1_107_107 / 10));
+        // p100 is the exact max; estimates never exceed it
+        assert_eq!(h.percentile(100.0), Micros(1_000_000));
+        // p50 falls in the bucket holding the 5th sample (100µs → [64,127])
+        let p50 = h.percentile(50.0).as_micros();
+        assert!((100..=127).contains(&p50), "p50 {p50}");
+        // within a factor of two of the true percentile, always above it
+        let p90 = h.percentile(90.0).as_micros();
+        assert!((100_000..=200_000).contains(&p90), "p90 {p90}");
+        assert_eq!(LatencyHistogram::new().percentile(99.0), Micros::ZERO);
+        assert_eq!(LatencyHistogram::new().mean(), Micros::ZERO);
+    }
+
+    #[test]
+    fn latency_histogram_absorb_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Micros(10));
+        b.record(Micros(1000));
+        b.record(Micros(7));
+        a.absorb(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Micros(1000));
+        assert_eq!(a.mean(), Micros(1017 / 3));
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! use gasf_core::prelude::*;
 //! ```
 
+pub use crate::batch::TupleBatch;
 pub use crate::bitset::{BitSet, FilterSet};
 pub use crate::candidate::{CandidateTuple, CloseCause, ClosedSet, FilterId, TimeCover};
+pub use crate::connector::{Chunk, ConnectorSink, SinkConnector, SourceConnector};
 pub use crate::cuts::{RuntimePredictor, TimeConstraint};
 pub use crate::engine::{Algorithm, Emission, GroupEngine, GroupEngineBuilder, OutputStrategy};
 pub use crate::error::Error;
@@ -17,13 +19,14 @@ pub use crate::filter::{
     build_filter, DeltaCompression, GroupFilter, MultiAttrDelta, ReservoirSampler,
     StratifiedSampler, TrendDelta,
 };
-pub use crate::metrics::{BoxPlot, EngineMetrics};
+pub use crate::metrics::{BoxPlot, EngineMetrics, LatencyHistogram};
 pub use crate::monitor::{BenefitMonitor, BenefitReport, Recommendation};
 pub use crate::plan::{CompiledRoster, EvaluatorTier, RosterPlan};
 pub use crate::quality::{Dependency, FilterKind, FilterSpec, PickDegree, PickSpec, Prescription};
 pub use crate::region::{Region, RegionTracker};
 pub use crate::schema::{AttrId, Schema};
 pub use crate::shard::{ShardedEngine, ShardedEngineBuilder};
+pub use crate::shed::{PushOutcome, ShedHeadroom};
 pub use crate::sink::{EmissionSink, NullSink, StreamOperator, Tee, VecSink};
 pub use crate::snapshot::{EngineSnapshot, GroupSnapshot};
 pub use crate::time::Micros;

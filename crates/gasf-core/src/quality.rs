@@ -9,6 +9,7 @@
 //! them.
 
 use crate::error::Error;
+use crate::shed::ShedHeadroom;
 use crate::time::Micros;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -170,6 +171,9 @@ pub struct FilterSpec {
     pub latency_tolerance: Option<Micros>,
     /// Optional human-readable label used in reports.
     pub label: Option<String>,
+    /// Declared load-shedding headroom, if any (§4.8: graceful quality
+    /// degradation under pressure). See [`FilterSpec::degraded`].
+    pub shed: Option<ShedHeadroom>,
 }
 
 impl FilterSpec {
@@ -184,6 +188,7 @@ impl FilterSpec {
             },
             latency_tolerance: None,
             label: None,
+            shed: None,
         }
     }
 
@@ -198,6 +203,7 @@ impl FilterSpec {
             },
             latency_tolerance: None,
             label: None,
+            shed: None,
         }
     }
 
@@ -211,6 +217,7 @@ impl FilterSpec {
             },
             latency_tolerance: None,
             label: None,
+            shed: None,
         }
     }
 
@@ -228,6 +235,7 @@ impl FilterSpec {
             },
             latency_tolerance: None,
             label: None,
+            shed: None,
         }
     }
 
@@ -241,6 +249,7 @@ impl FilterSpec {
             },
             latency_tolerance: None,
             label: None,
+            shed: None,
         }
     }
 
@@ -263,6 +272,7 @@ impl FilterSpec {
             },
             latency_tolerance: None,
             label: None,
+            shed: None,
         }
     }
 
@@ -275,6 +285,15 @@ impl FilterSpec {
     /// Sets a report label.
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
+        self
+    }
+
+    /// Declares load-shedding headroom: how far the system may degrade
+    /// this subscription's quality under sustained pressure (see
+    /// [`FilterSpec::degraded`]). Subscriptions without headroom are
+    /// never degraded.
+    pub fn with_shed_headroom(mut self, headroom: ShedHeadroom) -> Self {
+        self.shed = Some(headroom);
         self
     }
 
@@ -297,6 +316,9 @@ impl FilterSpec {
     /// * a sampling window is zero, rates are outside `(0, 100]`, or the
     ///   attribute list of a DC3 filter is empty.
     pub fn validate(&self) -> Result<(), Error> {
+        if let Some(headroom) = &self.shed {
+            headroom.validate()?;
+        }
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // negation is deliberate: rejects NaN too
         fn check_delta_slack(delta: f64, slack: f64) -> Result<(), Error> {
             if !(delta > 0.0) {

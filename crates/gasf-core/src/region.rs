@@ -39,7 +39,9 @@ impl Region {
         }
     }
 
-    /// Candidate sets of the region, in closure order.
+    /// Candidate sets of the region, in merge order (not meaningful —
+    /// every consumer is order-independent; see
+    /// [`RegionTracker::add`]).
     pub fn sets(&self) -> &[ClosedSet] {
         &self.sets
     }
@@ -110,7 +112,16 @@ impl RegionTracker {
         let mut i = 0;
         while i < self.pending.len() {
             if self.pending[i].cover.intersects(&merged.cover) {
-                let other = self.pending.swap_remove(i);
+                let mut other = self.pending.swap_remove(i);
+                // Absorb the smaller side into the larger: a long-lived
+                // region accumulates thousands of sets, and moving it
+                // into each new single-set region would make the steady
+                // stream of merges quadratic in region size. Set order
+                // inside a region is not meaningful — the solver's
+                // tie-breaks are (usefulness, ts, id), never set index.
+                if other.sets.len() > merged.sets.len() {
+                    std::mem::swap(&mut other, &mut merged);
+                }
                 merged.absorb(other);
                 // restart: the enlarged cover may now reach more regions
                 i = 0;

@@ -1,0 +1,138 @@
+//! Bounded ingress: explicit, credit-based backpressure.
+//!
+//! The paper's input buffer (§4.8) is where congestion first shows up;
+//! an unbounded buffer hides overload until latency is already ruined.
+//! This module makes the bound explicit: a [`CreditGate`] in front of a
+//! source admits exactly as many rows as it holds credits. When credits
+//! run out the push returns
+//! [`PushOutcome::Throttled`](gasf_core::shed::PushOutcome) **without
+//! consuming the input** — the connector driving the source holds the
+//! row (or the remaining suffix of a batch) and the pressure propagates
+//! outward to the external producer instead of inward into memory.
+//!
+//! Credits are granted *explicitly* (by the ingest driver, a test's
+//! credit schedule, or the [`Shedder`](crate::shedder::Shedder)'s
+//! recovery policy): filtering itself is synchronous, so an
+//! auto-replenishing gate could never exert pressure. The capacity cap
+//! bounds the buffered window — granting beyond it saturates rather
+//! than accumulating an unbounded credit balance.
+//!
+//! ```rust
+//! use gasf_solar::backpressure::CreditGate;
+//!
+//! let mut gate = CreditGate::new(4);     // capacity 4, starts full
+//! assert_eq!(gate.available(), 4);
+//! assert_eq!(gate.take(6), 4);           // admit at most 4 rows now
+//! assert_eq!(gate.take(1), 0);           // drained: Throttled
+//! gate.grant(2);
+//! assert_eq!(gate.available(), 2);
+//! gate.grant(100);                       // saturates at capacity
+//! assert_eq!(gate.available(), 4);
+//! ```
+
+/// A bounded credit pool gating admissions into a source's pipeline.
+///
+/// One credit admits one row. The gate starts **full** (a fresh source
+/// has an empty buffer's worth of headroom) and never holds more than
+/// `capacity` credits.
+#[derive(Debug, Clone)]
+pub struct CreditGate {
+    capacity: u64,
+    available: u64,
+    /// Rows admitted over the gate's lifetime.
+    admitted: u64,
+    /// Credits granted over the gate's lifetime (excluding the initial
+    /// fill), after saturation clipping.
+    granted: u64,
+}
+
+impl CreditGate {
+    /// A gate with `capacity` credits, initially full.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (a zero-capacity gate could never
+    /// admit anything).
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "credit gate capacity must be positive");
+        CreditGate {
+            capacity,
+            available: capacity,
+            admitted: 0,
+            granted: 0,
+        }
+    }
+
+    /// Credits currently available.
+    pub fn available(&self) -> u64 {
+        self.available
+    }
+
+    /// The capacity cap.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Rows admitted over the gate's lifetime.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Takes up to `want` credits, returning how many were actually
+    /// taken (0 means the caller must report `Throttled` and keep the
+    /// input). Partial takes are how a batch push admits a prefix and
+    /// stays resumable at the exact rejected row.
+    pub fn take(&mut self, want: u64) -> u64 {
+        let got = want.min(self.available);
+        self.available -= got;
+        self.admitted += got;
+        got
+    }
+
+    /// Grants credits back, saturating at capacity. Returns the number
+    /// of credits actually added.
+    pub fn grant(&mut self, credits: u64) -> u64 {
+        let added = credits.min(self.capacity - self.available);
+        self.available += added;
+        self.granted += added;
+        added
+    }
+
+    /// Refills the gate to capacity (e.g. after a drain barrier).
+    pub fn refill(&mut self) {
+        let missing = self.capacity - self.available;
+        self.available = self.capacity;
+        self.granted += missing;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_drained_then_throttles() {
+        let mut g = CreditGate::new(3);
+        assert_eq!(g.take(1), 1);
+        assert_eq!(g.take(5), 2, "partial take admits the prefix");
+        assert_eq!(g.take(1), 0, "drained");
+        assert_eq!(g.admitted(), 3);
+    }
+
+    #[test]
+    fn grants_saturate_at_capacity() {
+        let mut g = CreditGate::new(2);
+        assert_eq!(g.take(2), 2);
+        assert_eq!(g.grant(1), 1);
+        assert_eq!(g.grant(10), 1, "clipped to capacity");
+        assert_eq!(g.available(), 2);
+        g.take(2);
+        g.refill();
+        assert_eq!(g.available(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = CreditGate::new(0);
+    }
+}

@@ -54,6 +54,15 @@ pub struct FlowMonitor {
     late_dropped: u64,
     /// Patch emissions (late-tuple corrections) that flowed through.
     patches: u64,
+    /// Credit-gated pushes refused with `PushOutcome::Throttled`.
+    throttled: u64,
+    /// Tuples dropped by the shedder after the degradation ladder was
+    /// exhausted (the last-resort remedy).
+    shed_dropped: u64,
+    /// Quality-degradation steps applied (ladder rung climbed).
+    degrade_ops: u64,
+    /// Quality-restoration steps applied (ladder rung descended).
+    restore_ops: u64,
 }
 
 impl FlowMonitor {
@@ -74,6 +83,10 @@ impl FlowMonitor {
             emitted_labels: 0,
             late_dropped: 0,
             patches: 0,
+            throttled: 0,
+            shed_dropped: 0,
+            degrade_ops: 0,
+            restore_ops: 0,
         }
     }
 
@@ -162,6 +175,49 @@ impl FlowMonitor {
     pub fn restore_event_time_counts(&mut self, late_dropped: u64, patches: u64) {
         self.late_dropped = late_dropped;
         self.patches = patches;
+    }
+
+    /// Records one credit-gated push refused with
+    /// [`PushOutcome::Throttled`](gasf_core::shed::PushOutcome).
+    pub fn observe_throttle(&mut self) {
+        self.throttled += 1;
+    }
+
+    /// Records one tuple dropped by the shedder (ladder exhausted).
+    pub fn observe_shed_drop(&mut self) {
+        self.shed_dropped += 1;
+    }
+
+    /// Records one quality-degradation step (a subscription climbed one
+    /// rung of its declared ladder).
+    pub fn observe_degrade(&mut self) {
+        self.degrade_ops += 1;
+    }
+
+    /// Records one quality-restoration step (a subscription descended one
+    /// rung after pressure cleared).
+    pub fn observe_restore(&mut self) {
+        self.restore_ops += 1;
+    }
+
+    /// Throttled pushes counted by [`observe_throttle`](Self::observe_throttle).
+    pub fn throttled(&self) -> u64 {
+        self.throttled
+    }
+
+    /// Tuples dropped by the shedder.
+    pub fn shed_dropped(&self) -> u64 {
+        self.shed_dropped
+    }
+
+    /// Degradation steps applied.
+    pub fn degrade_ops(&self) -> u64 {
+        self.degrade_ops
+    }
+
+    /// Restoration steps applied.
+    pub fn restore_ops(&self) -> u64 {
+        self.restore_ops
     }
 
     /// The recommended remedy at the current utilisation.
@@ -369,6 +425,22 @@ mod tests {
         assert_eq!(monitor.late_dropped(), 1);
         monitor.restore_event_time_counts(7, 3);
         assert_eq!((monitor.late_dropped(), monitor.patches()), (7, 3));
+    }
+
+    #[test]
+    fn shedding_counters_accumulate() {
+        let mut m = FlowMonitor::default();
+        m.observe_throttle();
+        m.observe_throttle();
+        m.observe_shed_drop();
+        m.observe_degrade();
+        m.observe_degrade();
+        m.observe_degrade();
+        m.observe_restore();
+        assert_eq!(m.throttled(), 2);
+        assert_eq!(m.shed_dropped(), 1);
+        assert_eq!(m.degrade_ops(), 3);
+        assert_eq!(m.restore_ops(), 1);
     }
 
     #[test]

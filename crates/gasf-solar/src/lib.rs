@@ -37,20 +37,34 @@
 //!   sources through in-network operators,
 //! * [`FlowMonitor`] — the input-buffer congestion/flow-control logic the
 //!   paper discusses in §4.8 (large groups can congest the filter's input
-//!   buffer; the system must shed load or degrade quality).
+//!   buffer; the system must shed load or degrade quality),
+//! * **bounded ingress + quality-aware shedding** — §4.8 made mechanical:
+//!   a per-source [`CreditGate`] bounds the input buffer (the `try_push`
+//!   family returns [`PushOutcome`](gasf_core::shed::PushOutcome) instead
+//!   of buffering without limit), a [`Shedder`] climbs each
+//!   subscription's declared degradation ladder under sustained pressure
+//!   (and fully restores it when pressure clears), and
+//!   [`Middleware::ingest`] drives a
+//!   [`SourceConnector`](gasf_core::connector::SourceConnector) through
+//!   the gated path end to end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod backpressure;
 mod flow;
 mod graph;
 mod middleware;
 mod regroup;
+pub mod shedder;
 
+pub use backpressure::CreditGate;
 pub use flow::{FlowDecision, FlowMonitor, Metered};
 pub use graph::{OpKind, OperatorGraph, OperatorId};
 pub use middleware::{
-    AppReport, EventTimeStats, Middleware, MiddlewareConfig, MiddlewareSnapshot, MulticastSink,
-    Pipeline, RunReport, SolarError, SourceId, SubscriptionHandle,
+    AppReport, EventTimeStats, GrantPolicy, IngestOptions, IngestReport, Middleware,
+    MiddlewareConfig, MiddlewareSnapshot, MulticastSink, Pipeline, RunReport, SolarError, SourceId,
+    SubscriptionHandle,
 };
 pub use regroup::{is_valid_partition, partition, GroupingStrategy, Partition};
+pub use shedder::{ShedAction, ShedConfig, Shedder};

@@ -46,21 +46,25 @@
 //! `deploy` is simply the static rebuild the live operations are defined
 //! against.
 
+use crate::backpressure::CreditGate;
 use crate::flow::{FlowDecision, FlowMonitor, Metered};
 use crate::graph::OperatorGraph;
 use crate::regroup::{self, GroupingStrategy};
+use crate::shedder::{ShedAction, ShedConfig, Shedder};
 use gasf_core::batch::TupleBatch;
 use gasf_core::bitset::FilterSet;
 use gasf_core::candidate::FilterId;
+use gasf_core::connector::{Chunk, SourceConnector};
 use gasf_core::cuts::TimeConstraint;
 use gasf_core::engine::{Algorithm, Emission, GroupEngine, OutputStrategy};
 use gasf_core::event_time::{
     EventTimeConfig, LateOutcome, LateTuple, ReorderBuffer, ReorderSnapshot,
 };
-use gasf_core::metrics::EngineMetrics;
+use gasf_core::metrics::{EngineMetrics, LatencyHistogram};
 use gasf_core::quality::FilterSpec;
 use gasf_core::schema::Schema;
 use gasf_core::shard::ShardedEngine;
+use gasf_core::shed::PushOutcome;
 use gasf_core::sink::EmissionSink;
 use gasf_core::snapshot::{EngineSnapshot, GroupSnapshot};
 use gasf_core::time::Micros;
@@ -196,6 +200,23 @@ pub struct MiddlewareConfig {
     /// `cfg.late` ([`LatePolicy`](gasf_core::event_time::LatePolicy)). `None` (the default) is the classic
     /// arrival-order contract: the stream must already be ordered.
     pub event_time: Option<EventTimeConfig>,
+    /// Bounded ingress. `Some(capacity)` puts a [`CreditGate`] of that
+    /// capacity in front of every source: the `try_push` family admits
+    /// rows only while credits remain and returns
+    /// [`PushOutcome::Throttled`] otherwise, leaving the input with the
+    /// caller. `None` (the default) is the legacy unbounded contract —
+    /// `try_push` always accepts.
+    pub ingress_capacity: Option<u64>,
+    /// Quality-aware load shedding. `Some(cfg)` attaches a per-source
+    /// [`Shedder`]: sustained `Throttled` streaks climb the degradation
+    /// ladder (subscriptions with declared
+    /// [`ShedHeadroom`](gasf_core::shed::ShedHeadroom) are retuned to
+    /// `spec.degraded(rung)` through the epoch-based control path),
+    /// sustained calm restores them, and only an exhausted ladder lets
+    /// the ingest driver drop tuples. A shedder that never observes
+    /// pressure never changes anything — pressure-free runs are
+    /// byte-identical to `None`.
+    pub shedding: Option<ShedConfig>,
 }
 
 impl Default for MiddlewareConfig {
@@ -206,8 +227,70 @@ impl Default for MiddlewareConfig {
             constraint: None,
             parallelism: 1,
             event_time: None,
+            ingress_capacity: None,
+            shedding: None,
         }
     }
+}
+
+/// How [`Middleware::ingest`] replenishes a throttled source's credit
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantPolicy {
+    /// Refill to capacity on every throttle. Filtering is synchronous,
+    /// so everything admitted has fully drained by the time the driver
+    /// regains control — this is the drain-barrier model, right for
+    /// functional runs where the bound should never bite.
+    Refill,
+    /// Replenish according to the source's [`FlowDecision`]:
+    /// [`Ok`](FlowDecision::Ok) refills the window,
+    /// [`Shed`](FlowDecision::Shed) grants only the un-shed fraction,
+    /// [`DegradeQuality`](FlowDecision::DegradeQuality) grants a
+    /// one-credit trickle — keeping pressure on so the
+    /// [`Shedder`] climbs the ladder. Always grants at least one
+    /// credit: ingest never deadlocks.
+    Adaptive,
+}
+
+/// Knobs for [`Middleware::ingest`].
+#[derive(Debug, Clone, Copy)]
+pub struct IngestOptions {
+    /// Upper bound on rows per [`SourceConnector::next_chunk`] pull
+    /// (clamped to at least 1).
+    pub max_rows: usize,
+    /// Credit replenishment under throttle.
+    pub grant: GrantPolicy,
+    /// Whether to [`finish`](Middleware::finish) the source at EOF.
+    pub finish: bool,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            max_rows: 1024,
+            grant: GrantPolicy::Refill,
+            finish: true,
+        }
+    }
+}
+
+/// What [`Middleware::ingest`] did with a connector's stream. Always
+/// `rows == accepted + dropped` at EOF; `throttled` counts throttle
+/// *events* (each may block many rows or one), reconciling exactly with
+/// [`FlowMonitor::throttled`] minus any throttles observed outside the
+/// driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Chunks pulled from the connector.
+    pub chunks: u64,
+    /// Rows pulled from the connector.
+    pub rows: u64,
+    /// Rows admitted through the gate and processed.
+    pub accepted: u64,
+    /// Rows shed after the ladder was exhausted (§4.8's last resort).
+    pub dropped: u64,
+    /// Throttle events the driver absorbed.
+    pub throttled: u64,
 }
 
 /// A filter group's engine: inline, or behind the sharded path. Every
@@ -292,6 +375,14 @@ struct SourceEntry {
     /// fan-out (every part sees the full stream, so reordering once ahead
     /// of all parts is equivalent to reordering per part).
     reorder: Option<ReorderBuffer>,
+    /// Delivery-latency distribution across every subscriber of this
+    /// source (filtering + overlay multicast), fixed-footprint so it
+    /// stays cheap at soak scale.
+    lat_hist: LatencyHistogram,
+    /// Bounded ingress ([`MiddlewareConfig::ingress_capacity`]).
+    gate: Option<CreditGate>,
+    /// Quality-aware shedding policy ([`MiddlewareConfig::shedding`]).
+    shedder: Option<Shedder>,
 }
 
 impl SourceEntry {
@@ -317,10 +408,16 @@ struct AppEntry {
     /// Kept for introspection/debugging of multi-source deployments.
     #[allow(dead_code)]
     source: SourceId,
+    /// The subscription's *declared* spec — always the rung-0 original.
+    /// Shedding retunes the engine-side filter through `update_filter`
+    /// without touching this, so restoration is exact.
     spec: FilterSpec,
     active: bool,
     tuples: u64,
-    e2e_latency_us: Vec<u64>,
+    /// Aggregated end-to-end latency (mean = sum / tuples). An aggregate
+    /// rather than per-delivery samples so a million-subscriber soak run
+    /// doesn't grow memory per delivery.
+    e2e_latency_sum_us: u64,
 }
 
 /// Per-subscription run statistics, keyed by the stable
@@ -427,6 +524,14 @@ pub(crate) struct SourceState {
     /// Watermark + reorder-buffer state (sources with an event-time
     /// front end): buffered-but-unreleased tuples survive the hop.
     reorder: Option<ReorderSnapshot>,
+    /// Delivery-latency distribution (lifetime counters travel with the
+    /// flow monitor).
+    lat_hist: LatencyHistogram,
+    /// The shedding ladder rung at the checkpoint boundary. The part
+    /// engines' snapshots carry that rung's degraded specs, so recovery
+    /// resumes the shedder at the same rung (streaks and the credit
+    /// window restart fresh — a recovered node begins unpressured).
+    shed_rung: u8,
     parts: Vec<PartState>,
 }
 
@@ -459,7 +564,7 @@ pub(crate) struct AppState {
     spec: FilterSpec,
     active: bool,
     tuples: u64,
-    e2e_latency_us: Vec<u64>,
+    e2e_latency_sum_us: u64,
 }
 
 /// The data-dissemination middleware.
@@ -549,6 +654,9 @@ impl Middleware {
             generation: 0,
             flow: FlowMonitor::default(),
             reorder: self.config.event_time.map(ReorderBuffer::new),
+            lat_hist: LatencyHistogram::new(),
+            gate: self.config.ingress_capacity.map(CreditGate::new),
+            shedder: self.config.shedding.map(Shedder::new),
         });
         self.deployed = false;
         Ok(SourceId(self.sources.len() - 1))
@@ -589,7 +697,7 @@ impl Middleware {
             spec,
             active: true,
             tuples: 0,
-            e2e_latency_us: Vec::new(),
+            e2e_latency_sum_us: 0,
         });
         self.sources[source.0].subscribers.push(idx);
         if self.deployed {
@@ -667,9 +775,16 @@ impl Middleware {
         let source = self.apps[idx].source;
         if self.deployed {
             if let Some((part_idx, fid)) = self.locate(source, idx) {
+                // A source mid-shed installs the new spec at its current
+                // rung; the declared original still lands in `apps` below.
+                let rung = self.sources[source.0]
+                    .shedder
+                    .as_ref()
+                    .map_or(0, Shedder::rung);
+                let engine_spec = spec.degraded(rung).unwrap_or_else(|| spec.clone());
                 self.sources[source.0].parts[part_idx]
                     .engine
-                    .update_filter(fid, spec.clone())?;
+                    .update_filter(fid, engine_spec)?;
             }
         }
         self.apps[idx].spec = spec;
@@ -731,8 +846,8 @@ impl Middleware {
         }
         let nodes: Vec<NodeId> = active.iter().map(|&a| self.apps[a].node).collect();
         // Remember where each live subscription sat before the drain.
-        let locations: Vec<Option<(usize, FilterId)>> =
-            active.iter().map(|&a| self.locate(source, a)).collect();
+        let table = self.locate_all(source);
+        let locations: Vec<Option<(usize, FilterId)>> = active.iter().map(|&a| table[a]).collect();
         // Epoch boundary: drain and retire every live part, collecting
         // each engine's final-epoch metrics. Rates are computed *after*
         // the drain so they exist on every execution path (sharded
@@ -818,8 +933,12 @@ impl Middleware {
             s.archived.clear();
             s.generation = 0;
             // Deploy restarts the stream, so the event-time front end
-            // restarts with it (fresh watermark, empty buffer).
+            // restarts with it (fresh watermark, empty buffer) — and so
+            // do the ingress gate and the shedding ladder (engines are
+            // rebuilt from the declared rung-0 specs below).
             s.reorder = self.config.event_time.map(ReorderBuffer::new);
+            s.gate = self.config.ingress_capacity.map(CreditGate::new);
+            s.shedder = self.config.shedding.map(Shedder::new);
             let active: Vec<usize> = s
                 .subscribers
                 .iter()
@@ -973,6 +1092,358 @@ impl Middleware {
         })
     }
 
+    // ------------------------------------------------------------------
+    // bounded ingress: credit gate, quality-aware shedding, connectors
+    // ------------------------------------------------------------------
+
+    /// Pushes one tuple through the source's bounded ingress.
+    ///
+    /// Without [`MiddlewareConfig::ingress_capacity`] this is exactly
+    /// [`pipeline`](Self::pipeline)`.push` and always returns
+    /// [`PushOutcome::Accepted`]. With a credit gate the tuple is
+    /// admitted only if a credit is available; otherwise the push
+    /// returns [`PushOutcome::Throttled`] **without consuming the
+    /// input** — the caller still owns the tuple and may retry after
+    /// [`grant_credits`](Self::grant_credits) (or hold it, propagating
+    /// the pressure outward).
+    ///
+    /// Each outcome is observed by the source's [`Shedder`] when one is
+    /// configured: sustained throttling climbs the degradation ladder
+    /// (headroom-declaring subscriptions are retuned to
+    /// [`degraded`](FilterSpec::degraded) specs through the epoch-based
+    /// control path), sustained acceptance restores it rung by rung.
+    ///
+    /// # Errors
+    /// [`SolarError::NotDeployed`] / [`SolarError::UnknownId`], plus any
+    /// pipeline error while the admitted tuple is processed.
+    pub fn try_push(&mut self, source: SourceId, tuple: &Tuple) -> Result<PushOutcome, SolarError> {
+        if !self.deployed {
+            return Err(SolarError::NotDeployed);
+        }
+        if source.0 >= self.sources.len() {
+            return Err(SolarError::UnknownId(source.to_string()));
+        }
+        if let Some(gate) = self.sources[source.0].gate.as_mut() {
+            if gate.take(1) == 0 {
+                self.note_throttled(source)?;
+                return Ok(PushOutcome::Throttled);
+            }
+        }
+        self.pipeline(source)?.push(tuple.clone())?;
+        self.note_accepted(source)?;
+        Ok(PushOutcome::Accepted)
+    }
+
+    /// Pushes the suffix of a columnar batch (rows `start_row..`)
+    /// through the source's bounded ingress, returning how many rows
+    /// were admitted together with the outcome.
+    ///
+    /// The gate may admit a *prefix* of the suffix (partial take): the
+    /// admitted rows are processed, the outcome is `Throttled`, and the
+    /// batch is **resumable at the exact rejected row** — call again
+    /// with `start_row + admitted`. `Accepted` means every requested
+    /// row went through. Admitting a sub-range goes through
+    /// [`TupleBatch::slice`], so the engines observe the identical
+    /// row stream an unbounded push would have produced.
+    ///
+    /// # Errors
+    /// [`SolarError::NotDeployed`] / [`SolarError::UnknownId`], plus
+    /// pipeline errors for the admitted slice.
+    ///
+    /// # Panics
+    /// Panics if `start_row > batch.rows()`.
+    pub fn try_push_columnar(
+        &mut self,
+        source: SourceId,
+        batch: &Arc<TupleBatch>,
+        start_row: usize,
+    ) -> Result<(usize, PushOutcome), SolarError> {
+        if !self.deployed {
+            return Err(SolarError::NotDeployed);
+        }
+        if source.0 >= self.sources.len() {
+            return Err(SolarError::UnknownId(source.to_string()));
+        }
+        let rows = batch.rows();
+        assert!(start_row <= rows, "start_row out of range");
+        let want = rows - start_row;
+        if want == 0 {
+            return Ok((0, PushOutcome::Accepted));
+        }
+        let admitted = match self.sources[source.0].gate.as_mut() {
+            Some(gate) => gate.take(want as u64) as usize,
+            None => want,
+        };
+        if admitted == 0 {
+            self.note_throttled(source)?;
+            return Ok((0, PushOutcome::Throttled));
+        }
+        let slice = if start_row == 0 && admitted == rows {
+            Arc::clone(batch)
+        } else {
+            Arc::new(batch.slice(start_row, admitted))
+        };
+        self.pipeline(source)?.push_columnar(&slice)?;
+        if admitted == want {
+            self.note_accepted(source)?;
+            Ok((admitted, PushOutcome::Accepted))
+        } else {
+            self.note_throttled(source)?;
+            Ok((admitted, PushOutcome::Throttled))
+        }
+    }
+
+    /// Grants ingress credits back to a source's gate (saturating at
+    /// its capacity), returning how many were actually added. No-op
+    /// (returning 0) for sources without a gate.
+    ///
+    /// # Errors
+    /// [`SolarError::UnknownId`] for unknown sources.
+    pub fn grant_credits(&mut self, source: SourceId, credits: u64) -> Result<u64, SolarError> {
+        let s = self
+            .sources
+            .get_mut(source.0)
+            .ok_or_else(|| SolarError::UnknownId(source.to_string()))?;
+        Ok(s.gate.as_mut().map_or(0, |g| g.grant(credits)))
+    }
+
+    /// The source's `(available, capacity)` credit window, `None` when
+    /// ingress is unbounded.
+    ///
+    /// # Errors
+    /// [`SolarError::UnknownId`] for unknown sources.
+    pub fn credit_window(&self, source: SourceId) -> Result<Option<(u64, u64)>, SolarError> {
+        let s = self
+            .sources
+            .get(source.0)
+            .ok_or_else(|| SolarError::UnknownId(source.to_string()))?;
+        Ok(s.gate.as_ref().map(|g| (g.available(), g.capacity())))
+    }
+
+    /// The source's current degradation-ladder rung (0 = every
+    /// subscription at its original quality; also 0 when no shedder is
+    /// configured).
+    ///
+    /// # Errors
+    /// [`SolarError::UnknownId`] for unknown sources.
+    pub fn shed_rung(&self, source: SourceId) -> Result<u8, SolarError> {
+        let s = self
+            .sources
+            .get(source.0)
+            .ok_or_else(|| SolarError::UnknownId(source.to_string()))?;
+        Ok(s.shedder.as_ref().map_or(0, Shedder::rung))
+    }
+
+    /// The source's [`FlowMonitor`] — EWMA load accounting plus the
+    /// lifetime throttle/shed/degrade/restore counters.
+    ///
+    /// # Errors
+    /// [`SolarError::UnknownId`] for unknown sources.
+    pub fn flow_monitor(&self, source: SourceId) -> Result<&FlowMonitor, SolarError> {
+        self.sources
+            .get(source.0)
+            .map(|s| &s.flow)
+            .ok_or_else(|| SolarError::UnknownId(source.to_string()))
+    }
+
+    /// The source's delivery-latency distribution: one sample per
+    /// (emission, recipient) delivery, fixed footprint at any scale.
+    ///
+    /// # Errors
+    /// [`SolarError::UnknownId`] for unknown sources.
+    pub fn latency_histogram(&self, source: SourceId) -> Result<&LatencyHistogram, SolarError> {
+        self.sources
+            .get(source.0)
+            .map(|s| &s.lat_hist)
+            .ok_or_else(|| SolarError::UnknownId(source.to_string()))
+    }
+
+    /// Drives a [`SourceConnector`] through the bounded ingress until
+    /// end-of-stream: the §4.8 escalation as a loop. Admitted rows flow
+    /// through the ordinary pipeline; a `Throttled` answer first lets
+    /// the configured [`GrantPolicy`] replenish the window, and only
+    /// when the source's degradation ladder is exhausted *and* pressure
+    /// persists is the blocked row dropped — counted in both the
+    /// returned [`IngestReport`] and the [`FlowMonitor`].
+    ///
+    /// Ordered ([`Chunk::Batch`]) input takes the columnar path with
+    /// row-exact resumption after partial admissions; disordered
+    /// ([`Chunk::Rows`]) input is routed tuple-by-tuple through the
+    /// event-time front end.
+    ///
+    /// # Errors
+    /// Connector failures (as [`SolarError::Core`]) and any pipeline
+    /// error; [`SolarError::NotDeployed`] / [`SolarError::UnknownId`]
+    /// up front.
+    pub fn ingest(
+        &mut self,
+        source: SourceId,
+        connector: &mut dyn SourceConnector,
+        options: IngestOptions,
+    ) -> Result<IngestReport, SolarError> {
+        if !self.deployed {
+            return Err(SolarError::NotDeployed);
+        }
+        if source.0 >= self.sources.len() {
+            return Err(SolarError::UnknownId(source.to_string()));
+        }
+        let mut report = IngestReport::default();
+        let max_rows = options.max_rows.max(1);
+        while let Some(chunk) = connector.next_chunk(max_rows).map_err(SolarError::from)? {
+            report.chunks += 1;
+            report.rows += chunk.rows() as u64;
+            match chunk {
+                Chunk::Batch(batch) => {
+                    let batch = Arc::new(batch);
+                    let mut row = 0;
+                    while row < batch.rows() {
+                        let (n, outcome) = self.try_push_columnar(source, &batch, row)?;
+                        row += n;
+                        report.accepted += n as u64;
+                        if outcome == PushOutcome::Throttled && row < batch.rows() {
+                            report.throttled += 1;
+                            if self.ladder_exhausted(source) {
+                                // §4.8's last resort: quality is already
+                                // at every subscription's floor, so shed
+                                // the blocked row — counted, never silent.
+                                self.sources[source.0].flow.observe_shed_drop();
+                                report.dropped += 1;
+                                row += 1;
+                            } else {
+                                self.replenish(source, options.grant);
+                            }
+                        }
+                    }
+                }
+                Chunk::Rows(tuples) => {
+                    for tuple in tuples {
+                        loop {
+                            match self.try_push(source, &tuple)? {
+                                PushOutcome::Accepted => {
+                                    report.accepted += 1;
+                                    break;
+                                }
+                                PushOutcome::Throttled => {
+                                    report.throttled += 1;
+                                    if self.ladder_exhausted(source) {
+                                        self.sources[source.0].flow.observe_shed_drop();
+                                        report.dropped += 1;
+                                        break;
+                                    }
+                                    self.replenish(source, options.grant);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if options.finish {
+            self.finish(source)?;
+        }
+        Ok(report)
+    }
+
+    /// Observes a throttled admission: counts it and lets the shedder
+    /// react (possibly climbing the ladder).
+    fn note_throttled(&mut self, source: SourceId) -> Result<(), SolarError> {
+        self.sources[source.0].flow.observe_throttle();
+        if let Some(shedder) = self.sources[source.0].shedder.as_mut() {
+            let action = shedder.on_throttled();
+            self.apply_shed_action(source, action)?;
+        }
+        Ok(())
+    }
+
+    /// Observes a fully-accepted admission (possibly descending the
+    /// ladder).
+    fn note_accepted(&mut self, source: SourceId) -> Result<(), SolarError> {
+        if let Some(shedder) = self.sources[source.0].shedder.as_mut() {
+            let action = shedder.on_accepted();
+            self.apply_shed_action(source, action)?;
+        }
+        Ok(())
+    }
+
+    /// Retunes every headroom-declaring live subscription of the source
+    /// to the action's rung, through the same epoch-based
+    /// `update_filter` path [`resubscribe`](Self::resubscribe) uses.
+    /// Subscriptions whose ladder has no room between the previous and
+    /// the new rung are skipped (no gratuitous filter restarts), and
+    /// `AppEntry::spec` is never touched — it stays the rung-0 original
+    /// so restoration is exact by construction.
+    fn apply_shed_action(
+        &mut self,
+        source: SourceId,
+        action: ShedAction,
+    ) -> Result<(), SolarError> {
+        let (rung, prev, degrade) = match action {
+            ShedAction::None => return Ok(()),
+            ShedAction::Degrade(r) => (r, r - 1, true),
+            ShedAction::Restore(r) => (r, r + 1, false),
+        };
+        let subs = self.sources[source.0].subscribers.clone();
+        // One sweep for every lookup: a per-subscription `locate` scan
+        // here would make each ladder move O(roster²).
+        let locations = self.locate_all(source);
+        for a in subs {
+            if !self.apps[a].active || self.apps[a].spec.shed_headroom().is_none() {
+                continue;
+            }
+            let Some(next) = self.apps[a].spec.degraded(rung) else {
+                continue;
+            };
+            if self.apps[a].spec.degraded(prev).as_ref() == Some(&next) {
+                continue; // this ladder has no room between these rungs
+            }
+            let Some((part_idx, fid)) = locations[a] else {
+                continue;
+            };
+            self.sources[source.0].parts[part_idx]
+                .engine
+                .update_filter(fid, next)?;
+            if degrade {
+                self.sources[source.0].flow.observe_degrade();
+            } else {
+                self.sources[source.0].flow.observe_restore();
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the source's ladder is exhausted (top rung, still
+    /// throttled) — the only state in which ingest may drop.
+    fn ladder_exhausted(&self, source: SourceId) -> bool {
+        self.sources[source.0]
+            .shedder
+            .as_ref()
+            .is_some_and(Shedder::should_drop)
+    }
+
+    /// Replenishes a source's credit window per the grant policy.
+    fn replenish(&mut self, source: SourceId, policy: GrantPolicy) {
+        let decision = self.sources[source.0].flow.decision();
+        let Some(gate) = self.sources[source.0].gate.as_mut() else {
+            return;
+        };
+        match policy {
+            GrantPolicy::Refill => gate.refill(),
+            GrantPolicy::Adaptive => {
+                let window = gate.capacity();
+                let credits = match decision {
+                    FlowDecision::Ok => window,
+                    FlowDecision::Shed { drop_fraction } => {
+                        ((window as f64) * (1.0 - drop_fraction)).floor() as u64
+                    }
+                    FlowDecision::DegradeQuality => 1,
+                };
+                // Always at least one credit: ingest makes progress (and
+                // the ladder keeps climbing) even under the worst verdict.
+                gate.grant(credits.max(1));
+            }
+        }
+    }
+
     /// Runs a full trace through a source's pipeline and reports the
     /// outcome. Resets per-app statistics and traffic counters first, so
     /// reports from consecutive runs are independent.
@@ -991,7 +1462,10 @@ impl Middleware {
         self.overlay.reset_stats();
         for app in &mut self.apps {
             app.tuples = 0;
-            app.e2e_latency_us.clear();
+            app.e2e_latency_sum_us = 0;
+        }
+        for s in &mut self.sources {
+            s.lat_hist = LatencyHistogram::new();
         }
         let mut pipeline = self.pipeline(source)?;
         pipeline.push_batch(tuples)?;
@@ -1021,11 +1495,7 @@ impl Middleware {
             .iter()
             .map(|&a| {
                 let app = &self.apps[a];
-                let mean = if app.e2e_latency_us.is_empty() {
-                    Micros::ZERO
-                } else {
-                    Micros(app.e2e_latency_us.iter().sum::<u64>() / app.e2e_latency_us.len() as u64)
-                };
+                let mean = Micros(app.e2e_latency_sum_us.checked_div(app.tuples).unwrap_or(0));
                 AppReport {
                     handle: SubscriptionHandle(a),
                     name: app.name.clone(),
@@ -1095,6 +1565,8 @@ impl Middleware {
                 generation: s.generation,
                 flow: s.flow.clone(),
                 reorder: s.reorder.as_ref().map(ReorderBuffer::snapshot),
+                lat_hist: s.lat_hist.clone(),
+                shed_rung: s.shedder.as_ref().map_or(0, Shedder::rung),
                 parts,
             });
         }
@@ -1108,7 +1580,7 @@ impl Middleware {
                 spec: a.spec.clone(),
                 active: a.active,
                 tuples: a.tuples,
-                e2e_latency_us: a.e2e_latency_us.clone(),
+                e2e_latency_sum_us: a.e2e_latency_sum_us,
             })
             .collect();
         Ok(MiddlewareSnapshot {
@@ -1131,6 +1603,7 @@ impl Middleware {
             filter_apps: &part.filter_apps,
             group: part.group,
             src_node,
+            lat_hist: &mut s.lat_hist,
             error: None,
         };
         let mut sink = Metered::new(sink, &mut s.flow);
@@ -1184,7 +1657,7 @@ impl Middleware {
                 spec: a.spec.clone(),
                 active: a.active,
                 tuples: a.tuples,
-                e2e_latency_us: a.e2e_latency_us.clone(),
+                e2e_latency_sum_us: a.e2e_latency_sum_us,
             });
         }
         for s in &snap.sources {
@@ -1220,6 +1693,12 @@ impl Middleware {
                 generation: s.generation,
                 flow: s.flow.clone(),
                 reorder: s.reorder.as_ref().map(ReorderBuffer::restore),
+                lat_hist: s.lat_hist.clone(),
+                gate: snap.config.ingress_capacity.map(CreditGate::new),
+                shedder: snap
+                    .config
+                    .shedding
+                    .map(|cfg| Shedder::restore_at(cfg, s.shed_rung)),
             });
         }
         Ok(mw)
@@ -1310,7 +1789,13 @@ impl Middleware {
             // First live subscriber of a source that deployed empty.
             return self.spawn_part(source.0, &[app_idx]);
         }
-        let spec = self.apps[app_idx].spec.clone();
+        let declared = self.apps[app_idx].spec.clone();
+        // Joining a source mid-shed means joining at its current rung.
+        let rung = self.sources[source.0]
+            .shedder
+            .as_ref()
+            .map_or(0, Shedder::rung);
+        let spec = declared.degraded(rung).unwrap_or(declared);
         let node = self.apps[app_idx].node;
         let part = &mut self.sources[source.0].parts[0];
         let id = part.engine.add_filter(spec)?;
@@ -1329,6 +1814,23 @@ impl Middleware {
             }
         }
         None
+    }
+
+    /// Every subscription's location in one sweep: `table[app]` is what
+    /// [`locate`](Self::locate) would return for that app (first part,
+    /// first slot — stale vacated slots lose to earlier entries exactly
+    /// as `position` would find them). Bulk paths that touch the whole
+    /// roster (ladder moves, regroup) use this instead of per-app scans.
+    fn locate_all(&self, source: SourceId) -> Vec<Option<(usize, FilterId)>> {
+        let mut table = vec![None; self.apps.len()];
+        for (pi, part) in self.sources[source.0].parts.iter().enumerate() {
+            for (fi, &a) in part.filter_apps.iter().enumerate() {
+                if table[a].is_none() {
+                    table[a] = Some((pi, FilterId::from_index(fi)));
+                }
+            }
+        }
+        table
     }
 
     /// Drains a part's engine through the multicast path (in-flight
@@ -1354,6 +1856,7 @@ impl Middleware {
             filter_apps: &part.filter_apps,
             group: part.group,
             src_node,
+            lat_hist: &mut s.lat_hist,
             error: None,
         };
         let mut sink = Metered::new(sink, &mut s.flow);
@@ -1405,6 +1908,10 @@ pub struct MulticastSink<'a> {
     filter_apps: &'a [usize],
     group: GroupId,
     src_node: NodeId,
+    /// The source's delivery-latency histogram: one sample per
+    /// (emission, recipient) delivery, same quantity the per-app means
+    /// aggregate.
+    lat_hist: &'a mut LatencyHistogram,
     error: Option<SolarError>,
 }
 
@@ -1447,10 +1954,10 @@ impl EmissionSink for MulticastSink<'_> {
                 .get(&entry.node)
                 .copied()
                 .unwrap_or(Micros::ZERO);
+            let e2e = emission.latency() + net;
             entry.tuples += 1;
-            entry
-                .e2e_latency_us
-                .push((emission.latency() + net).as_micros());
+            entry.e2e_latency_sum_us += e2e.as_micros();
+            self.lat_hist.record(e2e);
         }
     }
 
@@ -1597,6 +2104,7 @@ impl Pipeline<'_> {
                 filter_apps: &part.filter_apps,
                 group: part.group,
                 src_node,
+                lat_hist: &mut s.lat_hist,
                 error: None,
             };
             let mut sink = Metered::new(sink, &mut s.flow);
@@ -1632,6 +2140,7 @@ impl Pipeline<'_> {
             filter_apps: &part.filter_apps,
             group: part.group,
             src_node,
+            lat_hist: &mut s.lat_hist,
             error: None,
         };
         let mut sink = Metered::new(sink, &mut s.flow);
@@ -1800,6 +2309,7 @@ impl Pipeline<'_> {
             filter_apps: &part.filter_apps,
             group: part.group,
             src_node,
+            lat_hist: &mut s.lat_hist,
             error: None,
         };
         let mut sink = Metered::new(sink, &mut s.flow);
@@ -1871,6 +2381,7 @@ impl Pipeline<'_> {
             filter_apps: &part.filter_apps,
             group: part.group,
             src_node,
+            lat_hist: &mut s.lat_hist,
             error: None,
         };
         let mut sink = Metered::new(sink, &mut s.flow);

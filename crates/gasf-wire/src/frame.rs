@@ -17,6 +17,7 @@
 
 use crate::codec::{put_str, put_u16, put_u32, put_u64, Reader, WireDecode, WireEncode, WireError};
 use gasf_core::engine::Emission;
+use gasf_core::tuple::Tuple;
 use gasf_net::{GroupId, NodeId};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -35,6 +36,7 @@ const TAG_FINISH: u8 = 3;
 const TAG_STATUS_REQUEST: u8 = 4;
 const TAG_STATUS_REPORT: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
+const TAG_TUPLES: u8 = 7;
 
 /// Per-node stream digest inside a [`SubscriberReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,6 +90,12 @@ pub enum Frame {
         /// The emission itself, canonical codec form.
         emission: Emission,
     },
+    /// A burst of raw stream tuples, producer → source process (the
+    /// ingress direction of the connector seam; see
+    /// [`SocketSource`](crate::socket::SocketSource)). Tuples travel in
+    /// arrival order; the receiving source's event-time front end deals
+    /// with any disorder.
+    Tuples(Vec<Tuple>),
     /// End of stream: the source has drained its engines.
     Finish,
     /// Ask the receiver for its [`SubscriberReport`].
@@ -103,6 +111,7 @@ impl Frame {
         match self {
             Frame::Hello { .. } => TAG_HELLO,
             Frame::Emission { .. } => TAG_EMISSION,
+            Frame::Tuples(_) => TAG_TUPLES,
             Frame::Finish => TAG_FINISH,
             Frame::StatusRequest => TAG_STATUS_REQUEST,
             Frame::StatusReport(_) => TAG_STATUS_REPORT,
@@ -135,6 +144,12 @@ impl Frame {
                 src.encode(buf);
                 nodes.encode(buf);
                 emission.encode(buf);
+            }
+            Frame::Tuples(tuples) => {
+                put_u32(buf, tuples.len() as u32);
+                for t in tuples {
+                    t.encode(buf);
+                }
             }
             Frame::Finish | Frame::StatusRequest | Frame::Shutdown => {}
             Frame::StatusReport(report) => {
@@ -185,6 +200,14 @@ impl Frame {
                 nodes: Vec::<NodeId>::decode(&mut r)?,
                 emission: Emission::decode(&mut r)?,
             },
+            TAG_TUPLES => {
+                let n = r.u32()? as usize;
+                let mut tuples = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    tuples.push(Tuple::decode(&mut r)?);
+                }
+                Frame::Tuples(tuples)
+            }
             TAG_FINISH => Frame::Finish,
             TAG_STATUS_REQUEST => Frame::StatusRequest,
             TAG_SHUTDOWN => Frame::Shutdown,

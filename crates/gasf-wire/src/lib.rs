@@ -24,6 +24,9 @@
 //! * [`record`] — [`Recorded`]: a digest-recording tee over any
 //!   transport, producing the in-process reference a wire run must
 //!   match;
+//! * [`socket`] — [`SocketSource`]/[`SocketFeeder`]: the
+//!   localhost-socket connector pair (ingress direction of the
+//!   connector seam), with crash-reconnect semantics;
 //! * [`worker`] — the source/subscriber process bodies behind the
 //!   `gasfctl` control binary (`launch`/`smoke`/`status`/`kill`/
 //!   `inspect`).
@@ -41,6 +44,7 @@ pub mod codec;
 pub mod frame;
 pub mod layout;
 pub mod record;
+pub mod socket;
 pub mod tcp;
 pub mod worker;
 
@@ -48,5 +52,6 @@ pub use codec::{StreamDigest, WireDecode, WireEncode, WireError};
 pub use frame::{Frame, NodeDigest, SubscriberReport, DEFAULT_MAX_FRAME};
 pub use layout::{HostLayout, ProcessSpec, Role, WorkloadSpec};
 pub use record::Recorded;
+pub use socket::{SocketFeeder, SocketSource};
 pub use tcp::{TcpTransport, WireConfig};
 pub use worker::{run_source, run_subscriber, DeploymentOutcome};

@@ -72,6 +72,8 @@ pub fn build_middleware(layout: &HostLayout) -> Result<(Middleware, SourceId, Tr
         constraint: None,
         parallelism: layout.workload.parallelism,
         event_time: None,
+        ingress_capacity: None,
+        shedding: None,
     };
     let mut mw = Middleware::with_config(overlay, config);
     let src_node = layout.source().nodes[0];
@@ -329,6 +331,11 @@ impl SubscriberState {
             Frame::Shutdown => Ok(Some(Frame::Shutdown)),
             Frame::StatusReport(_) => Err(WireError::Io(
                 "subscriber received a StatusReport (protocol confusion)".into(),
+            )),
+            Frame::Tuples(_) => Err(WireError::Io(
+                "subscriber received a raw tuple burst (protocol confusion: \
+                 Tuples frames address a SocketSource, not a subscriber)"
+                    .into(),
             )),
         }
     }
